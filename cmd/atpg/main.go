@@ -1,0 +1,161 @@
+// Command atpg runs the complete flow of the paper on the IV-converter
+// macro (or a custom netlist): enumerate the structural fault
+// dictionary, generate the optimal test per fault, compact the test set
+// with the δ loss budget, and fault-simulate the result.
+//
+// Usage:
+//
+//	atpg [-netlist file] [-delta d] [-workers n] [-fast] [-faults n] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/netlist"
+	"repro/internal/report"
+)
+
+func main() {
+	netlistPath := flag.String("netlist", "", "SPICE-like netlist of a custom macro (default: built-in IV-converter)")
+	configFile := flag.String("config-file", "", "additional test configuration description file (Fig. 1 DSL)")
+	delta := flag.Float64("delta", 0.1, "compaction loss budget δ")
+	workers := flag.Int("workers", 0, "generation parallelism (0: default)")
+	fast := flag.Bool("fast", false, "seed-calibrated tolerance boxes (faster, coarser)")
+	limit := flag.Int("faults", 0, "limit the fault list to the first n faults (0: all)")
+	verbose := flag.Bool("v", false, "print per-fault detail")
+	flag.Parse()
+
+	cfg := repro.DefaultSessionConfig()
+	if *fast {
+		cfg = repro.FastSetup()
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	configs := repro.IVConfigs()
+	if *configFile != "" {
+		f, ferr := os.Open(*configFile)
+		if ferr != nil {
+			fail(ferr)
+		}
+		extra, perr := repro.ParseTestConfig(f)
+		f.Close()
+		if perr != nil {
+			fail(perr)
+		}
+		configs = append(configs, extra)
+		fmt.Printf("loaded configuration #%d (%s) from %s\n", extra.ID, extra.Name, *configFile)
+	}
+
+	var sys *repro.System
+	var err error
+	if *netlistPath != "" {
+		f, ferr := os.Open(*netlistPath)
+		if ferr != nil {
+			fail(ferr)
+		}
+		ckt, perr := netlist.Parse(f, *netlistPath)
+		f.Close()
+		if perr != nil {
+			fail(perr)
+		}
+		sys, err = repro.NewSystem(ckt, configs, cfg)
+	} else {
+		sys, err = repro.NewSystem(repro.NewIVConverter(), configs, cfg)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	faults := sys.Faults()
+	if *limit > 0 && *limit < len(faults) {
+		faults = faults[:*limit]
+	}
+	fmt.Printf("macro %q: %d devices, %d faults, %d test configurations\n",
+		sys.Golden().Name(), len(sys.Golden().Devices()), len(faults), len(sys.Configs()))
+
+	start := time.Now()
+	sols, err := sys.GenerateAll(faults)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("generation: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *verbose {
+		t := report.NewTable("fault", "config", "params", "S_f", "critical impact")
+		for _, sol := range sols {
+			c := sys.Configs()[sol.ConfigIdx]
+			t.AddRow(sol.Fault.ID(), c.Name, fmt.Sprintf("%v", sol.Params),
+				sol.Sensitivity, report.Engineering(sol.CriticalImpact))
+		}
+		_, _ = t.WriteTo(os.Stdout)
+		fmt.Println()
+	}
+
+	d := sys.Tabulate(sols)
+	fmt.Println("best-test distribution:")
+	for _, id := range d.ConfigIDs() {
+		total := 0
+		for _, n := range d.Counts[id] {
+			total += n
+		}
+		fmt.Printf("  config #%d: %d faults\n", id, total)
+	}
+
+	opts := repro.DefaultCompactOptions()
+	opts.Delta = *delta
+	cts, err := sys.Compact(sols, opts)
+	if err != nil {
+		fail(err)
+	}
+	cov, err := sys.Coverage(repro.TestsOfCompact(cts), faults)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ncompacted test set (δ=%.2g): %d tests for %d faults\n", *delta, len(cts), len(faults))
+	t := report.NewTable("test", "config", "params", "covers")
+	for i, ct := range cts {
+		t.AddRow(i+1, sys.Configs()[ct.ConfigIdx].Name, fmt.Sprintf("%v", ct.Params), len(ct.Members))
+	}
+	_, _ = t.WriteTo(os.Stdout)
+	fmt.Printf("\nfault coverage of the compacted set: %.1f %% (%d/%d)\n",
+		cov.Percent(), cov.Detected, cov.Total)
+	if wcov, err := repro.WeightedCoverage(repro.HeuristicIFAWeights(faults), cov); err == nil {
+		fmt.Printf("IFA-weighted coverage: %.1f %%\n", wcov)
+	}
+	if len(cov.Undetected) > 0 {
+		fmt.Println("undetected faults:")
+		for _, id := range cov.Undetected {
+			fmt.Printf("  %s\n", id)
+		}
+	}
+
+	// ATE schedule: order the compacted tests by marginal yield per
+	// second and estimate the production test time.
+	sched, _, err := sys.Schedule(repro.TestsOfCompact(cts), faults)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nATE schedule (total application time %v):\n",
+		sys.SetTime(repro.TestsOfCompact(cts)).Round(time.Microsecond))
+	st := report.NewTable("order", "config", "params", "new detections", "time")
+	for i, e := range sched {
+		st.AddRow(i+1, sys.Configs()[e.ConfigIdx].Name, fmt.Sprintf("%v", e.Params),
+			e.NewDetections, e.Time.Round(time.Microsecond))
+	}
+	_, _ = st.WriteTo(os.Stdout)
+
+	stats := sys.Stats()
+	fmt.Printf("\nsimulation effort: %d nominal + %d faulty runs (%d cache hits, %d non-convergent faulty circuits)\n",
+		stats.NominalRuns, stats.FaultyRuns, stats.CacheHits, stats.FaultyFailures)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atpg:", err)
+	os.Exit(1)
+}

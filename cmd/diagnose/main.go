@@ -1,0 +1,89 @@
+// Command diagnose runs the fault-diagnosis extension on the
+// IV-converter: it builds a signature database of the dictionary under a
+// small DC test set, simulates a failing device carrying a chosen fault
+// (optionally at an off-dictionary impact), and ranks the candidates.
+//
+// Usage:
+//
+//	diagnose [-fault id] [-impact r] [-top n] [-tests n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	faultID := flag.String("fault", "pinhole:M6", "fault the device under test carries")
+	impact := flag.Float64("impact", 0, "override the defect's model resistance (0: dictionary)")
+	top := flag.Int("top", 8, "how many candidates to print")
+	nTests := flag.Int("tests", 6, "number of DC tests in the signature database")
+	flag.Parse()
+
+	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	if err != nil {
+		fail(err)
+	}
+
+	// Signature tests: DC output and supply current at a spread of input
+	// levels.
+	var tests []repro.Test
+	levels := sim.LinSpace(10e-6, 90e-6, (*nTests+1)/2)
+	for _, l := range levels {
+		tests = append(tests, repro.Test{ConfigIdx: 0, Params: []float64{l}})
+		tests = append(tests, repro.Test{ConfigIdx: 1, Params: []float64{l}})
+	}
+	if len(tests) > *nTests {
+		tests = tests[:*nTests]
+	}
+
+	var truth repro.Fault
+	for _, f := range sys.Faults() {
+		if f.ID() == *faultID {
+			truth = f
+		}
+	}
+	if truth == nil {
+		fail(fmt.Errorf("fault %q not in the dictionary", *faultID))
+	}
+	if *impact > 0 {
+		truth = truth.WithImpact(*impact)
+	}
+
+	fmt.Printf("signature database: %d faults × %d tests\n", len(sys.Faults()), len(tests))
+	_, sigs, err := sys.Signatures(tests, sys.Faults())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("device under test carries %s at R=%s\n\n", truth.ID(), report.Engineering(truth.Impact()))
+	obs, err := sys.ObserveFault(tests, truth)
+	if err != nil {
+		fail(err)
+	}
+	diag, err := sys.Diagnose(tests, sigs, obs)
+	if err != nil {
+		fail(err)
+	}
+	if *top > len(diag) {
+		*top = len(diag)
+	}
+	t := report.NewTable("rank", "candidate", "distance")
+	for i, d := range diag[:*top] {
+		name := d.FaultID
+		if d.FaultID == *faultID {
+			name += "  <-- true defect"
+		}
+		t.AddRow(i+1, name, d.Distance)
+	}
+	_, _ = t.WriteTo(os.Stdout)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "diagnose:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section plus the DESIGN.md ablations.
+//
+// Usage:
+//
+//	experiments [-only id[,id...]] [-quick] [-workers n] [-delta d] [-tps-fault id] [-list]
+//
+// Experiment IDs: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table2 fig8
+// table3 ablation-selection ablation-soft ablation-opt ablation-delta,
+// or "all" (default). The full table2/fig8/table3 chain generates tests
+// for all 55 faults and takes a few minutes on one core; -quick runs a
+// representative subset in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "all", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "reduced grids and fault subsets (seconds instead of minutes)")
+	workers := flag.Int("workers", 0, "generation parallelism (0: default)")
+	delta := flag.Float64("delta", 0.1, "compaction loss budget δ")
+	tpsFault := flag.String("tps-fault", experiments.DefaultTPSFault, "bridge fault for the Fig. 2-4 tps-graphs")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	r := experiments.New(experiments.Options{
+		Out:        os.Stdout,
+		Quick:      *quick,
+		Workers:    *workers,
+		Delta:      *delta,
+		TPSFaultID: *tpsFault,
+	})
+	start := time.Now()
+	ids := strings.Split(*only, ",")
+	if err := r.Run(ids...); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}

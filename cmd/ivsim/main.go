@@ -1,0 +1,156 @@
+// Command ivsim simulates the IV-converter macro (or a custom netlist)
+// directly: operating point, DC transfer sweep, transient step response
+// or small-signal AC — useful for inspecting the substrate the test
+// generator runs on.
+//
+// Usage:
+//
+//	ivsim -analysis op|dc|tran|ac [-netlist file] [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/wave"
+)
+
+func main() {
+	analysis := flag.String("analysis", "op", "op | dc | tran | ac")
+	netlistPath := flag.String("netlist", "", "SPICE-like netlist (default: built-in IV-converter)")
+	sweepFrom := flag.Float64("from", 0, "dc: sweep start (A)")
+	sweepTo := flag.Float64("to", 100e-6, "dc: sweep end (A)")
+	sweepN := flag.Int("points", 11, "dc/ac: number of points")
+	base := flag.Float64("base", 5e-6, "tran: step base current (A)")
+	elev := flag.Float64("elev", 20e-6, "tran: step elevation (A)")
+	stop := flag.Float64("stop", 7.5e-6, "tran: stop time (s)")
+	dt := flag.Float64("dt", 10e-9, "tran: time step (s)")
+	fLo := flag.Float64("flo", 1e2, "ac: start frequency (Hz)")
+	fHi := flag.Float64("fhi", 1e8, "ac: stop frequency (Hz)")
+	svgPath := flag.String("svg", "", "dc/tran: also render an SVG plot to this file")
+	flag.Parse()
+
+	var ckt *circuit.Circuit
+	if *netlistPath != "" {
+		fd, err := os.Open(*netlistPath)
+		if err != nil {
+			fail(err)
+		}
+		ckt, err = netlist.Parse(fd, *netlistPath)
+		fd.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		ckt = macros.IVConverter()
+	}
+
+	switch *analysis {
+	case "op":
+		e := engine(ckt)
+		x, err := e.OperatingPoint()
+		if err != nil {
+			fail(err)
+		}
+		t := report.NewTable("node", "voltage [V]")
+		for _, n := range ckt.Nodes() {
+			t.AddRow(n, ckt.NodeVoltage(x, n))
+		}
+		_, _ = t.WriteTo(os.Stdout)
+		fmt.Println("\ndevice regions:")
+		for _, d := range ckt.Devices() {
+			if m, ok := d.(*device.MOSFET); ok {
+				fmt.Printf("  %-6s %-6s id=%s\n", m.Name(), m.Region(x), report.Engineering(m.DrainCurrent(x)))
+			}
+		}
+	case "dc":
+		e := engine(ckt)
+		vals := sim.LinSpace(*sweepFrom, *sweepTo, *sweepN)
+		sols, err := e.SweepDC(macros.InputSourceName, vals)
+		if err != nil {
+			fail(err)
+		}
+		t := report.NewTable("Iin [A]", "V(Vout) [V]", "V(Iin) [V]")
+		vout := make([]float64, len(sols))
+		for i, x := range sols {
+			vout[i] = e.Voltage(x, macros.NodeVout)
+			t.AddRow(vals[i], vout[i], e.Voltage(x, macros.NodeIin))
+		}
+		_, _ = t.WriteTo(os.Stdout)
+		writeSVG(*svgPath, report.DefaultSVGOptions("DC transfer", "Iin [A]", "V(Vout) [V]"),
+			report.Series{Name: "Vout", X: vals, Y: vout})
+	case "tran":
+		macros.SetInputWave(ckt, wave.Step{Base: *base, Elev: *elev, Delay: 10e-9, Rise: 10e-9})
+		e := engine(ckt)
+		tr, err := e.Transient(*stop, *dt, []string{macros.NodeVout, macros.NodeVmid})
+		if err != nil {
+			fail(err)
+		}
+		step := tr.Len() / 25
+		if step < 1 {
+			step = 1
+		}
+		t := report.NewTable("t [s]", "V(Vout) [V]", "V(Vmid) [V]")
+		for i := 0; i < tr.Len(); i += step {
+			t.AddRow(tr.Times[i], tr.Signal(macros.NodeVout)[i], tr.Signal(macros.NodeVmid)[i])
+		}
+		_, _ = t.WriteTo(os.Stdout)
+		writeSVG(*svgPath, report.DefaultSVGOptions("Step response", "t [s]", "V"),
+			report.Series{Name: "Vout", X: tr.Times, Y: tr.Signal(macros.NodeVout)},
+			report.Series{Name: "Vmid", X: tr.Times, Y: tr.Signal(macros.NodeVmid)})
+	case "ac":
+		e := engine(ckt)
+		xop, err := e.OperatingPoint()
+		if err != nil {
+			fail(err)
+		}
+		freqs := sim.LogSpace(*fLo, *fHi, *sweepN)
+		res, err := e.AC(xop, macros.InputSourceName, freqs)
+		if err != nil {
+			fail(err)
+		}
+		t := report.NewTable("f [Hz]", "|Vout/Iin| [dBΩ]", "phase [°]")
+		for i := range freqs {
+			t.AddRow(freqs[i], res.MagDB(i, macros.NodeVout), res.PhaseDeg(i, macros.NodeVout))
+		}
+		_, _ = t.WriteTo(os.Stdout)
+	default:
+		fail(fmt.Errorf("unknown analysis %q", *analysis))
+	}
+}
+
+// writeSVG renders series to path when a path was requested.
+func writeSVG(path string, opts report.SVGOptions, series ...report.Series) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := report.SVGPlot(f, opts, series...); err != nil {
+		fail(err)
+	}
+	fmt.Println("plot written to", path)
+}
+
+func engine(ckt *circuit.Circuit) *sim.Engine {
+	e, err := sim.New(ckt, sim.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	return e
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ivsim:", err)
+	os.Exit(1)
+}

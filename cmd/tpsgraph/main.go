@@ -1,0 +1,104 @@
+// Command tpsgraph computes test-parameter sensitivity graphs (paper
+// §3.1, Figs. 2-4) for any fault in the IV-converter dictionary under
+// any test configuration, rendered as an ASCII heat map and optionally
+// as CSV.
+//
+// Usage:
+//
+//	tpsgraph [-fault id] [-config n] [-impact r] [-n1 n] [-n2 n] [-csv file] [-fast] [-list-faults]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	faultID := flag.String("fault", "bridge:Ntail-Out1", "fault ID from the dictionary")
+	configID := flag.Int("config", 3, "test configuration number (1-5)")
+	impact := flag.Float64("impact", 0, "fault model resistance in ohms (0: dictionary impact)")
+	n1 := flag.Int("n1", 21, "grid points along parameter 1")
+	n2 := flag.Int("n2", 13, "grid points along parameter 2 (two-parameter configs)")
+	csvPath := flag.String("csv", "", "also write the grid as CSV to this file")
+	fast := flag.Bool("fast", true, "seed-calibrated tolerance boxes")
+	listFaults := flag.Bool("list-faults", false, "list fault IDs and exit")
+	flag.Parse()
+
+	cfg := repro.DefaultSessionConfig()
+	if *fast {
+		cfg = repro.FastSetup()
+	}
+	sys, err := repro.NewIVConverterSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *listFaults {
+		for _, f := range sys.Faults() {
+			fmt.Println(f.ID())
+		}
+		return
+	}
+
+	var f repro.Fault
+	for _, ff := range sys.Faults() {
+		if ff.ID() == *faultID {
+			f = ff
+			break
+		}
+	}
+	if f == nil {
+		fail(fmt.Errorf("fault %q not in the dictionary (use -list-faults)", *faultID))
+	}
+	if *impact > 0 {
+		f = f.WithImpact(*impact)
+	}
+
+	ci := -1
+	for i, c := range sys.Configs() {
+		if c.ID == *configID {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		fail(fmt.Errorf("configuration #%d unknown", *configID))
+	}
+
+	g, err := sys.TPS(ci, f, *n1, *n2)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("tps-graph: %s at R=%s under configuration #%d\n\n",
+		g.FaultID, report.Engineering(g.Impact), g.ConfigID)
+	if err := report.HeatMap(os.Stdout, g.S, g.Name1, g.Name2); err != nil {
+		fail(err)
+	}
+	i, j, min := g.MinCell()
+	if len(g.Axis2) > 0 {
+		fmt.Printf("\nminimum S_f = %.4g at %s=%s, %s=%s\n", min,
+			g.Name1, report.Engineering(g.Axis1[i]), g.Name2, report.Engineering(g.Axis2[j]))
+	} else {
+		fmt.Printf("\nminimum S_f = %.4g at %s=%s\n", min, g.Name1, report.Engineering(g.Axis1[i]))
+	}
+	fmt.Printf("detectable fraction: %.0f %%\n", 100*g.DetectableFraction())
+
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+		if err := report.GridCSV(out, g.Axis1, g.Axis2, g.S); err != nil {
+			fail(err)
+		}
+		fmt.Println("grid written to", *csvPath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tpsgraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a compact structural test set for the
+// IV-converter macro in a few lines using the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// FastSetup uses seed-calibrated tolerance boxes so this example runs
+	// in seconds; DefaultSessionConfig() builds the full grid boxes.
+	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Work on a manageable slice of the 55-fault dictionary: the first 8
+	// bridging faults plus two pinholes. Copy before appending so the
+	// system's dictionary stays intact.
+	faults := append([]repro.Fault{}, sys.Faults()[:8]...)
+	faults = append(faults, sys.Faults()[45], sys.Faults()[50])
+	fmt.Printf("generating optimal tests for %d faults...\n", len(faults))
+
+	sols, err := sys.GenerateAll(faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sol := range sols {
+		c := sys.Configs()[sol.ConfigIdx]
+		status := fmt.Sprintf("S_f=%.3g", sol.Sensitivity)
+		if sol.Undetectable {
+			status = "UNDETECTABLE"
+		}
+		fmt.Printf("  %-22s -> config #%d (%s) params=%v  %s\n",
+			sol.Fault.ID(), c.ID, c.Name, sol.Params, status)
+	}
+
+	// Collapse the per-fault tests into a compact set with a 10 % loss
+	// budget and verify the coverage by fault simulation.
+	cts, err := sys.Compact(sols, repro.DefaultCompactOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov, err := sys.Coverage(repro.TestsOfCompact(cts), faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompacted: %d tests for %d faults, coverage %.1f %%\n",
+		len(cts), len(faults), cov.Percent())
+}

@@ -1,0 +1,55 @@
+// thdtps reproduces the paper's Figs. 2-4 study interactively: the
+// test-parameter sensitivity (tps) graph of a bridging fault under the
+// THD test configuration at three impact levels, showing the hard-fault
+// to soft-fault transition and the stability of the optimum location.
+//
+//	go run ./examples/thdtps
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The bridge between the differential-pair tail and the first-stage
+	// output — "a resistive short between two arbitrarily chosen nodes".
+	var base repro.Fault
+	for _, f := range sys.Faults() {
+		if f.ID() == "bridge:Ntail-Out1" {
+			base = f
+		}
+	}
+	if base == nil {
+		log.Fatal("fault missing from dictionary")
+	}
+
+	// THD configuration is #3 (index 2).
+	const thdIdx = 2
+	for _, impact := range []float64{10e3, 34e3, 75e3} {
+		f := base.WithImpact(impact)
+		g, err := sys.TPS(thdIdx, f, 13, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== impact R = %s ==\n", report.Engineering(impact))
+		if err := report.HeatMap(os.Stdout, g.S, g.Name1, g.Name2); err != nil {
+			log.Fatal(err)
+		}
+		i, j, min := g.MinCell()
+		fmt.Printf("minimum S_f = %.4g at %s=%s, %s=%s (detectable on %.0f %% of the plane)\n",
+			min, g.Name1, report.Engineering(g.Axis1[i]),
+			g.Name2, report.Engineering(g.Axis2[j]), 100*g.DetectableFraction())
+	}
+	fmt.Println("\nhard region (10k): shape tied to the exact impact, huge magnitudes;")
+	fmt.Println("soft region (34k, 75k): stable shape, flattening and shifting upward.")
+}

@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+// This file exposes the extensions that go beyond the paper's evaluation:
+// the reduced macro variant, ATE scheduling/test-time modeling, and
+// IFA-style weighted coverage.
+
+// WeightedFault pairs a fault with a relative likelihood (IFA-style).
+type WeightedFault = fault.Weighted
+
+// ScheduleEntry is one test of an ordered ATE schedule.
+type ScheduleEntry = core.ScheduleEntry
+
+// Signature is a fault's predicted response vector under a test set.
+type Signature = core.Signature
+
+// Stats summarizes a session's simulation effort.
+type Stats = core.Stats
+
+// Diagnosis is one ranked candidate fault of a diagnosis run.
+type Diagnosis = core.Diagnosis
+
+// ParseTestConfig reads a textual test configuration description (the
+// paper's Fig. 1 as a small language; see internal/testcfg's DSL docs).
+func ParseTestConfig(r io.Reader) (*TestConfig, error) { return testcfg.ParseConfig(r) }
+
+// ParseTestConfigString is ParseTestConfig over a string.
+func ParseTestConfigString(s string) (*TestConfig, error) { return testcfg.ParseConfigString(s) }
+
+// Open is a stuck-open (series-resistance) fault at a transistor
+// terminal; its severity GROWS with the model resistance (inverted
+// impact semantics, handled transparently by the generation loop).
+type Open = fault.Open
+
+// NewDrainOpen returns a stuck-open at the drain of the named transistor.
+func NewDrainOpen(transistor string, r float64) *Open { return fault.NewDrainOpen(transistor, r) }
+
+// AllDrainOpens enumerates one drain open per MOSFET of a macro at the
+// given dictionary series resistance — an extension of the paper's
+// bridge+pinhole dictionary.
+func AllDrainOpens(c *Circuit, r float64) []Fault { return fault.AllDrainOpens(c, r) }
+
+// NewSimpleIVConverter returns the reduced single-stage macro variant
+// (9 nodes, 8 MOSFETs → 44-fault dictionary), a second macro type for
+// experiments beyond the paper's case study.
+func NewSimpleIVConverter() *Circuit { return macros.SimpleIVConverter() }
+
+// UniformWeights wraps a fault list with equal likelihoods (the paper's
+// exhaustive-list assumption).
+func UniformWeights(faults []Fault) []WeightedFault { return fault.UniformWeights(faults) }
+
+// HeuristicIFAWeights assigns layout-flavoured likelihoods (rail bridges
+// likelier than signal bridges, pinholes rarer) for weighted-coverage
+// reporting without a real layout.
+func HeuristicIFAWeights(faults []Fault) []WeightedFault { return fault.HeuristicIFAWeights(faults) }
+
+// WeightedCoverage turns a CoverageReport into likelihood-weighted
+// coverage over the given weighted fault list.
+func WeightedCoverage(ws []WeightedFault, rep CoverageReport) (float64, error) {
+	detected := make(map[string]bool, len(rep.DetectedBy))
+	for id := range rep.DetectedBy {
+		detected[id] = true
+	}
+	return fault.WeightedCoverage(ws, detected)
+}
+
+// Schedule orders a test set greedily by marginal fault yield per unit
+// ATE time and reports the faults no test detects.
+func (s *System) Schedule(tests []Test, faults []Fault) ([]ScheduleEntry, []string, error) {
+	return s.session.Schedule(tests, faults)
+}
+
+// Prune drops tests that add no marginal dictionary-impact detection,
+// keeping the greedy-schedule order. See core.Session.Prune for the
+// sensitivity trade-off.
+func (s *System) Prune(tests []Test, faults []Fault) ([]Test, error) {
+	return s.session.Prune(tests, faults)
+}
+
+// SetTime estimates the total ATE application time of a test set.
+func (s *System) SetTime(tests []Test) time.Duration { return s.session.SetTime(tests) }
+
+// ApplicationTime estimates the ATE application time of one test.
+func (s *System) ApplicationTime(t Test) time.Duration { return s.session.ApplicationTime(t) }
+
+// Signatures builds the fault-signature database of a test set: the
+// fault-free baseline plus every fault's predicted responses.
+func (s *System) Signatures(tests []Test, faults []Fault) ([][]float64, []Signature, error) {
+	return s.session.Signatures(tests, faults)
+}
+
+// Diagnose ranks dictionary faults against observed responses.
+func (s *System) Diagnose(tests []Test, sigs []Signature, observed [][]float64) ([]Diagnosis, error) {
+	return s.session.Diagnose(tests, sigs, observed)
+}
+
+// ObserveFault simulates the tester-side responses of a device carrying
+// the given fault, in the shape Diagnose expects.
+func (s *System) ObserveFault(tests []Test, f Fault) ([][]float64, error) {
+	return s.session.ObserveFault(tests, f)
+}
+
+// Stats returns the session's simulation counters.
+func (s *System) Stats() Stats { return s.session.Stats() }

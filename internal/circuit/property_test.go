@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+// randomResistorNet builds a random connected resistor network with a
+// driving source, guaranteed compilable: node i connects to a random
+// earlier node (spanning-tree construction), so nothing dangles.
+func randomResistorNet(rng *rand.Rand) *Circuit {
+	c := New("random")
+	n := 2 + rng.Intn(8)
+	c.Add(device.NewDCVSource("V0", "n1", "0", 1+rng.Float64()*9))
+	c.Add(device.NewResistor("Rg", "n1", "0", 100+rng.Float64()*1e4))
+	for i := 2; i <= n; i++ {
+		prev := fmt.Sprintf("n%d", 1+rng.Intn(i-1))
+		cur := fmt.Sprintf("n%d", i)
+		c.Add(device.NewResistor(fmt.Sprintf("Ra%d", i), prev, cur, 100+rng.Float64()*1e4))
+		// Second connection keeps the degree ≥ 2 so compile's dangling
+		// check passes.
+		c.Add(device.NewResistor(fmt.Sprintf("Rb%d", i), cur, "0", 100+rng.Float64()*1e4))
+	}
+	return c
+}
+
+// TestCloneCompilesIdentically: a clone must compile to the same layout
+// (node naming and dimensions) as its original.
+func TestCloneCompilesIdentically(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomResistorNet(rng)
+		l1, err := c.Compile()
+		if err != nil {
+			return false
+		}
+		cc := c.Clone()
+		l2, err := cc.Compile()
+		if err != nil {
+			return false
+		}
+		if l1.Dim() != l2.Dim() || l1.NumNodes != l2.NumNodes {
+			return false
+		}
+		for k, v := range l1.NodeIndex {
+			if l2.NodeIndex[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRemoveAddIsIdentity: removing a device and re-adding an identical
+// one preserves the compiled layout.
+func TestRemoveAddIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomResistorNet(rng)
+		l1, err := c.Compile()
+		if err != nil {
+			return false
+		}
+		r := c.Device("Rg").(*device.Resistor)
+		val := r.R
+		if !c.Remove("Rg") {
+			return false
+		}
+		c.Add(device.NewResistor("Rg", "n1", "0", val))
+		l2, err := c.Compile()
+		if err != nil {
+			return false
+		}
+		return l1.Dim() == l2.Dim()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNodesDeterministic: Nodes() is sorted and stable across calls.
+func TestNodesDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomResistorNet(rng)
+		a := c.Nodes()
+		b := c.Nodes()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if i > 0 && a[i-1] >= a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Test is a runnable test: a configuration plus concrete parameters.
+type Test struct {
+	ConfigIdx int
+	Params    []float64
+}
+
+// CompactTest is one collapsed test of the compacted set: the parameter
+// average of a group of fault-specific optimal tests, together with the
+// fault IDs it covers.
+type CompactTest struct {
+	Test
+	// Members lists the fault IDs whose optimal tests were collapsed
+	// into this one.
+	Members []string
+}
+
+// CompactOptions tunes the collapse algorithm.
+type CompactOptions struct {
+	// Delta is the paper's δ: the maximal allowed fractional shift of
+	// S_f at the collapsed parameters towards the insensitivity level 1.
+	// For every group member the screen
+	//
+	//	S_f(T_c) ≤ S_f(T_opt) + δ·(1 − S_f(T_opt))
+	//
+	// must hold.
+	Delta float64
+	// Radius is the grouping radius in normalized parameter space
+	// (each axis scaled to [0, 1]); default 0.15.
+	Radius float64
+}
+
+// DefaultCompactOptions returns δ = 0.1, radius = 0.15.
+func DefaultCompactOptions() CompactOptions {
+	return CompactOptions{Delta: 0.1, Radius: 0.15}
+}
+
+// Compact collapses the fault-specific optimal tests onto a much smaller
+// test set (paper §4.1):
+//
+//  1. Per configuration, the optimal parameter vectors are grouped in
+//     normalized parameter space (greedy nearest-centroid clustering
+//     with the given radius).
+//  2. Each group's candidate collapsed test is the average of its
+//     members' parameters.
+//  3. The collapse is screened with the δ acceptance rule, evaluating
+//     S_f at the dictionary impact: members failing the screen are
+//     evicted into their own groups, and the remainder is re-averaged
+//     until the screen passes.
+//
+// Undetectable faults are skipped (no test covers them).
+func (s *Session) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, error) {
+	if o.Delta < 0 || o.Delta >= 1 {
+		return nil, fmt.Errorf("core: delta %g outside [0, 1)", o.Delta)
+	}
+	if o.Radius <= 0 {
+		o.Radius = 0.15
+	}
+
+	var out []CompactTest
+	for ci := range s.configs {
+		var members []*Solution
+		for _, sol := range sols {
+			if sol.ConfigIdx == ci && !sol.Undetectable {
+				members = append(members, sol)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		groups := s.group(ci, members, o.Radius)
+		for len(groups) > 0 {
+			g := groups[0]
+			groups = groups[1:]
+			ct, rejected, err := s.screenGroup(ci, g, o.Delta)
+			if err != nil {
+				return nil, err
+			}
+			if ct != nil {
+				out = append(out, *ct)
+			}
+			// Each rejected member becomes its own singleton group, which
+			// always passes the screen (T_c = T_opt).
+			for _, r := range rejected {
+				groups = append(groups, []*Solution{r})
+			}
+		}
+	}
+	sortCompact(out)
+	return out, nil
+}
+
+// group clusters solutions of one configuration by greedy
+// nearest-centroid assignment in normalized parameter space.
+func (s *Session) group(ci int, sols []*Solution, radius float64) [][]*Solution {
+	b := s.configs[ci].Bounds()
+	norm := func(T []float64) []float64 {
+		n := make([]float64, len(T))
+		for i := range T {
+			span := b.Hi[i] - b.Lo[i]
+			if span <= 0 {
+				span = 1
+			}
+			n[i] = (T[i] - b.Lo[i]) / span
+		}
+		return n
+	}
+	var groups [][]*Solution
+	var centers [][]float64
+	for _, sol := range sols {
+		p := norm(sol.Params)
+		best, bestD := -1, math.Inf(1)
+		for gi, c := range centers {
+			d := 0.0
+			for i := range p {
+				d += (p[i] - c[i]) * (p[i] - c[i])
+			}
+			d = math.Sqrt(d)
+			if d < bestD {
+				best, bestD = gi, d
+			}
+		}
+		if best >= 0 && bestD <= radius {
+			groups[best] = append(groups[best], sol)
+			// Update centroid incrementally.
+			n := float64(len(groups[best]))
+			for i := range centers[best] {
+				centers[best][i] += (p[i] - centers[best][i]) / n
+			}
+			continue
+		}
+		groups = append(groups, []*Solution{sol})
+		centers = append(centers, p)
+	}
+	return groups
+}
+
+// screenGroup averages a group and applies the δ screen at the
+// dictionary impact. It returns the accepted collapsed test (possibly
+// covering only part of the group) and the rejected members.
+func (s *Session) screenGroup(ci int, g []*Solution, delta float64) (*CompactTest, []*Solution, error) {
+	if len(g) == 0 {
+		return nil, nil, nil
+	}
+	dim := len(g[0].Params)
+	avg := make([]float64, dim)
+	for _, sol := range g {
+		for i := range avg {
+			avg[i] += sol.Params[i] / float64(len(g))
+		}
+	}
+	var accepted []*Solution
+	var rejected []*Solution
+	for _, sol := range g {
+		fd := sol.Fault.WithImpact(sol.Fault.InitialImpact())
+		sc, err := s.Sensitivity(ci, fd, avg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: screen %s: %w", sol.Fault.ID(), err)
+		}
+		// Acceptance rule: S_f(T_c) ≤ S_f(T_opt) + δ(1 − S_f(T_opt)).
+		limit := sol.Sensitivity + delta*(1-sol.Sensitivity)
+		if sc <= limit {
+			accepted = append(accepted, sol)
+		} else {
+			rejected = append(rejected, sol)
+		}
+	}
+	if len(accepted) == 0 {
+		// Averaging failed for everyone; split the group apart.
+		if len(g) == 1 {
+			// A singleton uses its own optimal parameters and passes by
+			// construction (S_f(T_c) = S_f(T_opt)); reaching this branch
+			// means the sensitivity is irreproducible — keep it anyway.
+			sol := g[0]
+			return &CompactTest{
+				Test:    Test{ConfigIdx: ci, Params: append([]float64(nil), sol.Params...)},
+				Members: []string{sol.Fault.ID()},
+			}, nil, nil
+		}
+		return nil, g, nil
+	}
+	if len(rejected) > 0 && len(accepted) > 0 {
+		// Re-average over the accepted members only.
+		ct, moreRejected, err := s.screenGroup(ci, accepted, delta)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ct, append(rejected, moreRejected...), nil
+	}
+	ids := make([]string, len(accepted))
+	for i, sol := range accepted {
+		ids[i] = sol.Fault.ID()
+	}
+	sort.Strings(ids)
+	return &CompactTest{
+		Test:    Test{ConfigIdx: ci, Params: avg},
+		Members: ids,
+	}, rejected, nil
+}
+
+func sortCompact(ts []CompactTest) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].ConfigIdx != ts[j].ConfigIdx {
+			return ts[i].ConfigIdx < ts[j].ConfigIdx
+		}
+		return len(ts[i].Members) > len(ts[j].Members)
+	})
+}

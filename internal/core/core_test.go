@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+// dcSession returns a session over the two cheap DC configurations
+// (#1 dc-out, #2 supply-current) with seed-calibrated boxes, which keeps
+// unit tests fast while exercising the full algorithm.
+func dcSession(t *testing.T) *Session {
+	t.Helper()
+	cfgs := testcfg.IVConfigs()[:2]
+	cfg := DefaultConfig()
+	cfg.BoxMode = BoxSeed
+	cfg.Workers = 4
+	s, err := NewSession(macros.IVConverter(), cfgs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(macros.IVConverter(), nil, DefaultConfig()); err == nil {
+		t.Error("empty config list accepted")
+	}
+}
+
+func TestSensitivityWeakFaultNearOne(t *testing.T) {
+	s := dcSession(t)
+	// A 1 GΩ bridge is electrically invisible: S_f ≈ 1.
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 1e9)
+	sf, err := s.Sensitivity(0, f, []float64{20e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf < 0.9 || sf > 1.0001 {
+		t.Errorf("S_f(invisible fault) = %g, want ≈ 1", sf)
+	}
+}
+
+func TestSensitivityStrongFaultNegative(t *testing.T) {
+	s := dcSession(t)
+	// Shorting the feedback with 10 kΩ halves the transimpedance: a huge
+	// signature on the DC output.
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	sf, err := s.Sensitivity(0, f, []float64{20e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf >= 0 {
+		t.Errorf("S_f(feedback bridge) = %g, want < 0 (detected)", sf)
+	}
+}
+
+func TestSensitivityMonotoneInImpact(t *testing.T) {
+	s := dcSession(t)
+	T := []float64{20e-6}
+	prev := math.Inf(-1)
+	// Weakening the bridge (raising R) must not make it easier to detect.
+	for _, r := range []float64{5e3, 20e3, 100e3, 1e6, 1e9} {
+		f := fault.NewBridge(macros.NodeIin, macros.NodeVout, r)
+		sf, err := s.Sensitivity(0, f, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sf < prev-1e-9 {
+			t.Errorf("S_f not monotone: R=%g gives %g < previous %g", r, sf, prev)
+		}
+		prev = sf
+	}
+}
+
+func TestDetects(t *testing.T) {
+	s := dcSession(t)
+	strong := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	weak := fault.NewBridge(macros.NodeIin, macros.NodeVout, 1e9)
+	if d, err := s.Detects(0, strong, []float64{20e-6}); err != nil || !d {
+		t.Errorf("strong fault not detected (err=%v)", err)
+	}
+	if d, err := s.Detects(0, weak, []float64{20e-6}); err != nil || d {
+		t.Errorf("invisible fault detected (err=%v)", err)
+	}
+}
+
+func TestNominalCacheHits(t *testing.T) {
+	s := dcSession(t)
+	T := []float64{10e-6}
+	r1, err := s.Nominal(0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Nominal(0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1[0] != &r2[0] {
+		t.Error("second Nominal call did not hit the cache")
+	}
+	if len(s.nomCache) != 1 {
+		t.Errorf("cache size = %d, want 1", len(s.nomCache))
+	}
+}
+
+func TestTPS1D(t *testing.T) {
+	s := dcSession(t)
+	f := fault.NewBridge(macros.NodeVref, macros.NodeIin, 10e3)
+	g, err := s.TPS(0, f, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Axis1) != 9 || len(g.Axis2) != 0 || len(g.S) != 1 || len(g.S[0]) != 9 {
+		t.Fatalf("tps shape wrong: %d × %d", len(g.S), len(g.S[0]))
+	}
+	if g.FaultID != f.ID() || g.ConfigID != 1 {
+		t.Error("tps metadata wrong")
+	}
+	mp := g.MinParams()
+	if len(mp) != 1 || mp[0] < 0 || mp[0] > 100e-6 {
+		t.Errorf("MinParams = %v outside bounds", mp)
+	}
+}
+
+func TestTPSDetectableFraction(t *testing.T) {
+	s := dcSession(t)
+	// Supply short: detected practically everywhere on config #2.
+	f := fault.NewBridge("0", macros.NodeVdd, 10e3)
+	g, err := s.TPS(1, f, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := g.DetectableFraction(); frac < 0.9 {
+		t.Errorf("Vdd-gnd bridge detectable fraction = %g, want ≈ 1", frac)
+	}
+}
+
+func TestGenerateSingleFault(t *testing.T) {
+	s := dcSession(t)
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	sol, err := s.Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Undetectable {
+		t.Fatal("feedback bridge flagged undetectable")
+	}
+	if sol.Sensitivity >= 0 {
+		t.Errorf("winning test does not detect at dictionary impact: S=%g", sol.Sensitivity)
+	}
+	if len(sol.Candidates) != 2 {
+		t.Errorf("candidate count = %d, want one per config", len(sol.Candidates))
+	}
+	if sol.CriticalImpact <= 0 {
+		t.Errorf("critical impact = %g", sol.CriticalImpact)
+	}
+	if sol.Evals == 0 || sol.ImpactIters == 0 {
+		t.Error("bookkeeping counters empty")
+	}
+	box := s.configs[sol.ConfigIdx].Bounds()
+	if !box.Contains(sol.Params) {
+		t.Errorf("winning params %v outside bounds", sol.Params)
+	}
+}
+
+func TestGenerateVddBridgePrefersSupplyCurrent(t *testing.T) {
+	// A resistive short across the supply barely moves the DC output but
+	// adds 0.5 mA of supply current: configuration #2 must win.
+	s := dcSession(t)
+	f := fault.NewBridge("0", macros.NodeVdd, 10e3)
+	sol, err := s.Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.ConfigID(s); got != 2 {
+		t.Errorf("winning config = #%d, want #2 (supply current)", got)
+	}
+	// Only one configuration detects this fault at the dictionary impact,
+	// so the impact loop may terminate without relaxing.
+	if sol.CriticalImpact < f.InitialImpact() {
+		t.Errorf("critical impact %g below dictionary %g for an easy fault",
+			sol.CriticalImpact, f.InitialImpact())
+	}
+}
+
+func TestGenerateAllAndTabulate(t *testing.T) {
+	s := dcSession(t)
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge("0", macros.NodeVdd, 10e3),
+		fault.NewPinhole("M6", 2e3),
+	}
+	sols, err := s.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 3 {
+		t.Fatalf("solution count = %d", len(sols))
+	}
+	for i, sol := range sols {
+		if sol.Fault.ID() != faults[i].ID() {
+			t.Error("solution order does not match input order")
+		}
+	}
+	d := s.Tabulate(sols)
+	total := 0
+	for _, id := range d.ConfigIDs() {
+		for _, n := range d.Counts[id] {
+			total += n
+		}
+	}
+	for _, n := range d.Undetectable {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("tabulated faults = %d, want 3", total)
+	}
+}
+
+func TestCompactReducesTestCount(t *testing.T) {
+	s := dcSession(t)
+	// Several faults whose optimal DC tests cluster: compaction must
+	// produce fewer tests than faults while preserving coverage.
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge(macros.NodeVref, macros.NodeIin, 10e3),
+		fault.NewBridge(macros.NodeOut1, macros.NodeVmid, 10e3),
+		fault.NewBridge("0", macros.NodeVdd, 10e3),
+		fault.NewPinhole("M6", 2e3),
+	}
+	sols, err := s.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, err := s.Compact(sols, DefaultCompactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) == 0 {
+		t.Fatal("compaction produced no tests")
+	}
+	if len(cts) > len(sols) {
+		t.Errorf("compacted set (%d) larger than input (%d)", len(cts), len(sols))
+	}
+	// Every detectable fault appears in exactly one collapsed test.
+	seen := make(map[string]int)
+	for _, ct := range cts {
+		for _, id := range ct.Members {
+			seen[id]++
+		}
+	}
+	for _, sol := range sols {
+		if sol.Undetectable {
+			continue
+		}
+		if seen[sol.Fault.ID()] != 1 {
+			t.Errorf("fault %s appears %d times in the compacted set", sol.Fault.ID(), seen[sol.Fault.ID()])
+		}
+	}
+	// Coverage of the compacted set must still be full for these faults.
+	rep, err := s.Coverage(TestsOfCompact(cts), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Percent() < 100 {
+		t.Errorf("compacted coverage = %.1f %%, undetected: %v", rep.Percent(), rep.Undetected)
+	}
+}
+
+func TestCompactDeltaValidation(t *testing.T) {
+	s := dcSession(t)
+	if _, err := s.Compact(nil, CompactOptions{Delta: 1.5}); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+	if _, err := s.Compact(nil, CompactOptions{Delta: -0.1}); err == nil {
+		t.Error("negative delta accepted")
+	}
+}
+
+func TestCoverageReport(t *testing.T) {
+	s := dcSession(t)
+	tests := []Test{{ConfigIdx: 0, Params: []float64{20e-6}}}
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3), // detected
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 1e9),  // invisible
+	}
+	rep, err := s.Coverage(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 2 || rep.Detected != 1 {
+		t.Errorf("coverage = %d/%d, want 1/2", rep.Detected, rep.Total)
+	}
+	if math.Abs(rep.Percent()-50) > 1e-9 {
+		t.Errorf("percent = %g, want 50", rep.Percent())
+	}
+	if len(rep.Undetected) != 1 {
+		t.Errorf("undetected = %v", rep.Undetected)
+	}
+	if rep.Sims == 0 {
+		t.Error("simulation counter empty")
+	}
+}
+
+func TestTestsOfDedup(t *testing.T) {
+	f1 := fault.NewBridge("a", "b", 1e3)
+	f2 := fault.NewBridge("c", "d", 1e3)
+	sols := []*Solution{
+		{Fault: f1, ConfigIdx: 0, Params: []float64{1e-6}},
+		{Fault: f2, ConfigIdx: 0, Params: []float64{1e-6}},
+		{Fault: f2, ConfigIdx: 1, Params: []float64{1e-6}},
+		{Fault: f2, ConfigIdx: 1, Params: []float64{2e-6}, Undetectable: true},
+	}
+	ts := TestsOf(sols)
+	if len(ts) != 2 {
+		t.Errorf("deduplicated tests = %d, want 2", len(ts))
+	}
+}
+
+func TestDistributionConfigIDs(t *testing.T) {
+	d := Distribution{Counts: map[int]map[fault.Kind]int{3: {}, 1: {}, 2: {}}}
+	ids := d.ConfigIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("ConfigIDs = %v, want sorted", ids)
+	}
+}

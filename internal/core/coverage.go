@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// CoverageReport summarizes fault simulation of a test set against a
+// fault dictionary.
+type CoverageReport struct {
+	Total      int
+	Detected   int
+	Undetected []string // fault IDs missed by every test
+	// DetectedBy maps fault IDs to the index (into the evaluated test
+	// set) of the first test that detects them.
+	DetectedBy map[string]int
+	// Sims counts the simulations spent on the evaluation.
+	Sims int
+}
+
+// Percent returns the fault coverage in percent.
+func (r CoverageReport) Percent() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Detected) / float64(r.Total)
+}
+
+// Coverage fault-simulates the test set against the dictionary: a fault
+// counts as detected when at least one test's sensitivity at the fault's
+// dictionary impact is negative. Tests are tried in order, so placing
+// high-yield tests first minimizes simulation count. Faults are
+// evaluated concurrently up to the session's worker limit.
+func (s *Session) Coverage(tests []Test, faults []fault.Fault) (CoverageReport, error) {
+	rep := CoverageReport{Total: len(faults), DetectedBy: make(map[string]int)}
+	type result struct {
+		detectedBy int // -1: undetected
+		err        error
+	}
+	results := make([]result, len(faults))
+	var sims atomic.Int64
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for fi, f := range faults {
+		wg.Add(1)
+		go func(fi int, f fault.Fault) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fd := f.WithImpact(f.InitialImpact())
+			results[fi].detectedBy = -1
+			for ti, t := range tests {
+				sims.Add(1)
+				sf, err := s.Sensitivity(t.ConfigIdx, fd, t.Params)
+				if err != nil {
+					results[fi].err = fmt.Errorf("core: coverage of %s: %w", f.ID(), err)
+					return
+				}
+				if sf < 0 {
+					results[fi].detectedBy = ti
+					return
+				}
+			}
+		}(fi, f)
+	}
+	wg.Wait()
+	rep.Sims = int(sims.Load())
+	for fi, r := range results {
+		if r.err != nil {
+			return rep, r.err
+		}
+		if r.detectedBy >= 0 {
+			rep.Detected++
+			rep.DetectedBy[faults[fi].ID()] = r.detectedBy
+		} else {
+			rep.Undetected = append(rep.Undetected, faults[fi].ID())
+		}
+	}
+	sort.Strings(rep.Undetected)
+	return rep, nil
+}
+
+// TestsOf converts generation solutions (one test per fault) into a flat
+// test list, deduplicated per (config, params) within a small tolerance.
+func TestsOf(sols []*Solution) []Test {
+	var out []Test
+	for _, sol := range sols {
+		if sol.Undetectable {
+			continue
+		}
+		t := Test{ConfigIdx: sol.ConfigIdx, Params: append([]float64(nil), sol.Params...)}
+		dup := false
+		for _, u := range out {
+			if u.ConfigIdx == t.ConfigIdx && sameParams(u.Params, t.Params, 1e-12) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TestsOfCompact flattens a compacted set into runnable tests.
+func TestsOfCompact(cts []CompactTest) []Test {
+	out := make([]Test, len(cts))
+	for i, ct := range cts {
+		out[i] = Test{ConfigIdx: ct.ConfigIdx, Params: append([]float64(nil), ct.Params...)}
+	}
+	return out
+}
+
+func sameParams(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+)
+
+func diagSetup(t *testing.T) (*Session, []Test, []fault.Fault) {
+	t.Helper()
+	s := dcSession(t)
+	tests := []Test{
+		{ConfigIdx: 0, Params: []float64{20e-6}},
+		{ConfigIdx: 0, Params: []float64{60e-6}},
+		{ConfigIdx: 1, Params: []float64{20e-6}},
+		{ConfigIdx: 1, Params: []float64{80e-6}},
+	}
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge("0", macros.NodeVdd, 10e3),
+		fault.NewBridge(macros.NodeVref, macros.NodeIin, 10e3),
+		fault.NewPinhole("M6", 2e3),
+	}
+	return s, tests, faults
+}
+
+func TestSignaturesShape(t *testing.T) {
+	s, tests, faults := diagSetup(t)
+	baseline, sigs, err := s.Signatures(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != len(tests) {
+		t.Fatalf("baseline covers %d tests", len(baseline))
+	}
+	if len(sigs) != len(faults) {
+		t.Fatalf("signature count = %d", len(sigs))
+	}
+	for _, sig := range sigs {
+		if len(sig.Responses) != len(tests) {
+			t.Errorf("%s: %d responses", sig.FaultID, len(sig.Responses))
+		}
+	}
+}
+
+func TestDiagnoseRanksTrueFaultFirst(t *testing.T) {
+	s, tests, faults := diagSetup(t)
+	_, sigs, err := s.Signatures(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, truth := range faults {
+		obs, err := s.ObserveFault(tests, truth.WithImpact(truth.InitialImpact()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag, err := s.Diagnose(tests, sigs, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diag) != len(faults) {
+			t.Fatalf("diagnosis count = %d", len(diag))
+		}
+		if diag[0].FaultID != truth.ID() {
+			t.Errorf("true fault %s ranked behind %s (d=%g)", truth.ID(), diag[0].FaultID, diag[0].Distance)
+		}
+		if diag[0].Distance > 1e-6 {
+			t.Errorf("self-match distance = %g, want ~0", diag[0].Distance)
+		}
+	}
+}
+
+func TestDiagnoseRobustToImpactShift(t *testing.T) {
+	// A real defect rarely sits exactly at the dictionary impact: observe
+	// the fault at 2× weaker impact and expect the true candidate still
+	// in the top 2.
+	s, tests, faults := diagSetup(t)
+	_, sigs, err := s.Signatures(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := faults[0]
+	obs, err := s.ObserveFault(tests, fault.Weaken(truth, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := s.Diagnose(tests, sigs, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag[0].FaultID != truth.ID() && diag[1].FaultID != truth.ID() {
+		t.Errorf("off-impact fault fell to rank > 2: %v", diag[:2])
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	s, tests, faults := diagSetup(t)
+	_, sigs, err := s.Signatures(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Diagnose(tests, sigs, make([][]float64, 1)); err == nil {
+		t.Error("observation arity mismatch accepted")
+	}
+	bad := []Signature{{FaultID: "x", Responses: make([][]float64, 1)}}
+	if _, err := s.Diagnose(tests, bad, make([][]float64, len(tests))); err == nil {
+		t.Error("signature arity mismatch accepted")
+	}
+}
+
+func TestDiagnoseCatastrophicMatching(t *testing.T) {
+	s, tests, _ := diagSetup(t)
+	sigs := []Signature{
+		{FaultID: "cat", Responses: [][]float64{nil, nil, nil, nil}},
+		{FaultID: "mild", Responses: [][]float64{{1.5}, {0.5}, {2e-4}, {2e-4}}},
+	}
+	// Device dies on every test: the catastrophic candidate must win.
+	obs := [][]float64{nil, nil, nil, nil}
+	diag, err := s.Diagnose(tests, sigs, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag[0].FaultID != "cat" || diag[0].Distance != 0 {
+		t.Errorf("catastrophic match failed: %v", diag)
+	}
+}

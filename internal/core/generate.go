@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/opt"
+)
+
+// Candidate is the optimized test of one configuration for one fault:
+// the result of minimizing S_f over the configuration's parameter box
+// with the fault weakened into its soft-fault tps region.
+type Candidate struct {
+	ConfigIdx int
+	Params    []float64
+	// SoftS is the optimized sensitivity of the weakened fault model.
+	SoftS float64
+	// Evals counts objective evaluations (simulation pairs) spent.
+	Evals int
+}
+
+// Solution is the best test for one fault: the output of the paper's
+// Fig. 6 scheme.
+type Solution struct {
+	Fault     fault.Fault
+	ConfigIdx int
+	Params    []float64
+	// Sensitivity is S_f at the dictionary impact and the winning
+	// parameters.
+	Sensitivity float64
+	// CriticalImpact is the model resistance at which exactly one test
+	// still detected the fault during the selection loop.
+	CriticalImpact float64
+	// Undetectable is set when even the strongest allowed impact is
+	// detected by no test; Params then hold the most sensitive test.
+	Undetectable bool
+	// Candidates are the per-configuration optimized tests.
+	Candidates []Candidate
+	// Evals is the total number of objective evaluations spent.
+	Evals int
+	// ImpactIters counts iterations of the impact relax/intensify loop.
+	ImpactIters int
+	// Trace records the impact loop step by step (paper Fig. 6).
+	Trace []ImpactStep
+}
+
+// ImpactStep is one iteration of the impact relax/intensify loop.
+type ImpactStep struct {
+	Impact float64
+	// Sens holds S_f per candidate (configuration order).
+	Sens []float64
+	// Detects is the number of candidates with S_f < 0.
+	Detects int
+}
+
+// ConfigID resolves the paper numbering of the winning configuration.
+func (sol *Solution) ConfigID(s *Session) int { return s.configs[sol.ConfigIdx].ID }
+
+// Generate produces the optimal test for one fault:
+//
+//  1. For every test configuration, the fault is weakened by the
+//     SoftImpactFactor (into its soft-fault tps region) and the test
+//     parameters are optimized with Brent/Powell from the seed values.
+//  2. Starting from the dictionary impact, the fault impact is relaxed
+//     while more than one optimized test detects the model and
+//     intensified while none does, with damped factors after a reversal,
+//     until a unique most-sensitive test survives (the critical impact
+//     level).
+func (s *Session) Generate(f fault.Fault) (*Solution, error) {
+	cands, err := s.optimizeCandidates(f)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Fault: f, Candidates: cands}
+	for _, c := range cands {
+		sol.Evals += c.Evals
+	}
+
+	// Selection with impact manipulation. For bridges/pinholes weakening
+	// raises the model resistance; for inverted models (opens) the
+	// direction flips, which fault.Weaken/Strengthen encapsulate.
+	fi := f.WithImpact(f.InitialImpact())
+	factor := 2.0
+	lastDir := 0 // +1 weaken, -1 strengthen
+	winner := -1
+	sens := make([]float64, len(cands))
+	for iter := 0; iter < 60; iter++ {
+		sol.ImpactIters++
+		detects := 0
+		best := -1
+		for i, c := range cands {
+			sf, err := s.Sensitivity(c.ConfigIdx, fi, c.Params)
+			if err != nil {
+				return nil, fmt.Errorf("core: selection for %s: %w", f.ID(), err)
+			}
+			sens[i] = sf
+			if sf < 0 {
+				detects++
+			}
+			if best < 0 || sf < sens[best] {
+				best = i
+			}
+		}
+		sol.Trace = append(sol.Trace, ImpactStep{
+			Impact:  fi.Impact(),
+			Sens:    append([]float64(nil), sens...),
+			Detects: detects,
+		})
+		switch {
+		case detects == 1:
+			winner = best
+		case detects > 1:
+			if lastDir == -1 {
+				factor = math.Sqrt(factor)
+			}
+			lastDir = 1
+			fi = fault.Weaken(fi, factor)
+		default: // none detects
+			if lastDir == 1 {
+				factor = math.Sqrt(factor)
+			}
+			lastDir = -1
+			fi = fault.Strengthen(fi, factor)
+		}
+		if winner >= 0 {
+			break
+		}
+		impact := fi.Impact()
+		if factor < 1.001 || impact > s.cfg.MaxImpact || impact < s.cfg.MinImpact {
+			// Converged without a unique detector: take the most
+			// sensitive test.
+			winner = best
+			strongLimit := impact < s.cfg.MinImpact
+			if fault.Inverted(f) {
+				strongLimit = impact > s.cfg.MaxImpact
+			}
+			if strongLimit {
+				// Even maximal impact undetected anywhere.
+				allPositive := true
+				for _, v := range sens {
+					if v < 0 {
+						allPositive = false
+					}
+				}
+				sol.Undetectable = allPositive
+			}
+			break
+		}
+	}
+	if winner < 0 {
+		// Loop exhausted while still flip-flopping; fall back to the most
+		// sensitive candidate at the dictionary impact.
+		winner = 0
+		fd := f.WithImpact(f.InitialImpact())
+		bestS := math.Inf(1)
+		for i, c := range cands {
+			sf, err := s.Sensitivity(c.ConfigIdx, fd, c.Params)
+			if err != nil {
+				return nil, err
+			}
+			if sf < bestS {
+				bestS = sf
+				winner = i
+			}
+		}
+	}
+
+	sol.ConfigIdx = cands[winner].ConfigIdx
+	sol.Params = cands[winner].Params
+	sol.CriticalImpact = fi.Impact()
+	// Record the sensitivity at the dictionary impact for compaction.
+	fd := f.WithImpact(f.InitialImpact())
+	sf, err := s.Sensitivity(sol.ConfigIdx, fd, sol.Params)
+	if err != nil {
+		return nil, err
+	}
+	sol.Sensitivity = sf
+	return sol, nil
+}
+
+// optimizeCandidates runs the per-configuration optimizations of step 1
+// in parallel.
+func (s *Session) optimizeCandidates(f fault.Fault) ([]Candidate, error) {
+	soft := fault.Weaken(f.WithImpact(f.InitialImpact()), s.cfg.SoftImpactFactor)
+	cands := make([]Candidate, len(s.configs))
+	errs := make([]error, len(s.configs))
+	var wg sync.WaitGroup
+	for ci := range s.configs {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := s.configs[ci]
+			box := c.Bounds()
+			evals := 0
+			obj := func(T []float64) float64 {
+				evals++
+				sf, err := s.Sensitivity(ci, soft, T)
+				if err != nil {
+					// An unreachable parameter point: poison it so the
+					// optimizer retreats.
+					return 10
+				}
+				return sf
+			}
+			res := opt.Minimize(obj, box, c.Seeds(), s.cfg.OptTol)
+			cands[ci] = Candidate{ConfigIdx: ci, Params: res.X, SoftS: res.F, Evals: evals}
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cands, nil
+}
+
+// GenerateAll generates the best test for every fault in the dictionary
+// using the session's worker pool. Results keep the input order.
+func (s *Session) GenerateAll(faults []fault.Fault) ([]*Solution, error) {
+	sols := make([]*Solution, len(faults))
+	errs := make([]error, len(faults))
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for i, f := range faults {
+		wg.Add(1)
+		go func(i int, f fault.Fault) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sol, err := s.Generate(f)
+			sols[i], errs[i] = sol, err
+		}(i, f)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: fault %s: %w", faults[i].ID(), err)
+		}
+	}
+	return sols, nil
+}
+
+// Distribution tabulates how many faults of each kind selected each
+// configuration — the paper's Table 2.
+type Distribution struct {
+	// Counts[configID][kind] is the number of faults of that kind whose
+	// best test uses that configuration.
+	Counts map[int]map[fault.Kind]int
+	// Undetectable counts per kind.
+	Undetectable map[fault.Kind]int
+}
+
+// Tabulate builds the Table-2 distribution from generation results.
+func (s *Session) Tabulate(sols []*Solution) Distribution {
+	d := Distribution{
+		Counts:       make(map[int]map[fault.Kind]int),
+		Undetectable: make(map[fault.Kind]int),
+	}
+	for _, c := range s.configs {
+		d.Counts[c.ID] = make(map[fault.Kind]int)
+	}
+	for _, sol := range sols {
+		kind := sol.Fault.Kind()
+		if sol.Undetectable {
+			d.Undetectable[kind]++
+			continue
+		}
+		d.Counts[s.configs[sol.ConfigIdx].ID][kind]++
+	}
+	return d
+}
+
+// ConfigIDs returns the sorted configuration IDs present in a
+// distribution.
+func (d Distribution) ConfigIDs() []int {
+	ids := make([]int, 0, len(d.Counts))
+	for id := range d.Counts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

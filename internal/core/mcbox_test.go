@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+	"repro/internal/tolerance"
+)
+
+func mcSession(t *testing.T, seed int64) *Session {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.BoxMode = BoxMonteCarlo
+	cfg.MCSamples = 12
+	cfg.MCSeed = seed
+	s, err := NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMonteCarloBoxBuilds(t *testing.T) {
+	s := mcSession(t, 1)
+	hw := s.Box(0).Halfwidths([]float64{20e-6})
+	if len(hw) != 1 || hw[0] <= 0 {
+		t.Fatalf("MC box halfwidths = %v", hw)
+	}
+	// Must include at least the equipment accuracy floor.
+	if hw[0] < 1e-3 {
+		t.Errorf("MC box %g below the 1 mV accuracy floor", hw[0])
+	}
+}
+
+func TestMonteCarloBoxReproducible(t *testing.T) {
+	a := mcSession(t, 42).Box(0).Halfwidths([]float64{20e-6})
+	b := mcSession(t, 42).Box(0).Halfwidths([]float64{20e-6})
+	if a[0] != b[0] {
+		t.Errorf("same seed gave different boxes: %g vs %g", a[0], b[0])
+	}
+}
+
+func TestMonteCarloBoxComparableToCorners(t *testing.T) {
+	mc := mcSession(t, 7).Box(0).Halfwidths([]float64{20e-6})[0]
+	corner := dcSession(t).Box(0).Halfwidths([]float64{20e-6})[0]
+	// The MC spread is calibrated to the corner extremes at 3σ, so with a
+	// modest sample count it lands at the same order of magnitude but
+	// usually below the worst-case corners.
+	if mc > corner*1.5 || mc < corner/20 {
+		t.Errorf("MC box %g implausible against corner box %g", mc, corner)
+	}
+}
+
+func TestMonteCarloSensitivityStillWorks(t *testing.T) {
+	s := mcSession(t, 3)
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	sf, err := s.Sensitivity(0, f, []float64{20e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf >= 0 {
+		t.Errorf("feedback bridge undetected under MC boxes: S_f = %g", sf)
+	}
+}
+
+func TestMonteCarloDeviationDirect(t *testing.T) {
+	c := testcfg.IVConfigs()[0]
+	golden := macros.IVConverter()
+	seeds := c.Seeds()
+	dev, err := tolerance.MonteCarloDeviation(golden, tolerance.DefaultSpread(), 8, 99,
+		func(ck *circuit.Circuit) ([]float64, error) { return c.Run(ck, seeds) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] <= 0 {
+		t.Errorf("deviation = %v, want one positive entry", dev)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+func TestSessionAccessors(t *testing.T) {
+	s := dcSession(t)
+	if s.Golden() == nil || s.Golden().Name() != "iv-converter" {
+		t.Error("Golden accessor wrong")
+	}
+	if len(s.Configs()) != 2 {
+		t.Errorf("Configs = %d", len(s.Configs()))
+	}
+}
+
+func TestSessionDefaultsFilled(t *testing.T) {
+	// A zero-value config must be normalized rather than rejected.
+	s, err := NewSession(macros.IVConverter(), testcfg.IVConfigs()[:1], Config{BoxMode: BoxSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Workers <= 0 || s.cfg.OptTol <= 0 || s.cfg.SoftImpactFactor <= 1 {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+	if s.cfg.MinImpact <= 0 || s.cfg.MaxImpact <= s.cfg.MinImpact {
+		t.Errorf("impact caps not applied: %+v", s.cfg)
+	}
+}
+
+func TestPruneDirect(t *testing.T) {
+	s := dcSession(t)
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge("0", macros.NodeVdd, 10e3),
+	}
+	tests := []Test{
+		{ConfigIdx: 0, Params: []float64{20e-6}},
+		{ConfigIdx: 0, Params: []float64{25e-6}}, // redundant
+		{ConfigIdx: 1, Params: []float64{20e-6}},
+	}
+	pruned, err := s.Prune(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) == 0 || len(pruned) >= len(tests) {
+		t.Errorf("pruned = %d of %d", len(pruned), len(tests))
+	}
+	before, err := s.Coverage(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Coverage(pruned, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Detected != after.Detected {
+		t.Errorf("prune lost coverage: %d -> %d", before.Detected, after.Detected)
+	}
+}
+
+// TestGenerateUndetectableFault drives the strengthen-to-the-floor path:
+// a bridge between the reference source and ground is invisible to both
+// DC configurations at any impact, so the loop must bottom out and flag
+// it.
+func TestGenerateUndetectableFault(t *testing.T) {
+	s := dcSession(t)
+	f := fault.NewBridge("0", macros.NodeVref, 10e3)
+	sol, err := s.Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Undetectable {
+		t.Errorf("reference-loading bridge not flagged undetectable (S=%g, critical=%g)",
+			sol.Sensitivity, sol.CriticalImpact)
+	}
+	if sol.ImpactIters < 3 {
+		t.Errorf("impact loop gave up after %d iterations", sol.ImpactIters)
+	}
+}

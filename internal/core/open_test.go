@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestGenerateOpenFault exercises the inverted impact loop end to end: a
+// drain open's impact is weakened by LOWERING its series resistance, and
+// the selection must still converge to a unique detecting test.
+func TestGenerateOpenFault(t *testing.T) {
+	s := dcSession(t)
+	f := fault.NewDrainOpen("M10", 10e6)
+	sol, err := s.Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Undetectable {
+		t.Fatal("hard drain open flagged undetectable")
+	}
+	if sol.Sensitivity >= 0 {
+		t.Errorf("winning test does not detect the open: S_f = %g", sol.Sensitivity)
+	}
+	// The impact trace must stay positive and finite throughout.
+	for _, st := range sol.Trace {
+		if st.Impact <= 0 {
+			t.Errorf("impact loop produced non-positive resistance %g", st.Impact)
+		}
+	}
+	if sol.CriticalImpact <= 0 {
+		t.Errorf("critical impact = %g", sol.CriticalImpact)
+	}
+}
+
+// TestOpenCoverage: the DC configurations detect hard drain opens in the
+// signal path.
+func TestOpenCoverage(t *testing.T) {
+	s := dcSession(t)
+	opens := []fault.Fault{
+		fault.NewDrainOpen("M10", 10e6),
+		fault.NewDrainOpen("M5", 10e6),
+	}
+	tests := []Test{
+		{ConfigIdx: 0, Params: []float64{20e-6}},
+		{ConfigIdx: 1, Params: []float64{20e-6}},
+	}
+	rep, err := s.Coverage(tests, opens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected == 0 {
+		t.Errorf("no hard open detected: %+v", rep)
+	}
+}

@@ -1,0 +1,341 @@
+// Package core implements the paper's test-generation methodology on top
+// of the simulation substrate: the sensitivity cost function S_f over
+// tolerance boxes, tps-graphs, fault-specific test generation with
+// impact manipulation (Fig. 6), test-set compaction with the δ loss
+// budget (§4.1), and fault-coverage evaluation of a test set.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/testcfg"
+	"repro/internal/tolerance"
+)
+
+// DetectedSentinel is the sensitivity value reported when the faulty
+// circuit cannot be simulated at all (no convergence): such a
+// catastrophic defect trivially fails any test, so it counts as a strong
+// detection while keeping the cost function finite for the optimizer.
+const DetectedSentinel = -1e3
+
+// BoxMode selects how tolerance-box functions are built for a session.
+type BoxMode int
+
+const (
+	// BoxGrid samples process corners on a grid over each configuration's
+	// parameter space and interpolates (the full box-function build).
+	BoxGrid BoxMode = iota
+	// BoxSeed calibrates a constant box from corner runs at the seed
+	// parameters only. Much cheaper; used by tests and quick runs.
+	BoxSeed
+	// BoxMonteCarlo calibrates a constant box from random process samples
+	// at the seed parameters (tolerance.MonteCarloDeviation) instead of
+	// deterministic corners.
+	BoxMonteCarlo
+)
+
+// Config tunes a Session.
+type Config struct {
+	// BoxMode selects the box-function construction (default BoxGrid).
+	BoxMode BoxMode
+	// BoxGridN is the per-axis sample count for BoxGrid (default 5).
+	BoxGridN int
+	// Corners are the process corners for box construction.
+	Corners []tolerance.Corner
+	// Workers bounds the parallelism of generation (default: 8).
+	Workers int
+	// OptTol is the optimizer tolerance (default 1e-3).
+	OptTol float64
+	// SoftImpactFactor is the impact-weakening factor applied before
+	// per-configuration optimization so the fault model sits in its
+	// soft-fault tps region (§3.2; default 4).
+	SoftImpactFactor float64
+	// MinImpact is the strongest model resistance the impact loop may
+	// reach before declaring a fault undetectable (default 1 Ω).
+	MinImpact float64
+	// MaxImpact caps impact weakening (default 1e9 Ω).
+	MaxImpact float64
+	// MCSamples is the sample count for BoxMonteCarlo (default 32).
+	MCSamples int
+	// MCSeed seeds the BoxMonteCarlo RNG for reproducible boxes.
+	MCSeed int64
+}
+
+// DefaultConfig returns the settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		BoxMode:          BoxGrid,
+		BoxGridN:         5,
+		Corners:          tolerance.DefaultCorners(),
+		Workers:          8,
+		OptTol:           1e-3,
+		SoftImpactFactor: 4,
+		MinImpact:        1,
+		MaxImpact:        1e9,
+	}
+}
+
+// Session binds a golden macro netlist to its test configurations and
+// tolerance-box functions, and memoizes nominal responses. A Session is
+// safe for concurrent use.
+type Session struct {
+	golden  *circuit.Circuit
+	configs []*testcfg.Config
+	boxes   []tolerance.BoxFunc
+	cfg     Config
+
+	mu       sync.Mutex
+	nomCache map[string][]float64
+
+	nominalRuns atomic.Int64
+	cacheHits   atomic.Int64
+	faultyRuns  atomic.Int64
+	faultyFails atomic.Int64
+}
+
+// Stats summarizes the simulation effort a session has spent — the
+// paper's stated cost metric ("global optimization requires a much
+// larger amount of simulations which we consider unacceptable").
+type Stats struct {
+	// NominalRuns counts fault-free measurement simulations.
+	NominalRuns int64
+	// CacheHits counts nominal evaluations served from the memo.
+	CacheHits int64
+	// FaultyRuns counts faulty-circuit measurement simulations.
+	FaultyRuns int64
+	// FaultyFailures counts faulty runs that did not converge (reported
+	// as DetectedSentinel).
+	FaultyFailures int64
+}
+
+// Stats returns a snapshot of the session's simulation counters.
+func (s *Session) Stats() Stats {
+	return Stats{
+		NominalRuns:    s.nominalRuns.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		FaultyRuns:     s.faultyRuns.Load(),
+		FaultyFailures: s.faultyFails.Load(),
+	}
+}
+
+// NewSession builds the box functions (corner simulations) and returns a
+// ready session.
+func NewSession(golden *circuit.Circuit, configs []*testcfg.Config, cfg Config) (*Session, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("core: no test configurations")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.BoxGridN < 2 {
+		cfg.BoxGridN = 5
+	}
+	if cfg.OptTol <= 0 {
+		cfg.OptTol = 1e-3
+	}
+	if cfg.SoftImpactFactor <= 1 {
+		cfg.SoftImpactFactor = 4
+	}
+	if cfg.MinImpact <= 0 {
+		cfg.MinImpact = 1
+	}
+	if cfg.MaxImpact <= cfg.MinImpact {
+		cfg.MaxImpact = 1e9
+	}
+	if len(cfg.Corners) == 0 {
+		cfg.Corners = tolerance.DefaultCorners()
+	}
+	s := &Session{
+		golden:   golden,
+		configs:  configs,
+		cfg:      cfg,
+		nomCache: make(map[string][]float64),
+	}
+	boxes, err := s.buildBoxes()
+	if err != nil {
+		return nil, err
+	}
+	s.boxes = boxes
+	return s, nil
+}
+
+// Golden returns the fault-free macro.
+func (s *Session) Golden() *circuit.Circuit { return s.golden }
+
+// Configs returns the session's test configurations.
+func (s *Session) Configs() []*testcfg.Config { return s.configs }
+
+// Box returns the tolerance-box function for configuration index ci.
+func (s *Session) Box(ci int) tolerance.BoxFunc { return s.boxes[ci] }
+
+// cornerDeviation runs the fault-free circuit at every corner and
+// returns the max deviation per return value at parameters T.
+func (s *Session) cornerDeviation(c *testcfg.Config, T []float64) ([]float64, error) {
+	nom, err := c.Run(s.golden, T)
+	if err != nil {
+		return nil, err
+	}
+	var corners [][]float64
+	for _, k := range s.cfg.Corners {
+		ck := tolerance.Apply(s.golden, k)
+		r, err := c.Run(ck, T)
+		if err != nil {
+			return nil, fmt.Errorf("corner %s: %w", k.Name, err)
+		}
+		corners = append(corners, r)
+	}
+	return tolerance.MaxDeviation(nom, corners), nil
+}
+
+// buildBoxes constructs one box function per configuration, in parallel.
+func (s *Session) buildBoxes() ([]tolerance.BoxFunc, error) {
+	boxes := make([]tolerance.BoxFunc, len(s.configs))
+	errs := make([]error, len(s.configs))
+	var wg sync.WaitGroup
+	for i, c := range s.configs {
+		wg.Add(1)
+		go func(i int, c *testcfg.Config) {
+			defer wg.Done()
+			switch s.cfg.BoxMode {
+			case BoxSeed:
+				dev, err := s.cornerDeviation(c, c.Seeds())
+				if err != nil {
+					errs[i] = fmt.Errorf("core: box for config #%d: %w", c.ID, err)
+					return
+				}
+				acc := c.Accuracies()
+				hw := make(tolerance.ConstBox, len(dev))
+				for r := range dev {
+					hw[r] = dev[r] + acc[r]
+				}
+				boxes[i] = hw
+			case BoxMonteCarlo:
+				n := s.cfg.MCSamples
+				if n <= 0 {
+					n = 32
+				}
+				seeds := c.Seeds()
+				dev, err := tolerance.MonteCarloDeviation(s.golden, tolerance.DefaultSpread(), n,
+					s.cfg.MCSeed+int64(i), func(ck *circuit.Circuit) ([]float64, error) {
+						return c.Run(ck, seeds)
+					})
+				if err != nil {
+					errs[i] = fmt.Errorf("core: MC box for config #%d: %w", c.ID, err)
+					return
+				}
+				acc := c.Accuracies()
+				hw := make(tolerance.ConstBox, len(dev))
+				for r := range dev {
+					hw[r] = dev[r] + acc[r]
+				}
+				boxes[i] = hw
+			default: // BoxGrid
+				b := c.Bounds()
+				gb, err := tolerance.BuildGridBox(b.Lo, b.Hi, s.cfg.BoxGridN, c.Accuracies(),
+					func(T []float64) ([]float64, error) { return s.cornerDeviation(c, T) })
+				if err != nil {
+					errs[i] = fmt.Errorf("core: box for config #%d: %w", c.ID, err)
+					return
+				}
+				boxes[i] = gb
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return boxes, nil
+}
+
+// nomKey quantizes a parameter vector into a cache key.
+func nomKey(ci int, T []float64) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(ci))
+	for _, v := range T {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(v, 'e', 12, 64))
+	}
+	return b.String()
+}
+
+// Nominal returns the fault-free return values of configuration ci at
+// parameters T, memoized.
+func (s *Session) Nominal(ci int, T []float64) ([]float64, error) {
+	key := nomKey(ci, T)
+	s.mu.Lock()
+	if r, ok := s.nomCache[key]; ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		return r, nil
+	}
+	s.mu.Unlock()
+	s.nominalRuns.Add(1)
+	r, err := s.configs[ci].Run(s.golden, T)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nomCache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Sensitivity evaluates the paper's cost function for fault f under
+// configuration ci at parameters T:
+//
+//	S_f(T) = min_i ( 1 − |r_f,i(T) − r_nom,i(T)| / r_box,i(T) )
+//
+// S_f = 1 means the faulty response coincides with the nominal one
+// (insensitive); S_f < 0 means guaranteed detection. When the faulty
+// circuit cannot be simulated, DetectedSentinel is returned (see its
+// doc).
+func (s *Session) Sensitivity(ci int, f fault.Fault, T []float64) (float64, error) {
+	nom, err := s.Nominal(ci, T)
+	if err != nil {
+		return 0, fmt.Errorf("core: nominal for config #%d at %v: %w", s.configs[ci].ID, T, err)
+	}
+	faulty, err := f.Insert(s.golden)
+	if err != nil {
+		return 0, err
+	}
+	s.faultyRuns.Add(1)
+	rf, err := s.configs[ci].Run(faulty, T)
+	if err != nil {
+		// Catastrophically broken circuit: counts as detected.
+		s.faultyFails.Add(1)
+		return DetectedSentinel, nil
+	}
+	box := s.boxes[ci].Halfwidths(T)
+	sf := math.Inf(1)
+	for i := range nom {
+		hw := box[i]
+		if hw <= 0 {
+			hw = 1e-12
+		}
+		v := 1 - math.Abs(rf[i]-nom[i])/hw
+		if v < sf {
+			sf = v
+		}
+	}
+	return sf, nil
+}
+
+// Detects reports whether configuration ci at parameters T detects fault
+// f (S_f < 0).
+func (s *Session) Detects(ci int, f fault.Fault, T []float64) (bool, error) {
+	sf, err := s.Sensitivity(ci, f, T)
+	if err != nil {
+		return false, err
+	}
+	return sf < 0, nil
+}

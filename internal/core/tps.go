@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// TPSGraph is a test-parameter sensitivity graph (paper §3.1, Figs. 2-4):
+// the sensitivity S_f of one fault under one test configuration sampled
+// over the allowed parameter space. For 2-parameter configurations the
+// graph is a grid; for 1-parameter configurations Axis2 is empty and S
+// has a single row.
+type TPSGraph struct {
+	ConfigID int
+	FaultID  string
+	Impact   float64
+	// Axis1 spans the first test parameter, Axis2 the second (empty for
+	// one-parameter configurations).
+	Axis1, Axis2 []float64
+	// S[j][i] is the sensitivity at (Axis1[i], Axis2[j]); for
+	// one-parameter configurations S[0][i] at Axis1[i].
+	S [][]float64
+	// Names of the axes (parameter names).
+	Name1, Name2 string
+}
+
+// MinCell returns the grid minimum: the most sensitive sampled parameter
+// combination.
+func (g *TPSGraph) MinCell() (i, j int, s float64) {
+	s = g.S[0][0]
+	for jj := range g.S {
+		for ii, v := range g.S[jj] {
+			if v < s {
+				s = v
+				i, j = ii, jj
+			}
+		}
+	}
+	return i, j, s
+}
+
+// MinParams returns the parameter vector at the grid minimum.
+func (g *TPSGraph) MinParams() []float64 {
+	i, j, _ := g.MinCell()
+	if len(g.Axis2) == 0 {
+		return []float64{g.Axis1[i]}
+	}
+	return []float64{g.Axis1[i], g.Axis2[j]}
+}
+
+// DetectableFraction returns the fraction of sampled cells with S_f < 0.
+func (g *TPSGraph) DetectableFraction() float64 {
+	total, neg := 0, 0
+	for _, row := range g.S {
+		for _, v := range row {
+			total++
+			if v < 0 {
+				neg++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(neg) / float64(total)
+}
+
+// TPS computes the tps-graph of fault f (at its CURRENT impact) under
+// configuration index ci on an n1 × n2 uniform grid (n2 ignored for
+// one-parameter configurations).
+func (s *Session) TPS(ci int, f fault.Fault, n1, n2 int) (*TPSGraph, error) {
+	c := s.configs[ci]
+	if n1 < 2 {
+		n1 = 2
+	}
+	b := c.Bounds()
+	g := &TPSGraph{
+		ConfigID: c.ID,
+		FaultID:  f.ID(),
+		Impact:   f.Impact(),
+		Name1:    c.Params[0].Name,
+	}
+	g.Axis1 = sim.LinSpace(b.Lo[0], b.Hi[0], n1)
+	rows := 1
+	if b.Dim() == 2 {
+		if n2 < 2 {
+			n2 = 2
+		}
+		g.Name2 = c.Params[1].Name
+		g.Axis2 = sim.LinSpace(b.Lo[1], b.Hi[1], n2)
+		rows = n2
+	}
+	g.S = make([][]float64, rows)
+	for j := 0; j < rows; j++ {
+		g.S[j] = make([]float64, n1)
+		for i := 0; i < n1; i++ {
+			T := []float64{g.Axis1[i]}
+			if b.Dim() == 2 {
+				T = append(T, g.Axis2[j])
+			}
+			sf, err := s.Sensitivity(ci, f, T)
+			if err != nil {
+				return nil, fmt.Errorf("core: tps at %v: %w", T, err)
+			}
+			g.S[j][i] = sf
+		}
+	}
+	return g, nil
+}

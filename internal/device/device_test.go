@@ -1,0 +1,444 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mna"
+	"repro/internal/wave"
+)
+
+// resolve wires a device's terminals to the given indices directly,
+// bypassing the circuit compiler for unit tests.
+func resolve(d Device, idx ...int) {
+	d.Resolve(idx)
+}
+
+func opCtx() *Context { return &Context{Mode: OP, SrcScale: 1} }
+func trCtx(t, dt float64, in Integration) *Context {
+	return &Context{Mode: Transient, Time: t, Dt: dt, SrcScale: 1, Integ: in}
+}
+
+func TestResistorStamp(t *testing.T) {
+	r := NewResistor("R1", "a", "b", 2e3)
+	resolve(r, 0, 1)
+	s := mna.NewSystem(2)
+	r.Stamp(s, nil, opCtx())
+	g := 1 / 2e3
+	if s.At(0, 0) != g || s.At(1, 1) != g || s.At(0, 1) != -g || s.At(1, 0) != -g {
+		t.Error("resistor stamp pattern wrong")
+	}
+}
+
+func TestResistorCurrent(t *testing.T) {
+	r := NewResistor("R1", "a", "b", 1e3)
+	resolve(r, 0, 1)
+	x := []float64{5, 3}
+	if got := r.Current(x); math.Abs(got-2e-3) > 1e-15 {
+		t.Errorf("Current = %g, want 2mA", got)
+	}
+}
+
+func TestResistorPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for R <= 0")
+		}
+	}()
+	NewResistor("R1", "a", "b", 0)
+}
+
+func TestResistorScaleAndClone(t *testing.T) {
+	r := NewResistor("R1", "a", "b", 1e3)
+	c := r.Clone().(*Resistor)
+	c.ScaleValue(1.05)
+	if r.R != 1e3 {
+		t.Error("scaling a clone mutated the original")
+	}
+	if math.Abs(c.R-1050) > 1e-9 {
+		t.Errorf("clone R = %g, want 1050", c.R)
+	}
+	if c.Terminals() != nil {
+		t.Error("clone should drop resolved terminals")
+	}
+}
+
+func TestCapacitorOPIsOpen(t *testing.T) {
+	c := NewCapacitor("C1", "a", "b", 1e-12)
+	resolve(c, 0, 1)
+	s := mna.NewSystem(2)
+	// Capacitor implements Dynamic, not Stamper: it contributes nothing
+	// to the static system.
+	if _, ok := interface{}(c).(Stamper); ok {
+		t.Fatal("capacitor should not be a static Stamper")
+	}
+	_ = s
+}
+
+func TestCapacitorBackwardEulerCompanion(t *testing.T) {
+	c := NewCapacitor("C1", "a", "", 1e-9)
+	resolve(c, 0, -1)
+	state := make([]float64, c.NumStates())
+	// DC solution: 2 V across the cap, zero current.
+	c.InitState([]float64{2}, state)
+	if state[0] != 2 || state[1] != 0 {
+		t.Fatalf("init state = %v", state)
+	}
+	s := mna.NewSystem(1)
+	dt := 1e-9
+	ctx := trCtx(dt, dt, BackwardEuler)
+	c.StampDynamic(s, nil, state, ctx)
+	geq := 1e-9 / dt
+	if math.Abs(s.At(0, 0)-geq) > 1e-12 {
+		t.Errorf("geq = %g, want %g", s.At(0, 0), geq)
+	}
+	if math.Abs(s.RHS(0)-geq*2) > 1e-12 {
+		t.Errorf("ieq = %g, want %g", s.RHS(0), geq*2)
+	}
+	// If the node stays at 2 V the committed current must be ~0.
+	c.Commit([]float64{2}, state, ctx)
+	if math.Abs(state[1]) > 1e-15 {
+		t.Errorf("current after constant voltage = %g, want 0", state[1])
+	}
+}
+
+func TestCapacitorTrapezoidalRCDecay(t *testing.T) {
+	// Hand-rolled RC discharge using the companion model only:
+	// node with R=1k to ground, C=1µF charged to 1 V. tau = 1 ms.
+	r := NewResistor("R", "n", "", 1e3)
+	c := NewCapacitor("C", "n", "", 1e-6)
+	resolve(r, 0, -1)
+	resolve(c, 0, -1)
+	state := make([]float64, c.NumStates())
+	c.InitState([]float64{1}, state)
+	// The DC init above gives i=0, but at t=0+ the discharge current is
+	// -1mA; trapezoidal handles that via its first BE step in the real
+	// engine. Here we set the consistent initial current directly.
+	state[1] = -1e-3
+	dt := 10e-6
+	v := 1.0
+	sys := mna.NewSystem(1)
+	for step := 0; step < 100; step++ {
+		ctx := trCtx(float64(step+1)*dt, dt, Trapezoidal)
+		sys.Clear()
+		r.Stamp(sys, nil, ctx)
+		c.StampDynamic(sys, nil, state, ctx)
+		x, err := sys.FactorSolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = x[0]
+		c.Commit(x, state, ctx)
+	}
+	want := math.Exp(-1) // after 1 tau
+	if math.Abs(v-want) > 2e-4 {
+		t.Errorf("v(tau) = %g, want %g (trapezoidal accuracy)", v, want)
+	}
+}
+
+func TestInductorOPIsShort(t *testing.T) {
+	// V source -> R -> L -> ground; OP current = V/R.
+	vs := NewDCVSource("V1", "in", "", 5)
+	r := NewResistor("R1", "in", "mid", 1e3)
+	l := NewInductor("L1", "mid", "", 1e-3)
+	resolve(vs, 0, -1)
+	resolve(r, 0, 1)
+	resolve(l, 1, -1)
+	vs.SetBranchBase(2)
+	l.SetBranchBase(3)
+	s := mna.NewSystem(4)
+	ctx := opCtx()
+	vs.Stamp(s, nil, ctx)
+	r.Stamp(s, nil, ctx)
+	l.Stamp(s, nil, ctx)
+	x, err := s.FactorSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[1]) > 1e-12 {
+		t.Errorf("mid node = %g, want 0 (inductor shorts to ground)", x[1])
+	}
+	if math.Abs(x[3]-5e-3) > 1e-12 {
+		t.Errorf("inductor current = %g, want 5mA", x[3])
+	}
+}
+
+func TestVSourceTransientFollowsWaveform(t *testing.T) {
+	w := wave.Sine{Offset: 1, Amplitude: 1, Freq: 1e3}
+	vs := NewVSource("V1", "n", "", w)
+	resolve(vs, 0, -1)
+	vs.SetBranchBase(1)
+	s := mna.NewSystem(2)
+	ctx := trCtx(0.25e-3, 1e-6, Trapezoidal) // quarter period: peak
+	vs.Stamp(s, nil, ctx)
+	if math.Abs(s.RHS(1)-2) > 1e-9 {
+		t.Errorf("stamped V = %g, want 2 at sine peak", s.RHS(1))
+	}
+}
+
+func TestSourceScaling(t *testing.T) {
+	is := NewDCISource("I1", "n", "", 10e-6)
+	resolve(is, 0, -1)
+	s := mna.NewSystem(1)
+	ctx := opCtx()
+	ctx.SrcScale = 0.5
+	is.Stamp(s, nil, ctx)
+	if math.Abs(s.RHS(0)-5e-6) > 1e-18 {
+		t.Errorf("scaled injection = %g, want 5µA", s.RHS(0))
+	}
+}
+
+func TestISourceInjectsIntoPlus(t *testing.T) {
+	// 1 µA into a 1 MΩ to ground: V = 1.
+	is := NewDCISource("I1", "n", "", 1e-6)
+	r := NewResistor("R1", "n", "", 1e6)
+	resolve(is, 0, -1)
+	resolve(r, 0, -1)
+	s := mna.NewSystem(1)
+	is.Stamp(s, nil, opCtx())
+	r.Stamp(s, nil, opCtx())
+	x, err := s.FactorSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 {
+		t.Errorf("V = %g, want +1 (current into plus)", x[0])
+	}
+}
+
+func TestVCVSGain(t *testing.T) {
+	// E = 10 × control; control node held at 0.3 V.
+	vc := NewDCVSource("Vc", "c", "", 0.3)
+	e := NewVCVS("E1", "out", "", "c", "", 10)
+	rl := NewResistor("RL", "out", "", 1e3)
+	resolve(vc, 0, -1)
+	resolve(e, 1, -1, 0, -1)
+	resolve(rl, 1, -1)
+	vc.SetBranchBase(2)
+	e.SetBranchBase(3)
+	s := mna.NewSystem(4)
+	for _, d := range []Stamper{vc, e, rl} {
+		d.Stamp(s, nil, opCtx())
+	}
+	x, err := s.FactorSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("out = %g, want 3", x[1])
+	}
+}
+
+func TestDiodeForwardDrop(t *testing.T) {
+	// 5 V source through 1 kΩ into diode: solve by fixed-point Newton here.
+	d := NewDiode("D1", "a", "", nil)
+	resolve(d, 0, -1)
+	// Newton on the scalar node equation using the device's own stamps.
+	x := []float64{0.6}
+	var v float64
+	for it := 0; it < 50; it++ {
+		s := mna.NewSystem(1)
+		d.Stamp(s, x, opCtx())
+		// Thevenin drive: (5 - v)/1k into the node.
+		s.Add(0, 0, 1e-3)
+		s.AddRHS(0, 5e-3)
+		xs, err := s.FactorSolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = xs[0]
+		// Damp like the engine does.
+		if dv := v - x[0]; math.Abs(dv) > 0.1 {
+			v = x[0] + math.Copysign(0.1, dv)
+		}
+		x[0] = v
+	}
+	if v < 0.55 || v > 0.75 {
+		t.Errorf("diode drop = %g, want ~0.6-0.7", v)
+	}
+	// KCL closure: diode current equals resistor current.
+	id := d.Current(x)
+	ir := (5 - v) / 1e3
+	if math.Abs(id-ir) > 1e-7 {
+		t.Errorf("KCL mismatch: id=%g ir=%g", id, ir)
+	}
+}
+
+func TestDiodeExponentLimitingIsFinite(t *testing.T) {
+	d := NewDiode("D1", "a", "", nil)
+	resolve(d, 0, -1)
+	id, gd := d.current(5) // would overflow a naive exp(5/0.0259)
+	if math.IsInf(id, 0) || math.IsNaN(id) || math.IsInf(gd, 0) {
+		t.Error("limited diode current overflowed")
+	}
+	if id <= 0 || gd <= 0 {
+		t.Error("limited diode current must stay positive and monotone")
+	}
+}
+
+func TestMOSFETCutoff(t *testing.T) {
+	m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 10e-6, 1e-6)
+	resolve(m, 0, 1, 2)
+	x := []float64{5, 0.3, 0} // vgs=0.3 < vt=0.7
+	if got := m.DrainCurrent(x); got != 0 {
+		t.Errorf("cutoff current = %g, want 0", got)
+	}
+	if m.Region(x) != "off" {
+		t.Errorf("region = %s, want off", m.Region(x))
+	}
+}
+
+func TestMOSFETSaturationCurrent(t *testing.T) {
+	mod := DefaultNMOSModel()
+	mod.Lambda = 0
+	m := NewMOSFET("M1", "d", "g", "s", mod, 50e-6, 1e-6)
+	resolve(m, 0, 1, 2)
+	x := []float64{5, 1.7, 0} // vov = 1.0, deep saturation
+	want := 0.5 * mod.KP * 50 * 1 * 1
+	if got := m.DrainCurrent(x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Id = %g, want %g", got, want)
+	}
+	if m.Region(x) != "sat" {
+		t.Errorf("region = %s, want sat", m.Region(x))
+	}
+}
+
+func TestMOSFETTriodeRegion(t *testing.T) {
+	mod := DefaultNMOSModel()
+	mod.Lambda = 0
+	m := NewMOSFET("M1", "d", "g", "s", mod, 10e-6, 1e-6)
+	resolve(m, 0, 1, 2)
+	x := []float64{0.1, 1.7, 0} // vds=0.1 < vov=1.0
+	beta := mod.KP * 10
+	want := beta * (1.0*0.1 - 0.5*0.01)
+	if got := m.DrainCurrent(x); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Id = %g, want %g", got, want)
+	}
+	if m.Region(x) != "triode" {
+		t.Errorf("region = %s, want triode", m.Region(x))
+	}
+}
+
+func TestMOSFETSymmetry(t *testing.T) {
+	// Swapping drain and source voltages flips the current direction.
+	m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 10e-6, 1e-6)
+	resolve(m, 0, 1, 2)
+	fwd := m.DrainCurrent([]float64{2, 3, 0})
+	rev := m.DrainCurrent([]float64{0, 3, 2})
+	if math.Abs(fwd+rev) > 1e-12 {
+		t.Errorf("fwd=%g rev=%g, want mirror symmetry", fwd, rev)
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	nm := DefaultNMOSModel()
+	pm := &MOSModel{Type: PMOS, VT0: -nm.VT0, KP: nm.KP, Lambda: nm.Lambda}
+	n := NewMOSFET("MN", "d", "g", "s", nm, 10e-6, 1e-6)
+	p := NewMOSFET("MP", "d", "g", "s", pm, 10e-6, 1e-6)
+	resolve(n, 0, 1, 2)
+	resolve(p, 0, 1, 2)
+	xn := []float64{2, 1.5, 0}
+	xp := []float64{-2, -1.5, 0}
+	in := n.DrainCurrent(xn)
+	ip := p.DrainCurrent(xp)
+	if math.Abs(in+ip) > 1e-12 {
+		t.Errorf("NMOS id=%g, PMOS id=%g, want opposite", in, ip)
+	}
+}
+
+// TestMOSFETStampConsistency checks that the linearized stamp reproduces
+// the device current at the linearization point: A·x0 - b must equal the
+// exact KCL contribution.
+func TestMOSFETStampConsistency(t *testing.T) {
+	f := func(vd, vg, vs float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(math.Abs(v), 5) }
+		vd, vg, vs = clamp(vd), clamp(vg), clamp(vs)
+		m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 20e-6, 1e-6)
+		resolve(m, 0, 1, 2)
+		x := []float64{vd, vg, vs}
+		s := mna.NewSystem(3)
+		m.Stamp(s, x, opCtx())
+		// Row 0 (drain): sum_j A[0][j]·x[j] − b[0] should equal the current
+		// leaving the drain node, i.e. +Id.
+		lhs := 0.0
+		for j := 0; j < 3; j++ {
+			lhs += s.At(0, j) * x[j]
+		}
+		lhs -= s.RHS(0)
+		id := m.DrainCurrent(x)
+		return math.Abs(lhs-id) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPMOSStampConsistency is the PMOS analogue of the above.
+func TestPMOSStampConsistency(t *testing.T) {
+	f := func(vd, vg, vs float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(math.Abs(v), 5) }
+		vd, vg, vs = clamp(vd), clamp(vg), clamp(vs)
+		m := NewMOSFET("M1", "d", "g", "s", DefaultPMOSModel(), 20e-6, 1e-6)
+		resolve(m, 0, 1, 2)
+		x := []float64{vd, vg, vs}
+		s := mna.NewSystem(3)
+		m.Stamp(s, x, opCtx())
+		lhs := 0.0
+		for j := 0; j < 3; j++ {
+			lhs += s.At(0, j) * x[j]
+		}
+		lhs -= s.RHS(0)
+		id := m.DrainCurrent(x)
+		return math.Abs(lhs-id) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMOSFETGmMatchesFiniteDifference validates the analytic gm against a
+// numerical derivative in both triode and saturation.
+func TestMOSFETGmMatchesFiniteDifference(t *testing.T) {
+	m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 20e-6, 1e-6)
+	resolve(m, 0, 1, 2)
+	for _, vds := range []float64{0.2, 3.0} {
+		vg := 1.5
+		h := 1e-6
+		i1 := m.DrainCurrent([]float64{vds, vg + h, 0})
+		i0 := m.DrainCurrent([]float64{vds, vg - h, 0})
+		num := (i1 - i0) / (2 * h)
+		_, gm, _, _, _, _ := m.operating([]float64{vds, vg, 0})
+		if math.Abs(num-gm) > 1e-6*math.Max(1, math.Abs(gm)) {
+			t.Errorf("vds=%g: gm=%g, finite-diff=%g", vds, gm, num)
+		}
+	}
+}
+
+func TestMOSFETCloneIndependence(t *testing.T) {
+	m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 20e-6, 1e-6)
+	c := m.Clone().(*MOSFET)
+	c.Model.KP *= 1.1
+	if m.Model.KP != 120e-6 {
+		t.Error("clone shares model storage with original")
+	}
+}
+
+func TestRenameTerminal(t *testing.T) {
+	m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 20e-6, 1e-6)
+	RenameTerminal(m, 2, "split")
+	if m.TerminalNames()[2] != "split" {
+		t.Errorf("terminal = %s, want split", m.TerminalNames()[2])
+	}
+}
+
+func TestSaturationMarginSigns(t *testing.T) {
+	m := NewMOSFET("M1", "d", "g", "s", DefaultNMOSModel(), 20e-6, 1e-6)
+	resolve(m, 0, 1, 2)
+	if sm := m.SaturationMargin([]float64{3, 1.5, 0}); sm <= 0 {
+		t.Errorf("saturation margin = %g, want > 0 in sat", sm)
+	}
+	if sm := m.SaturationMargin([]float64{0.2, 1.5, 0}); sm >= 0 {
+		t.Errorf("saturation margin = %g, want < 0 in triode", sm)
+	}
+}

@@ -1,0 +1,88 @@
+package device
+
+import (
+	"math"
+
+	"repro/internal/mna"
+)
+
+// DiodeModel holds the parameters of the exponential junction diode.
+type DiodeModel struct {
+	IS float64 // saturation current (A)
+	N  float64 // emission coefficient
+	VT float64 // thermal voltage (V)
+}
+
+// DefaultDiodeModel returns a generic silicon junction model at 300 K.
+func DefaultDiodeModel() *DiodeModel {
+	return &DiodeModel{IS: 1e-14, N: 1, VT: 0.02585}
+}
+
+// Diode is a two-terminal exponential junction (anode, cathode).
+type Diode struct {
+	base
+	Model *DiodeModel
+}
+
+// NewDiode returns a diode from anode a to cathode k. A nil model gets
+// the default silicon parameters.
+func NewDiode(name, a, k string, m *DiodeModel) *Diode {
+	if m == nil {
+		m = DefaultDiodeModel()
+	}
+	return &Diode{base: newBase(name, a, k), Model: m}
+}
+
+// Clone implements Device. The model is copied so corner scaling of a
+// clone never mutates the original.
+func (d *Diode) Clone() Device {
+	m := *d.Model
+	return &Diode{base: d.cloneBase(), Model: &m}
+}
+
+// current returns (id, gd) at junction voltage v with exponent limiting
+// to keep Newton iterations finite.
+func (d *Diode) current(v float64) (id, gd float64) {
+	nvt := d.Model.N * d.Model.VT
+	// Limit the exponent: above vmax the exponential is continued
+	// linearly, which preserves C1 continuity and prevents overflow.
+	vmax := nvt * 40
+	if v > vmax {
+		e := math.Exp(40)
+		id = d.Model.IS * (e*(1+(v-vmax)/nvt) - 1)
+		gd = d.Model.IS * e / nvt
+		return id, gd
+	}
+	e := math.Exp(v / nvt)
+	id = d.Model.IS * (e - 1)
+	gd = d.Model.IS * e / nvt
+	return id, gd
+}
+
+// Stamp implements Stamper with the linearized Norton companion:
+// i ≈ id0 + gd·(v − v0), stamped as conductance gd plus the residual
+// current id0 − gd·v0 from anode to cathode.
+func (d *Diode) Stamp(s *mna.System, x []float64, ctx *Context) {
+	a, k := d.idx[0], d.idx[1]
+	v := volt(x, a) - volt(x, k)
+	id, gd := d.current(v)
+	geq := gd + ctx.Gmin
+	ieq := id - gd*v
+	s.StampConductance(a, k, geq)
+	s.StampCurrent(a, k, ieq)
+}
+
+// StampAC implements ACStamper with the small-signal conductance at the
+// operating point.
+func (d *Diode) StampAC(s *mna.ComplexSystem, xop []float64, _ float64) {
+	v := volt(xop, d.idx[0]) - volt(xop, d.idx[1])
+	_, gd := d.current(v)
+	s.StampAdmittance(d.idx[0], d.idx[1], complex(gd, 0))
+}
+
+// Current returns the diode current at the given solution.
+func (d *Diode) Current(x []float64) float64 {
+	v := volt(x, d.idx[0]) - volt(x, d.idx[1])
+	id, _ := d.current(v)
+	return id
+}

@@ -1,0 +1,79 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHannWindowShape(t *testing.T) {
+	w := HannWindow(101)
+	if w[0] > 1e-12 || w[100] > 1e-12 {
+		t.Error("Hann endpoints must be ~0")
+	}
+	if math.Abs(w[50]-1) > 1e-12 {
+		t.Error("Hann midpoint must be 1")
+	}
+	if HannWindow(1)[0] != 1 {
+		t.Error("degenerate window must be identity")
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	out, err := ApplyWindow([]float64{1, 2, 3}, []float64{0, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 2 || out[2] != 1.5 {
+		t.Errorf("windowed = %v", out)
+	}
+	if _, err := ApplyWindow([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWindowedAmplitudeCoherent(t *testing.T) {
+	// On-bin tone: the estimate should be exact up to the calibration.
+	s := synth(1024, 16, map[int]float64{1: 0.8}, map[int]float64{1: 0.4})
+	a, err := WindowedAmplitude(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.8) > 0.01 {
+		t.Errorf("on-bin amplitude = %g, want 0.8", a)
+	}
+}
+
+func TestWindowedAmplitudeNonCoherent(t *testing.T) {
+	// A tone exactly between two bins: plain Goertzel smears badly, the
+	// windowed estimate stays within a few percent.
+	n := 1024
+	f := 16.5
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 0.8 * math.Sin(2*math.Pi*f*float64(i)/float64(n))
+	}
+	plain := Amplitude(s, 16)
+	windowed, err := WindowedAmplitude(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(windowed-0.8) > 0.05 {
+		t.Errorf("windowed amplitude = %g, want 0.8±0.05", windowed)
+	}
+	if math.Abs(plain-0.8) < math.Abs(windowed-0.8) {
+		t.Errorf("window did not help: plain err %g < windowed err %g",
+			math.Abs(plain-0.8), math.Abs(windowed-0.8))
+	}
+}
+
+func TestWindowedAmplitudeErrors(t *testing.T) {
+	if _, err := WindowedAmplitude(make([]float64, 4), 1); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := WindowedAmplitude(make([]float64, 64), 0.5); err == nil {
+		t.Error("sub-bin frequency accepted")
+	}
+	if _, err := WindowedAmplitude(make([]float64, 64), 31.5); err == nil {
+		t.Error("near-Nyquist frequency accepted")
+	}
+}

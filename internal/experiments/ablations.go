@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/opt"
+	"repro/internal/report"
+)
+
+// AblationSelection quantifies the paper's §2.2 claim that selecting
+// from a fixed predefined test set "will not result in the most
+// sensitive test set": coverage of the five seed tests alone versus the
+// per-fault optimized tests versus the compacted set.
+func (r *Runner) AblationSelection() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	faults := r.Faults()
+	w := r.opts.Out
+
+	// Fixed predefined set: each configuration at its designer seed.
+	var seedTests []core.Test
+	for ci, c := range r.configs {
+		seedTests = append(seedTests, core.Test{ConfigIdx: ci, Params: c.Seeds()})
+	}
+	seedCov, err := s.Coverage(seedTests, faults)
+	if err != nil {
+		return err
+	}
+
+	sols, err := r.Solutions()
+	if err != nil {
+		return err
+	}
+	optTests := core.TestsOf(sols)
+	optCov, err := s.Coverage(optTests, faults)
+	if err != nil {
+		return err
+	}
+	copts := core.DefaultCompactOptions()
+	copts.Delta = r.opts.Delta
+	cts, err := s.Compact(sols, copts)
+	if err != nil {
+		return err
+	}
+	cptCov, err := s.Coverage(core.TestsOfCompact(cts), faults)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("strategy", "tests", "coverage %", "undetected")
+	t.AddRow("seed selection only", len(seedTests), seedCov.Percent(), len(seedCov.Undetected))
+	t.AddRow("per-fault optimized", len(optTests), optCov.Percent(), len(optCov.Undetected))
+	t.AddRow(fmt.Sprintf("compacted (δ=%.2g)", copts.Delta), len(cts), cptCov.Percent(), len(cptCov.Undetected))
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nfaults missed by seed selection but caught by optimization:")
+	missed := 0
+	caughtBy := make(map[string]bool)
+	for _, id := range optCov.Undetected {
+		caughtBy[id] = true
+	}
+	for _, id := range seedCov.Undetected {
+		if !caughtBy[id] {
+			fmt.Fprintf(w, "  %s\n", id)
+			missed++
+		}
+	}
+	if missed == 0 {
+		fmt.Fprintln(w, "  (none on this fault list)")
+	}
+	return nil
+}
+
+// AblationSoft verifies the §3.2 soft-fault stability observation: for
+// weakened impacts the optimized parameter location stays put, while the
+// hard-fault (dictionary) impact may optimize elsewhere.
+func (r *Runner) AblationSoft() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	ci := indexOfConfig(r.configs, 3) // THD configuration, as in Figs. 2-4
+	c := r.configs[ci]
+	box := c.Bounds()
+
+	faults := []fault.Fault{
+		fault.ByID(r.dict, r.opts.TPSFaultID),
+		fault.NewBridge(macros.NodeVref, macros.NodeNtail, 10e3),
+	}
+	norm := func(T []float64) []float64 {
+		out := make([]float64, len(T))
+		for i := range T {
+			out[i] = (T[i] - box.Lo[i]) / (box.Hi[i] - box.Lo[i])
+		}
+		return out
+	}
+	dist := func(a, b []float64) float64 {
+		d := 0.0
+		for i := range a {
+			d += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return math.Sqrt(d)
+	}
+	optimize := func(f fault.Fault) ([]float64, float64, error) {
+		var lastErr error
+		obj := func(T []float64) float64 {
+			sf, err := s.Sensitivity(ci, f, T)
+			if err != nil {
+				lastErr = err
+				return 10
+			}
+			return sf
+		}
+		res := opt.Minimize(obj, box, c.Seeds(), 1e-3)
+		return res.X, res.F, lastErr
+	}
+
+	t := report.NewTable("fault", "impact", "optimized parameters", "S_f", "distance to weakest optimum")
+	for _, f := range faults {
+		if f == nil {
+			continue
+		}
+		impacts := []float64{1, 2, 4, 8} // × dictionary impact
+		var ref []float64
+		// Walk from the weakest (most soft) down so the reference is the
+		// softest model.
+		for k := len(impacts) - 1; k >= 0; k-- {
+			fi := f.WithImpact(f.InitialImpact() * impacts[k])
+			T, sf, err := optimize(fi)
+			if err != nil {
+				return err
+			}
+			if ref == nil {
+				ref = norm(T)
+			}
+			t.AddRow(f.ID(), report.Engineering(fi.Impact()), paramString(c, T), sf, dist(norm(T), ref))
+		}
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nsoft-region (weak impact) rows should cluster: small distances; the")
+	fmt.Fprintln(w, "dictionary-impact row may sit elsewhere (hard-fault region shape).")
+	return nil
+}
+
+// AblationOptimizers compares Powell against Nelder-Mead and exhaustive
+// grid search on the soft-fault optimization of the Fig. 2-4 example:
+// achieved sensitivity versus simulation count, the paper's stated
+// reason for avoiding global optimization.
+func (r *Runner) AblationOptimizers() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	ci := indexOfConfig(r.configs, 3)
+	c := r.configs[ci]
+	box := c.Bounds()
+	base := fault.ByID(r.dict, r.opts.TPSFaultID)
+	f := base.WithImpact(base.InitialImpact() * 4) // soft region
+
+	evals := 0
+	obj := func(T []float64) float64 {
+		evals++
+		sf, err := s.Sensitivity(ci, f, T)
+		if err != nil {
+			return 10
+		}
+		return sf
+	}
+	gridN := 7
+	if r.opts.Quick {
+		gridN = 5
+	}
+	t := report.NewTable("optimizer", "S_f found", "parameters", "simulations")
+	run := func(name string, m func() opt.Result) {
+		evals = 0
+		res := m()
+		t.AddRow(name, res.F, paramString(c, res.X), evals)
+	}
+	run("Powell (paper)", func() opt.Result { return opt.Powell(obj, box, c.Seeds(), 1e-3) })
+	run("Nelder-Mead", func() opt.Result { return opt.NelderMead(obj, box, c.Seeds(), 1e-3) })
+	run(fmt.Sprintf("grid %d×%d", gridN, gridN), func() opt.Result { return opt.Grid(obj, box, gridN) })
+	_, err = t.WriteTo(w)
+	return err
+}
+
+// AblationDelta sweeps the compaction loss budget δ and reports the
+// size/coverage trade-off.
+func (r *Runner) AblationDelta() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	sols, err := r.Solutions()
+	if err != nil {
+		return err
+	}
+	faults := r.Faults()
+	w := r.opts.Out
+	t := report.NewTable("δ", "compacted tests", "coverage %", "undetected")
+	for _, delta := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		o := core.DefaultCompactOptions()
+		o.Delta = delta
+		cts, err := s.Compact(sols, o)
+		if err != nil {
+			return err
+		}
+		cov, err := s.Coverage(core.TestsOfCompact(cts), faults)
+		if err != nil {
+			return err
+		}
+		t.AddRow(delta, len(cts), cov.Percent(), len(cov.Undetected))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nlarger δ accepts more sensitivity loss: fewer tests, possibly lower coverage.")
+	return nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationBoxModeOutput(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("ablation-boxmode"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"corners @ seed", "Monte-Carlo", "S_f(feedback bridge)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation-boxmode missing %q", want)
+		}
+	}
+	// Both rows must report detection (a negative S_f somewhere).
+	if !strings.Contains(out, "-") {
+		t.Error("no negative sensitivities reported")
+	}
+}
+
+func TestAblationRadiusOutput(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("ablation-radius"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"radius", "compacted tests", "coverage-pruned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation-radius missing %q", want)
+		}
+	}
+}

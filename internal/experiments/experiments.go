@@ -1,0 +1,225 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md. It is shared
+// by cmd/experiments (full runs) and the repository benchmark harness
+// (reduced runs exercising the same code paths).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+// DefaultTPSFault is the bridging fault whose tps-graphs reproduce
+// Figs. 2-4 ("a resistive short between two arbitrarily chosen nodes").
+const DefaultTPSFault = "bridge:Ntail-Out1"
+
+// Options tunes a Runner.
+type Options struct {
+	// Out receives the experiment reports.
+	Out io.Writer
+	// Quick shrinks grids and fault subsets so a run finishes in seconds;
+	// used by the benchmark harness. Full runs reproduce the paper-scale
+	// experiment (55 faults, full grids).
+	Quick bool
+	// Workers bounds generation parallelism (0: core default).
+	Workers int
+	// TPSFaultID overrides the bridge used for the Fig. 2-4 tps-graphs.
+	TPSFaultID string
+	// Delta is the compaction loss budget (default 0.1).
+	Delta float64
+}
+
+// Runner executes experiments, sharing one session and memoizing the
+// expensive full-dictionary generation across experiments.
+type Runner struct {
+	opts    Options
+	golden  *circuit.Circuit
+	configs []*testcfg.Config
+	dict    []fault.Fault
+
+	mu      sync.Mutex
+	session *core.Session
+	sols    []*core.Solution
+}
+
+// New prepares a runner; sessions and generations are built lazily.
+func New(opts Options) *Runner {
+	if opts.Out == nil {
+		panic("experiments: Options.Out required")
+	}
+	if opts.TPSFaultID == "" {
+		opts.TPSFaultID = DefaultTPSFault
+	}
+	if opts.Delta == 0 {
+		opts.Delta = 0.1
+	}
+	golden := macros.IVConverter()
+	return &Runner{
+		opts:    opts,
+		golden:  golden,
+		configs: testcfg.IVConfigs(),
+		dict:    fault.Dictionary(golden, 10e3, 2e3),
+	}
+}
+
+// Session lazily builds the shared session (grid boxes for full runs,
+// seed boxes for quick runs).
+func (r *Runner) Session() (*core.Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.session != nil {
+		return r.session, nil
+	}
+	cfg := core.DefaultConfig()
+	if r.opts.Workers > 0 {
+		cfg.Workers = r.opts.Workers
+	}
+	if r.opts.Quick {
+		cfg.BoxMode = core.BoxSeed
+	}
+	s, err := core.NewSession(r.golden, r.configs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.session = s
+	return s, nil
+}
+
+// Faults returns the fault list an experiment iterates: the full 55-
+// fault dictionary, or a representative 13-fault subset in quick mode.
+func (r *Runner) Faults() []fault.Fault {
+	if !r.opts.Quick {
+		return r.dict
+	}
+	var sub []fault.Fault
+	for i, f := range r.dict {
+		if f.Kind() == fault.KindBridge && i%5 == 0 {
+			sub = append(sub, f)
+		}
+	}
+	for _, name := range []string{"M2", "M6", "M9"} {
+		if f := fault.ByID(r.dict, "pinhole:"+name); f != nil {
+			sub = append(sub, f)
+		}
+	}
+	return sub
+}
+
+// Solutions lazily runs the full generation (the Table-2 workload) and
+// memoizes the result for the dependent experiments (Fig. 8, Table 3,
+// δ-sweep).
+func (r *Runner) Solutions() ([]*core.Solution, error) {
+	r.mu.Lock()
+	cached := r.sols
+	r.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	s, err := r.Session()
+	if err != nil {
+		return nil, err
+	}
+	sols, err := s.GenerateAll(r.Faults())
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.sols = sols
+	r.mu.Unlock()
+	return sols, nil
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) error
+}
+
+// All returns every experiment in canonical order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: test configuration definitions", (*Runner).Table1},
+		{"fig1", "Fig. 1: test configuration description", (*Runner).Fig1},
+		{"fig2", "Fig. 2: tps-graph, hard-fault region (R=10k)", (*Runner).Fig2},
+		{"fig3", "Fig. 3: tps-graph, soft-fault region (R=34k)", (*Runner).Fig3},
+		{"fig4", "Fig. 4: tps-graph, soft-fault region (R=75k)", (*Runner).Fig4},
+		{"fig5", "Fig. 5: tolerance box in a 2-D measurement space", (*Runner).Fig5},
+		{"fig6", "Fig. 6: generation scheme trace for one fault", (*Runner).Fig6},
+		{"fig7", "Fig. 7: pinhole fault model insertion", (*Runner).Fig7},
+		{"table2", "Table 2: best-test distribution over the fault list", (*Runner).Table2},
+		{"fig8", "Fig. 8: optimal test parameter values (clusters)", (*Runner).Fig8},
+		{"table3", "Table 3: collapsed (compacted) test set", (*Runner).Table3},
+		{"ablation-selection", "Ablation: seed-selection-only vs tailored optimization", (*Runner).AblationSelection},
+		{"ablation-soft", "Ablation: soft-fault region optimum stability", (*Runner).AblationSoft},
+		{"ablation-opt", "Ablation: Powell vs Nelder-Mead vs grid search", (*Runner).AblationOptimizers},
+		{"ablation-delta", "Ablation: compaction δ sweep", (*Runner).AblationDelta},
+		{"ablation-boxmode", "Ablation: corner vs Monte-Carlo tolerance boxes", (*Runner).AblationBoxMode},
+		{"ablation-radius", "Ablation: compaction grouping radius sweep + pruning", (*Runner).AblationRadius},
+		{"ablation-impact", "Ablation: coverage vs bridge impact (quality level curve)", (*Runner).AblationImpact},
+		{"macro2", "Cross-check: full pipeline on the single-stage macro variant", (*Runner).Macro2},
+		{"opens", "Extension: stuck-open faults with inverted impact semantics", (*Runner).Opens},
+	}
+}
+
+// ByID finds an experiment, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			ee := e
+			return &ee
+		}
+	}
+	return nil
+}
+
+// Run executes the named experiments ("all" for everything) with banner
+// lines between them.
+func (r *Runner) Run(ids ...string) error {
+	var list []Experiment
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		list = All()
+	} else {
+		for _, id := range ids {
+			e := ByID(id)
+			if e == nil {
+				return fmt.Errorf("experiments: unknown experiment %q", id)
+			}
+			list = append(list, *e)
+		}
+	}
+	for _, e := range list {
+		fmt.Fprintf(r.opts.Out, "\n==== %s — %s ====\n\n", e.ID, e.Title)
+		if err := e.Run(r); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// faultsByKind splits the runner's fault list per kind for reporting.
+func (r *Runner) faultsByKind() map[fault.Kind][]fault.Fault {
+	out := make(map[fault.Kind][]fault.Fault)
+	for _, f := range r.Faults() {
+		out[f.Kind()] = append(out[f.Kind()], f)
+	}
+	return out
+}
+
+// sortedKinds returns the kinds in stable order.
+func sortedKinds(m map[fault.Kind][]fault.Fault) []fault.Kind {
+	kinds := make([]fault.Kind, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The quick runner is shared across tests: building the session and the
+// memoized generation dominate runtime.
+var (
+	rOnce sync.Once
+	rBuf  *bytes.Buffer
+	rQ    *Runner
+)
+
+func quickRunner(t *testing.T) (*Runner, *bytes.Buffer) {
+	t.Helper()
+	rOnce.Do(func() {
+		rBuf = &bytes.Buffer{}
+		rQ = New(Options{Out: rBuf, Quick: true, Workers: 4})
+	})
+	rBuf.Reset()
+	return rQ, rBuf
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"table2", "fig8", "table3",
+		"ablation-selection", "ablation-soft", "ablation-opt", "ablation-delta",
+		"ablation-boxmode", "ablation-radius", "ablation-impact", "macro2", "opens",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("experiment count = %d, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if ByID(id) == nil {
+			t.Errorf("ByID(%s) = nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID(nope) should be nil")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	r, _ := quickRunner(t)
+	if err := r.Run("not-an-experiment"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestQuickFaultSubset(t *testing.T) {
+	r, _ := quickRunner(t)
+	faults := r.Faults()
+	if len(faults) >= 55 || len(faults) < 8 {
+		t.Errorf("quick subset size = %d, want a small representative slice", len(faults))
+	}
+	full := New(Options{Out: &bytes.Buffer{}})
+	if len(full.Faults()) != 55 {
+		t.Errorf("full fault list = %d, want 55", len(full.Faults()))
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dc-out", "supply-current", "thd", "step-integral", "step-peak", "Iindc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Macro type: IV-converter") {
+		t.Error("fig1 missing the macro-type header")
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tolerance box") || !strings.Contains(out, "nominal") {
+		t.Errorf("fig5 output incomplete:\n%s", out)
+	}
+}
+
+func TestFig6TraceShowsLoop(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"per-configuration optimization", "impact relax/intensify", "winner"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 missing %q", want)
+		}
+	}
+}
+
+func TestFig7ShowsSplit(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"M6_d", "M6_s", "FP_M6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing %q", want)
+		}
+	}
+}
+
+func TestTPSFigureSoftVsHard(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "minimum S_f") || !strings.Contains(out, "x-axis: Iindc") {
+		t.Errorf("fig3 output incomplete:\n%s", out)
+	}
+}
+
+func TestTable2ColumnsSum(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("table2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "column bridge sums to") {
+		t.Error("table2 missing the bridge checksum line")
+	}
+	// Checksum lines must assert full assignment (the phrase repeats the
+	// total on both sides when consistent).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "sums to") {
+			parts := strings.Fields(line)
+			// "column <kind> sums to <n> of <m> faults"
+			if parts[4] != parts[6] {
+				t.Errorf("inconsistent checksum: %s", line)
+			}
+		}
+	}
+}
+
+func TestTable3AndDeltaShareSolutions(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("table3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "compacted:") || !strings.Contains(out, "uncompacted:") {
+		t.Errorf("table3 output incomplete:\n%s", out)
+	}
+	// The second run must reuse memoized solutions (fast path).
+	buf.Reset()
+	if err := r.Run("ablation-delta"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compacted tests") {
+		t.Error("delta sweep output incomplete")
+	}
+}
+
+func TestAblationSelectionOutput(t *testing.T) {
+	r, buf := quickRunner(t)
+	if err := r.Run("ablation-selection"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"seed selection only", "per-fault optimized", "compacted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation-selection missing %q", want)
+		}
+	}
+}
+
+func TestNewPanicsWithoutOut(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Options without Out accepted")
+		}
+	}()
+	New(Options{})
+}

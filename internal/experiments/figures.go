@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/testcfg"
+)
+
+// Fig1 prints the Fig. 1 style description of the step-response test
+// configuration.
+func (r *Runner) Fig1() error {
+	c := testcfg.ByID(r.configs, 4)
+	_, err := fmt.Fprint(r.opts.Out, c.Describe())
+	return err
+}
+
+// tpsGrid returns the grid resolution for the tps figures.
+func (r *Runner) tpsGrid() (n1, n2 int) {
+	if r.opts.Quick {
+		return 9, 7
+	}
+	return 21, 13
+}
+
+// tpsFigure renders one tps-graph of the Fig. 2-4 bridge at the given
+// impact under the THD configuration (#3).
+func (r *Runner) tpsFigure(impact float64) error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	base := fault.ByID(r.dict, r.opts.TPSFaultID)
+	if base == nil {
+		return fmt.Errorf("tps fault %q not in the dictionary", r.opts.TPSFaultID)
+	}
+	f := base.WithImpact(impact)
+	ci := indexOfConfig(r.configs, 3)
+	n1, n2 := r.tpsGrid()
+	g, err := s.TPS(ci, f, n1, n2)
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	fmt.Fprintf(w, "fault %s at impact R=%s, configuration #%d (%s)\n",
+		f.ID(), report.Engineering(impact), 3, "THD measurement")
+	fmt.Fprintf(w, "axes: %s in [%s, %s], %s in [%s, %s]\n\n",
+		g.Name1, report.Engineering(g.Axis1[0]), report.Engineering(g.Axis1[len(g.Axis1)-1]),
+		g.Name2, report.Engineering(g.Axis2[0]), report.Engineering(g.Axis2[len(g.Axis2)-1]))
+	if err := report.HeatMap(w, g.S, g.Name1, g.Name2); err != nil {
+		return err
+	}
+	i, j, min := g.MinCell()
+	fmt.Fprintf(w, "\n  minimum S_f = %.4g at %s=%s, %s=%s\n",
+		min, g.Name1, report.Engineering(g.Axis1[i]), g.Name2, report.Engineering(g.Axis2[j]))
+	fmt.Fprintf(w, "  detectable fraction of the parameter plane: %.0f %%\n",
+		100*g.DetectableFraction())
+	return nil
+}
+
+// Fig2 is the hard-fault-region tps-graph (dictionary impact 10 kΩ).
+func (r *Runner) Fig2() error { return r.tpsFigure(10e3) }
+
+// Fig3 is the soft-fault-region tps-graph at 34 kΩ.
+func (r *Runner) Fig3() error { return r.tpsFigure(34e3) }
+
+// Fig4 is the soft-fault-region tps-graph at 75 kΩ; the paper's point is
+// that its shape matches Fig. 3 with a global flattening and upward
+// shift, so the optimum location is stable.
+func (r *Runner) Fig4() error { return r.tpsFigure(75e3) }
+
+// Fig5 demonstrates the tolerance box in a p=2 measurement space by
+// pairing the two DC configurations (#1 voltage, #2 supply current) at a
+// common parameter value: the nominal point, the box halfwidths, one
+// response inside the box (indistinguishable from fault-free) and one
+// outside (guaranteed faulty).
+func (r *Runner) Fig5() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	T := []float64{20e-6}
+	c1 := indexOfConfig(r.configs, 1)
+	c2 := indexOfConfig(r.configs, 2)
+	nom1, err := s.Nominal(c1, T)
+	if err != nil {
+		return err
+	}
+	nom2, err := s.Nominal(c2, T)
+	if err != nil {
+		return err
+	}
+	b1 := s.Box(c1).Halfwidths(T)
+	b2 := s.Box(c2).Halfwidths(T)
+	fmt.Fprintf(w, "measurement space: r1 = V(Vout) [V], r2 = I(Vdd) [A] at Iin,dc = 20 µA\n")
+	fmt.Fprintf(w, "nominal       (%.6g V, %.6g A)\n", nom1[0], nom2[0])
+	fmt.Fprintf(w, "tolerance box ±%.3g V × ±%.3g A (process corners + equipment accuracy)\n", b1[0], b2[0])
+
+	inside := fault.NewBridge(macros.NodeNmir, macros.NodeVdd, 5e6) // barely-there defect
+	outside := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	for _, c := range []struct {
+		name string
+		f    fault.Fault
+	}{{"R(T)1 (inside box: may be fault-free)", inside}, {"R(T)2 (outside box: only a faulty circuit)", outside}} {
+		fc, err := c.f.Insert(r.golden)
+		if err != nil {
+			return err
+		}
+		r1, err := r.configs[c1].Run(fc, T)
+		if err != nil {
+			return err
+		}
+		r2, err := r.configs[c2].Run(fc, T)
+		if err != nil {
+			return err
+		}
+		s1, err := s.Sensitivity(c1, c.f, T)
+		if err != nil {
+			return err
+		}
+		s2, err := s.Sensitivity(c2, c.f, T)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-42s (%.6g V, %.6g A)  S_f = (%.3g, %.3g)\n", c.name, r1[0], r2[0], s1, s2)
+	}
+	fmt.Fprintln(w, "\nS_f ≥ 0 means the response stays inside the box; S_f < 0 leaves it (detected).")
+	return nil
+}
+
+// Fig6 traces the generation scheme (optimize per configuration, then
+// relax/intensify the fault impact until one test survives) for a single
+// fault.
+func (r *Runner) Fig6() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	f := fault.NewBridge(macros.NodeVref, macros.NodeNtail, 10e3)
+	sol, err := s.Generate(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fault: %s (dictionary impact %s)\n\n", f.ID(), report.Engineering(f.InitialImpact()))
+	fmt.Fprintln(w, "step 1 — per-configuration optimization (soft-fault model):")
+	t := report.NewTable("config", "optimized parameters", "soft S_f", "evals")
+	for _, c := range sol.Candidates {
+		t.AddRow(fmt.Sprintf("#%d %s", r.configs[c.ConfigIdx].ID, r.configs[c.ConfigIdx].Name),
+			paramString(r.configs[c.ConfigIdx], c.Params), c.SoftS, c.Evals)
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nstep 2 — impact relax/intensify loop:")
+	t2 := report.NewTable("iter", "impact", "detects", "per-config S_f")
+	for i, st := range sol.Trace {
+		sens := ""
+		for j, v := range st.Sens {
+			if j > 0 {
+				sens += "  "
+			}
+			sens += fmt.Sprintf("%.3g", v)
+		}
+		t2.AddRow(i+1, report.Engineering(st.Impact), st.Detects, sens)
+	}
+	if _, err := t2.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwinner: configuration #%d (%s) at %s, critical impact %s, S_f(dictionary)=%.3g\n",
+		sol.ConfigID(s), r.configs[sol.ConfigIdx].Name,
+		paramString(r.configs[sol.ConfigIdx], sol.Params),
+		report.Engineering(sol.CriticalImpact), sol.Sensitivity)
+	return nil
+}
+
+// Fig7 shows the pinhole fault model: the netlist before and after
+// inserting the Eckersall gate-oxide short into M6.
+func (r *Runner) Fig7() error {
+	w := r.opts.Out
+	f := fault.NewPinhole("M6", 2e3)
+	fc, err := f.Insert(r.golden)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pinhole model: %s\n\n", f)
+	fmt.Fprintln(w, "golden transistor line:")
+	fmt.Fprintf(w, "  %s", grepLines(netlist.Format(r.golden), "M6 "))
+	fmt.Fprintln(w, "after insertion (channel split 25 %/75 % + gate-to-channel shunt):")
+	for _, pat := range []string{"M6_d ", "M6_s ", "FP_M6 "} {
+		fmt.Fprintf(w, "  %s", grepLines(netlist.Format(fc), pat))
+	}
+	return nil
+}
+
+// Fig8 lists the optimized parameter values per configuration for the
+// generated solutions — the scatter whose clusters drive compaction.
+func (r *Runner) Fig8() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	sols, err := r.Solutions()
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	for ci, c := range r.configs {
+		var rows []*core.Solution
+		for _, sol := range sols {
+			if sol.ConfigIdx == ci && !sol.Undetectable {
+				rows = append(rows, sol)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "configuration #%d (%s): %d faults\n", c.ID, c.Name, len(rows))
+		t := report.NewTable("fault", "optimal parameters", "S_f(dict)")
+		for _, sol := range rows {
+			t.AddRow(sol.Fault.ID(), paramString(c, sol.Params), sol.Sensitivity)
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	_ = s
+	return nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/testcfg"
+)
+
+// indexOfConfig resolves a paper configuration number to its slice index.
+func indexOfConfig(cfgs []*testcfg.Config, id int) int {
+	for i, c := range cfgs {
+		if c.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// paramString renders a parameter vector with engineering units and the
+// configuration's parameter names.
+func paramString(c *testcfg.Config, T []float64) string {
+	parts := make([]string, len(T))
+	for i, v := range T {
+		parts[i] = fmt.Sprintf("%s=%s%s", c.Params[i].Name, report.Engineering(v), c.Params[i].Unit)
+	}
+	return strings.Join(parts, " ")
+}
+
+// grepLines returns the lines of text containing pat (prefix match on
+// trimmed lines), newline-terminated.
+func grepLines(text, pat string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), pat) {
+			b.WriteString(strings.TrimSpace(line))
+			b.WriteByte('\n')
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("(none)\n")
+	}
+	return b.String()
+}
+
+// Table1 prints the five test configuration definitions.
+func (r *Runner) Table1() error {
+	w := r.opts.Out
+	t := report.NewTable("#", "name", "parameters (bounds, seed)", "stimulus", "return value")
+	for _, c := range r.configs {
+		var ps []string
+		for _, p := range c.Params {
+			ps = append(ps, fmt.Sprintf("%s∈[%s,%s] seed %s",
+				p.Name, report.Engineering(p.Lo), report.Engineering(p.Hi), report.Engineering(p.Seed)))
+		}
+		var rets []string
+		for _, ret := range c.Returns {
+			rets = append(rets, fmt.Sprintf("%s ±%s%s", ret.Name, report.Engineering(ret.Accuracy), ret.Unit))
+		}
+		t.AddRow(c.ID, c.Name, strings.Join(ps, "; "), c.Stimulus, strings.Join(rets, "; "))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// Table2 runs the full generation and prints the distribution of winning
+// configurations split by fault kind, the paper's Table 2.
+func (r *Runner) Table2() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	sols, err := r.Solutions()
+	if err != nil {
+		return err
+	}
+	d := s.Tabulate(sols)
+	w := r.opts.Out
+	byKind := r.faultsByKind()
+	kinds := sortedKinds(byKind)
+
+	header := []string{"ID test configuration tc"}
+	for _, k := range kinds {
+		header = append(header, fmt.Sprintf("%s(%d)", k, len(byKind[k])))
+	}
+	t := report.NewTable(header...)
+	for _, id := range d.ConfigIDs() {
+		row := []interface{}{fmt.Sprintf("#%d %s", id, r.configs[indexOfConfig(r.configs, id)].Name)}
+		for _, k := range kinds {
+			row = append(row, d.Counts[id][k])
+		}
+		t.AddRow(row...)
+	}
+	undet := []interface{}{"undetectable"}
+	for _, k := range kinds {
+		undet = append(undet, d.Undetectable[k])
+	}
+	t.AddRow(undet...)
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+
+	// Column checksums: every fault is assigned exactly once.
+	for _, k := range kinds {
+		total := d.Undetectable[k]
+		for _, id := range d.ConfigIDs() {
+			total += d.Counts[id][k]
+		}
+		fmt.Fprintf(w, "column %s sums to %d of %d faults\n", k, total, len(byKind[k]))
+	}
+
+	// Per-fault detail (engineering record the paper omits).
+	fmt.Fprintln(w, "\nper-fault winners:")
+	t2 := report.NewTable("fault", "config", "parameters", "S_f(dict)", "critical impact", "evals")
+	for _, sol := range sols {
+		flag := ""
+		if sol.Undetectable {
+			flag = " (undetectable)"
+		}
+		c := r.configs[sol.ConfigIdx]
+		t2.AddRow(sol.Fault.ID()+flag, fmt.Sprintf("#%d", c.ID), paramString(c, sol.Params),
+			sol.Sensitivity, report.Engineering(sol.CriticalImpact), sol.Evals)
+	}
+	_, err = t2.WriteTo(w)
+	return err
+}
+
+// Table3 compacts the generated solutions and prints the collapsed test
+// set, the paper's Table 3.
+func (r *Runner) Table3() error {
+	s, err := r.Session()
+	if err != nil {
+		return err
+	}
+	sols, err := r.Solutions()
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultCompactOptions()
+	opts.Delta = r.opts.Delta
+	cts, err := s.Compact(sols, opts)
+	if err != nil {
+		return err
+	}
+	w := r.opts.Out
+	fmt.Fprintf(w, "δ = %.2g, grouping radius = %.2g (normalized)\n\n", opts.Delta, opts.Radius)
+	t := report.NewTable("test", "config", "parameters", "faults covered")
+	for i, ct := range cts {
+		c := r.configs[ct.ConfigIdx]
+		t.AddRow(i+1, fmt.Sprintf("#%d %s", c.ID, c.Name), paramString(c, ct.Params), len(ct.Members))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+
+	faults := r.Faults()
+	before, err := s.Coverage(core.TestsOf(sols), faults)
+	if err != nil {
+		return err
+	}
+	after, err := s.Coverage(core.TestsOfCompact(cts), faults)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nuncompacted: %d tests, coverage %.1f %% (%d/%d)\n",
+		len(core.TestsOf(sols)), before.Percent(), before.Detected, before.Total)
+	fmt.Fprintf(w, "compacted:   %d tests, coverage %.1f %% (%d/%d)\n",
+		len(cts), after.Percent(), after.Detected, after.Total)
+	if len(after.Undetected) > 0 {
+		fmt.Fprintf(w, "undetected by the compacted set: %s\n", strings.Join(after.Undetected, ", "))
+	}
+	// The paper's Table 3 highlights configuration #5 retaining two tests.
+	n5 := 0
+	for _, ct := range cts {
+		if r.configs[ct.ConfigIdx].ID == 5 {
+			n5++
+		}
+	}
+	fmt.Fprintf(w, "configuration #5 contributes %d collapsed test(s) (paper: 2)\n", n5)
+	return nil
+}

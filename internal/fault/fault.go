@@ -1,0 +1,248 @@
+// Package fault models the structural defects the test generator targets:
+// resistive bridging faults between circuit nodes and gate-oxide pinhole
+// shorts inside MOSFETs (Eckersall model), together with exhaustive
+// fault-list generation for a macro.
+//
+// Every fault carries an *impact* — the physical severity of the defect,
+// expressed as a model resistance. The generation algorithm manipulates
+// the impact (weakening bridging faults by raising the bridge resistance,
+// pinholes by raising the shunt resistance) to find the critical impact
+// level at which exactly one test still detects the defect.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Kind labels a fault model type.
+type Kind string
+
+const (
+	// KindBridge is a resistive short between two circuit nodes.
+	KindBridge Kind = "bridge"
+	// KindPinhole is a gate-oxide short to the channel (Eckersall).
+	KindPinhole Kind = "pinhole"
+)
+
+// Fault is a structural defect that can be inserted into a circuit at a
+// chosen impact level.
+type Fault interface {
+	// ID returns a unique, stable identifier, e.g. "bridge:Iin-Vout".
+	ID() string
+	// Kind returns the fault model type.
+	Kind() Kind
+	// Impact returns the current model resistance in ohms. By the paper's
+	// convention a LOWER resistance is a STRONGER bridging defect and a
+	// LOWER shunt resistance is a STRONGER pinhole.
+	Impact() float64
+	// WithImpact returns a copy of the fault at the given model
+	// resistance.
+	WithImpact(r float64) Fault
+	// InitialImpact returns the dictionary impact the fault list assigned.
+	InitialImpact() float64
+	// Insert returns a faulty deep copy of the circuit. The input circuit
+	// is never modified.
+	Insert(c *circuit.Circuit) (*circuit.Circuit, error)
+	// String returns a human-readable description.
+	String() string
+}
+
+// Weaken returns the fault with its impact weakened by factor k > 1: the
+// model resistance is multiplied by k for bridges and pinholes, divided
+// by k for inverted models (opens).
+func Weaken(f Fault, k float64) Fault {
+	if Inverted(f) {
+		return f.WithImpact(f.Impact() / k)
+	}
+	return f.WithImpact(f.Impact() * k)
+}
+
+// Strengthen returns the fault with its impact intensified by factor
+// k > 1, the inverse of Weaken.
+func Strengthen(f Fault, k float64) Fault {
+	if Inverted(f) {
+		return f.WithImpact(f.Impact() * k)
+	}
+	return f.WithImpact(f.Impact() / k)
+}
+
+// Bridge is a resistive short between two nodes.
+type Bridge struct {
+	NodeA, NodeB string
+	R            float64 // current model resistance
+	R0           float64 // dictionary impact
+}
+
+// NewBridge returns a bridging fault between a and b with dictionary
+// impact r ohms. Node order is normalized so IDs are stable.
+func NewBridge(a, b string, r float64) *Bridge {
+	if a > b {
+		a, b = b, a
+	}
+	return &Bridge{NodeA: a, NodeB: b, R: r, R0: r}
+}
+
+// ID implements Fault.
+func (b *Bridge) ID() string { return fmt.Sprintf("bridge:%s-%s", b.NodeA, b.NodeB) }
+
+// Kind implements Fault.
+func (b *Bridge) Kind() Kind { return KindBridge }
+
+// Impact implements Fault.
+func (b *Bridge) Impact() float64 { return b.R }
+
+// InitialImpact implements Fault.
+func (b *Bridge) InitialImpact() float64 { return b.R0 }
+
+// WithImpact implements Fault.
+func (b *Bridge) WithImpact(r float64) Fault {
+	nb := *b
+	nb.R = r
+	return &nb
+}
+
+// Insert implements Fault: it adds a resistor of the model resistance
+// between the two bridged nodes on a clone of the circuit.
+func (b *Bridge) Insert(c *circuit.Circuit) (*circuit.Circuit, error) {
+	if !c.HasNode(b.NodeA) || !c.HasNode(b.NodeB) {
+		return nil, fmt.Errorf("fault %s: node missing from circuit %s", b.ID(), c.Name())
+	}
+	if b.NodeA == b.NodeB {
+		return nil, fmt.Errorf("fault %s: degenerate bridge", b.ID())
+	}
+	if b.R <= 0 {
+		return nil, fmt.Errorf("fault %s: non-positive impact %g", b.ID(), b.R)
+	}
+	cc := c.Clone()
+	cc.Add(device.NewResistor("FB_"+b.NodeA+"_"+b.NodeB, b.NodeA, b.NodeB, b.R))
+	return cc, nil
+}
+
+// String implements Fault.
+func (b *Bridge) String() string {
+	return fmt.Sprintf("bridge %s-%s (R=%.3g Ω)", b.NodeA, b.NodeB, b.R)
+}
+
+// Pinhole is a gate-oxide short inside a MOSFET, modeled after Eckersall
+// et al. (paper Fig. 7): the channel is split at the defect position into
+// a drain-side and a source-side transistor sharing the original gate,
+// with a shunt resistor Rp from the gate to the split point. Defects are
+// placed at 25 % of the channel length from the drain, the low-
+// detectability position the paper adopts.
+type Pinhole struct {
+	Transistor string
+	// Position is the defect location as the fraction of channel length
+	// measured from the drain (0.25 in the paper).
+	Position float64
+	Rp       float64 // current shunt resistance
+	Rp0      float64 // dictionary impact
+}
+
+// NewPinhole returns a pinhole fault in the named transistor at the
+// paper's 25 % position with dictionary shunt resistance rp.
+func NewPinhole(transistor string, rp float64) *Pinhole {
+	return &Pinhole{Transistor: transistor, Position: 0.25, Rp: rp, Rp0: rp}
+}
+
+// ID implements Fault.
+func (p *Pinhole) ID() string { return "pinhole:" + p.Transistor }
+
+// Kind implements Fault.
+func (p *Pinhole) Kind() Kind { return KindPinhole }
+
+// Impact implements Fault.
+func (p *Pinhole) Impact() float64 { return p.Rp }
+
+// InitialImpact implements Fault.
+func (p *Pinhole) InitialImpact() float64 { return p.Rp0 }
+
+// WithImpact implements Fault.
+func (p *Pinhole) WithImpact(r float64) Fault {
+	np := *p
+	np.Rp = r
+	return &np
+}
+
+// Insert implements Fault. On a clone of the circuit, the target MOSFET
+// M(d,g,s) with length L is replaced by
+//
+//	Md(d, g, x)  with length Position·L     (drain side)
+//	Ms(x, g, s)  with length (1−Position)·L (source side)
+//	Rp(g, x)                                (the oxide short)
+//
+// where x is a fresh internal node.
+func (p *Pinhole) Insert(c *circuit.Circuit) (*circuit.Circuit, error) {
+	if p.Rp <= 0 {
+		return nil, fmt.Errorf("fault %s: non-positive impact %g", p.ID(), p.Rp)
+	}
+	if p.Position <= 0 || p.Position >= 1 {
+		return nil, fmt.Errorf("fault %s: position %g outside (0,1)", p.ID(), p.Position)
+	}
+	cc := c.Clone()
+	d, ok := cc.Device(p.Transistor).(*device.MOSFET)
+	if !ok {
+		return nil, fmt.Errorf("fault %s: transistor not found in circuit %s", p.ID(), c.Name())
+	}
+	terms := d.TerminalNames()
+	drain, gate, source := terms[0], terms[1], terms[2]
+	split := p.Transistor + "#ph"
+	cc.Remove(p.Transistor)
+	cc.Add(device.NewMOSFET(p.Transistor+"_d", drain, gate, split, d.Model, d.W, d.L*p.Position))
+	cc.Add(device.NewMOSFET(p.Transistor+"_s", split, gate, source, d.Model, d.W, d.L*(1-p.Position)))
+	cc.Add(device.NewResistor("FP_"+p.Transistor, gate, split, p.Rp))
+	return cc, nil
+}
+
+// String implements Fault.
+func (p *Pinhole) String() string {
+	return fmt.Sprintf("pinhole %s @%.0f%% from drain (Rp=%.3g Ω)", p.Transistor, p.Position*100, p.Rp)
+}
+
+// AllBridges enumerates the exhaustive bridging fault list: one fault per
+// unordered pair of circuit nodes (ground included), each at dictionary
+// impact r0. For the 10-node IV-converter this yields the paper's 45
+// bridging faults.
+func AllBridges(c *circuit.Circuit, r0 float64) []Fault {
+	nodes := c.AllNodes()
+	sort.Strings(nodes)
+	var out []Fault
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			out = append(out, NewBridge(nodes[i], nodes[j], r0))
+		}
+	}
+	return out
+}
+
+// AllPinholes enumerates one pinhole fault per MOSFET in the circuit at
+// dictionary impact rp0, in device insertion order.
+func AllPinholes(c *circuit.Circuit, rp0 float64) []Fault {
+	var out []Fault
+	for _, d := range c.Devices() {
+		if _, ok := d.(*device.MOSFET); ok {
+			out = append(out, NewPinhole(d.Name(), rp0))
+		}
+	}
+	return out
+}
+
+// Dictionary builds the paper's exhaustive fault list for a macro: all
+// node-pair bridges at bridgeR plus one pinhole per transistor at
+// pinholeR. For the IV-converter this is 45 + 10 = 55 faults.
+func Dictionary(c *circuit.Circuit, bridgeR, pinholeR float64) []Fault {
+	return append(AllBridges(c, bridgeR), AllPinholes(c, pinholeR)...)
+}
+
+// ByID finds a fault in a list by identifier, or nil.
+func ByID(list []Fault, id string) Fault {
+	for _, f := range list {
+		if f.ID() == id {
+			return f
+		}
+	}
+	return nil
+}

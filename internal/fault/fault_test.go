@@ -1,0 +1,318 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/sim"
+)
+
+func TestBridgeNormalizesNodeOrder(t *testing.T) {
+	a := NewBridge("Vout", "Iin", 10e3)
+	b := NewBridge("Iin", "Vout", 10e3)
+	if a.ID() != b.ID() {
+		t.Errorf("IDs differ: %s vs %s", a.ID(), b.ID())
+	}
+	if a.ID() != "bridge:Iin-Vout" {
+		t.Errorf("ID = %s", a.ID())
+	}
+}
+
+func TestBridgeInsertAddsResistor(t *testing.T) {
+	c := macros.IVConverter()
+	f := NewBridge("Iin", "Vout", 10e3)
+	fc, err := f.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Devices()) != len(c.Devices())+1 {
+		t.Error("bridge did not add exactly one device")
+	}
+	// Original untouched.
+	if c.Device("FB_Iin_Vout") != nil {
+		t.Error("bridge mutated the original circuit")
+	}
+	r, ok := fc.Device("FB_Iin_Vout").(*device.Resistor)
+	if !ok {
+		t.Fatal("bridge resistor missing")
+	}
+	if r.R != 10e3 {
+		t.Errorf("bridge R = %g, want 10k", r.R)
+	}
+}
+
+func TestBridgeInsertErrors(t *testing.T) {
+	c := macros.IVConverter()
+	if _, err := NewBridge("nope", "Vout", 1e3).Insert(c); err == nil {
+		t.Error("missing node accepted")
+	}
+	if _, err := (&Bridge{NodeA: "Iin", NodeB: "Iin", R: 1e3}).Insert(c); err == nil {
+		t.Error("degenerate bridge accepted")
+	}
+	if _, err := NewBridge("Iin", "Vout", 0).Insert(c); err == nil {
+		t.Error("zero impact accepted")
+	}
+}
+
+func TestWeakenStrengthen(t *testing.T) {
+	f := Fault(NewBridge("a", "b", 10e3))
+	w := Weaken(f, 2)
+	if w.Impact() != 20e3 {
+		t.Errorf("weakened impact = %g, want 20k", w.Impact())
+	}
+	s := Strengthen(f, 4)
+	if s.Impact() != 2.5e3 {
+		t.Errorf("strengthened impact = %g, want 2.5k", s.Impact())
+	}
+	if f.Impact() != 10e3 {
+		t.Error("impact manipulation mutated the base fault")
+	}
+	if w.InitialImpact() != 10e3 || s.InitialImpact() != 10e3 {
+		t.Error("InitialImpact must survive WithImpact")
+	}
+}
+
+func TestPinholeInsertSplitsChannel(t *testing.T) {
+	c := macros.IVConverter()
+	m := c.Device("M1").(*device.MOSFET)
+	f := NewPinhole("M1", 2e3)
+	fc, err := f.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Device("M1") != nil {
+		t.Error("original transistor still present")
+	}
+	md, ok1 := fc.Device("M1_d").(*device.MOSFET)
+	ms, ok2 := fc.Device("M1_s").(*device.MOSFET)
+	rp, ok3 := fc.Device("FP_M1").(*device.Resistor)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("pinhole transform incomplete")
+	}
+	if math.Abs(md.L-0.25*m.L) > 1e-15 || math.Abs(ms.L-0.75*m.L) > 1e-15 {
+		t.Errorf("split lengths %g/%g, want 25%%/75%% of %g", md.L, ms.L, m.L)
+	}
+	if md.W != m.W || ms.W != m.W {
+		t.Error("split widths changed")
+	}
+	if rp.R != 2e3 {
+		t.Errorf("Rp = %g, want 2k", rp.R)
+	}
+	// Gate wiring: both halves keep the gate; the shunt ties gate to split.
+	if md.TerminalNames()[1] != m.TerminalNames()[1] || ms.TerminalNames()[1] != m.TerminalNames()[1] {
+		t.Error("split transistors lost the gate net")
+	}
+	if got := md.TerminalNames()[2]; got != "M1#ph" {
+		t.Errorf("split node = %s, want M1#ph", got)
+	}
+	// Faulty circuit must still compile (fresh node wired with degree 3).
+	if _, err := fc.Compile(); err != nil {
+		t.Fatalf("pinhole circuit does not compile: %v", err)
+	}
+}
+
+func TestPinholeInsertErrors(t *testing.T) {
+	c := macros.IVConverter()
+	if _, err := NewPinhole("M99", 2e3).Insert(c); err == nil {
+		t.Error("missing transistor accepted")
+	}
+	if _, err := NewPinhole("M1", 0).Insert(c); err == nil {
+		t.Error("zero impact accepted")
+	}
+	bad := NewPinhole("M1", 2e3)
+	bad.Position = 1.5
+	if _, err := bad.Insert(c); err == nil {
+		t.Error("position outside (0,1) accepted")
+	}
+}
+
+func TestPinholeSplitPreservesHealthyBehaviour(t *testing.T) {
+	// With a huge Rp the split transistor must behave like the original:
+	// same DC transfer within tolerance.
+	c := macros.IVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout := e.Voltage(x, macros.NodeVout)
+
+	f := NewPinhole("M2", 1e12) // essentially absent defect
+	fc, err := f.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := sim.New(fc, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fe.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fvout := fe.Voltage(fx, macros.NodeVout)
+	// The series split (0.25L + 0.75L) is electrically equivalent to the
+	// original L in both triode and saturation only approximately (the
+	// split point floats), so allow a modest tolerance.
+	if math.Abs(vout-fvout) > 0.05 {
+		t.Errorf("benign pinhole shifted Vout by %g", math.Abs(vout-fvout))
+	}
+}
+
+func TestStrongPinholeDisturbsCircuit(t *testing.T) {
+	c := macros.IVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idd0, err := e.BranchCurrent(x, macros.SupplySourceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewPinhole("M6", 2e3) // dictionary impact: hard short
+	fc, err := f.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := sim.New(fc, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fe.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idd1, err := fe.BranchCurrent(fx, macros.SupplySourceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(idd1-idd0) < 1e-6 {
+		t.Errorf("dictionary pinhole barely changed Idd: %g vs %g", idd1, idd0)
+	}
+}
+
+func TestAllBridgesCount(t *testing.T) {
+	c := macros.IVConverter()
+	bridges := AllBridges(c, 10e3)
+	if len(bridges) != 45 {
+		t.Fatalf("bridge count = %d, want 45 (paper parity)", len(bridges))
+	}
+	// All IDs unique.
+	seen := make(map[string]bool)
+	for _, f := range bridges {
+		if seen[f.ID()] {
+			t.Errorf("duplicate fault %s", f.ID())
+		}
+		seen[f.ID()] = true
+		if f.Impact() != 10e3 {
+			t.Errorf("%s impact = %g, want 10k", f.ID(), f.Impact())
+		}
+	}
+}
+
+func TestAllPinholesCount(t *testing.T) {
+	c := macros.IVConverter()
+	ph := AllPinholes(c, 2e3)
+	if len(ph) != 10 {
+		t.Fatalf("pinhole count = %d, want 10 (paper parity)", len(ph))
+	}
+}
+
+func TestDictionaryMatchesPaper(t *testing.T) {
+	c := macros.IVConverter()
+	dict := Dictionary(c, 10e3, 2e3)
+	if len(dict) != 55 {
+		t.Fatalf("dictionary size = %d, want 55", len(dict))
+	}
+	nb, np := 0, 0
+	for _, f := range dict {
+		switch f.Kind() {
+		case KindBridge:
+			nb++
+		case KindPinhole:
+			np++
+		}
+	}
+	if nb != 45 || np != 10 {
+		t.Errorf("dictionary split = %d bridges / %d pinholes, want 45/10", nb, np)
+	}
+}
+
+func TestByID(t *testing.T) {
+	c := macros.IVConverter()
+	dict := Dictionary(c, 10e3, 2e3)
+	if f := ByID(dict, "pinhole:M3"); f == nil {
+		t.Error("pinhole:M3 not found")
+	}
+	if f := ByID(dict, "bogus"); f != nil {
+		t.Error("bogus fault found")
+	}
+}
+
+func TestEveryDictionaryFaultInserts(t *testing.T) {
+	c := macros.IVConverter()
+	for _, f := range Dictionary(c, 10e3, 2e3) {
+		fc, err := f.Insert(c)
+		if err != nil {
+			t.Errorf("%s: insert failed: %v", f.ID(), err)
+			continue
+		}
+		if _, err := fc.Compile(); err != nil {
+			t.Errorf("%s: faulty circuit does not compile: %v", f.ID(), err)
+		}
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	b := NewBridge("Iin", "Vout", 10e3)
+	if !strings.Contains(b.String(), "Iin") || !strings.Contains(b.String(), "1e+04") &&
+		!strings.Contains(b.String(), "10000") && !strings.Contains(b.String(), "1e4") {
+		t.Logf("bridge string: %s", b.String())
+	}
+	p := NewPinhole("M1", 2e3)
+	if !strings.Contains(p.String(), "M1") || !strings.Contains(p.String(), "25%") {
+		t.Errorf("pinhole string incomplete: %s", p.String())
+	}
+}
+
+func TestBridgeToGroundOnSupply(t *testing.T) {
+	// The Vdd-gnd bridge is the canonical supply-current fault: Idd must
+	// jump by ~Vdd/R.
+	c := macros.IVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := e.OperatingPoint()
+	i0, _ := e.BranchCurrent(x, macros.SupplySourceName)
+
+	f := NewBridge("0", macros.NodeVdd, 10e3)
+	fc, err := f.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := sim.New(fc, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fe.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := fe.BranchCurrent(fx, macros.SupplySourceName)
+	dIdd := math.Abs(i1 - i0)
+	if math.Abs(dIdd-0.5e-3) > 5e-5 {
+		t.Errorf("ΔIdd = %g, want ≈ 0.5 mA (5V/10k)", dIdd)
+	}
+}

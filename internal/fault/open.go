@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Stuck-open faults: a broken contact or via in series with a transistor
+// terminal. IFA-derived dictionaries list opens next to bridges and
+// pinholes; the paper restricted itself to the latter two, so opens are
+// an extension here.
+//
+// Opens invert the impact convention: a HIGHER series resistance is a
+// STRONGER defect (a perfect open is R → ∞), while for bridges and
+// pinholes a LOWER resistance is stronger. Fault models advertise this
+// through Inverted, and Weaken/Strengthen respect it.
+
+// KindOpen is a resistive series open at a transistor terminal.
+const KindOpen Kind = "open"
+
+// impactInverted is implemented by fault models whose severity grows
+// with the model resistance.
+type impactInverted interface {
+	ImpactInverted() bool
+}
+
+// Inverted reports whether the fault's severity grows with its model
+// resistance (true for opens, false for bridges and pinholes).
+func Inverted(f Fault) bool {
+	if ii, ok := f.(impactInverted); ok {
+		return ii.ImpactInverted()
+	}
+	return false
+}
+
+// Open is a resistive series open between a MOSFET terminal and its net.
+type Open struct {
+	Transistor string
+	// Terminal selects the broken pin: 0 = drain, 2 = source (gate opens
+	// leave the gate floating, which the DC solver cannot bias, so they
+	// are not modeled).
+	Terminal int
+	R        float64
+	R0       float64
+}
+
+// NewDrainOpen returns a stuck-open at the drain of the named transistor
+// with dictionary series resistance r (e.g. 10 MΩ for a hard open).
+func NewDrainOpen(transistor string, r float64) *Open {
+	return &Open{Transistor: transistor, Terminal: 0, R: r, R0: r}
+}
+
+// NewSourceOpen returns a stuck-open at the source of the transistor.
+func NewSourceOpen(transistor string, r float64) *Open {
+	return &Open{Transistor: transistor, Terminal: 2, R: r, R0: r}
+}
+
+// ID implements Fault.
+func (o *Open) ID() string {
+	pin := "d"
+	if o.Terminal == 2 {
+		pin = "s"
+	}
+	return fmt.Sprintf("open:%s-%s", o.Transistor, pin)
+}
+
+// Kind implements Fault.
+func (o *Open) Kind() Kind { return KindOpen }
+
+// Impact implements Fault.
+func (o *Open) Impact() float64 { return o.R }
+
+// InitialImpact implements Fault.
+func (o *Open) InitialImpact() float64 { return o.R0 }
+
+// WithImpact implements Fault.
+func (o *Open) WithImpact(r float64) Fault {
+	oo := *o
+	oo.R = r
+	return &oo
+}
+
+// ImpactInverted marks the open's severity direction.
+func (o *Open) ImpactInverted() bool { return true }
+
+// Insert implements Fault: on a clone, the transistor's terminal is
+// rewired to a fresh node and the series resistance bridges the gap.
+func (o *Open) Insert(c *circuit.Circuit) (*circuit.Circuit, error) {
+	if o.R <= 0 {
+		return nil, fmt.Errorf("fault %s: non-positive impact %g", o.ID(), o.R)
+	}
+	if o.Terminal != 0 && o.Terminal != 2 {
+		return nil, fmt.Errorf("fault %s: unsupported terminal %d", o.ID(), o.Terminal)
+	}
+	cc := c.Clone()
+	d, ok := cc.Device(o.Transistor).(*device.MOSFET)
+	if !ok {
+		return nil, fmt.Errorf("fault %s: transistor not found in circuit %s", o.ID(), c.Name())
+	}
+	orig := d.TerminalNames()[o.Terminal]
+	split := o.Transistor + "#op"
+	device.RenameTerminal(d, o.Terminal, split)
+	cc.Add(device.NewResistor("FO_"+o.ID()[5:], orig, split, o.R))
+	return cc, nil
+}
+
+// String implements Fault.
+func (o *Open) String() string {
+	return fmt.Sprintf("%s (series R=%.3g Ω)", o.ID(), o.R)
+}
+
+// AllDrainOpens enumerates one drain open per MOSFET at dictionary
+// impact r0.
+func AllDrainOpens(c *circuit.Circuit, r0 float64) []Fault {
+	var out []Fault
+	for _, d := range c.Devices() {
+		if _, ok := d.(*device.MOSFET); ok {
+			out = append(out, NewDrainOpen(d.Name(), r0))
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/sim"
+)
+
+func TestOpenIDsAndKind(t *testing.T) {
+	d := NewDrainOpen("M9", 10e6)
+	if d.ID() != "open:M9-d" || d.Kind() != KindOpen {
+		t.Errorf("ID/Kind = %s/%s", d.ID(), d.Kind())
+	}
+	s := NewSourceOpen("M9", 10e6)
+	if s.ID() != "open:M9-s" {
+		t.Errorf("source ID = %s", s.ID())
+	}
+	if !Inverted(d) {
+		t.Error("opens must report inverted impact")
+	}
+	if Inverted(NewBridge("a", "b", 1e3)) {
+		t.Error("bridges must not be inverted")
+	}
+}
+
+func TestOpenWeakenLowersResistance(t *testing.T) {
+	f := Fault(NewDrainOpen("M9", 10e6))
+	w := Weaken(f, 2)
+	if w.Impact() != 5e6 {
+		t.Errorf("weakened open R = %g, want 5e6 (lower = weaker)", w.Impact())
+	}
+	s := Strengthen(f, 4)
+	if s.Impact() != 40e6 {
+		t.Errorf("strengthened open R = %g, want 40e6", s.Impact())
+	}
+}
+
+func TestOpenInsertRewiresTerminal(t *testing.T) {
+	c := macros.IVConverter()
+	f := NewDrainOpen("M7", 10e6)
+	fc, err := f.Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fc.Device("M7").(*device.MOSFET)
+	if m.TerminalNames()[0] != "M7#op" {
+		t.Errorf("drain terminal = %s, want M7#op", m.TerminalNames()[0])
+	}
+	if fc.Device("FO_M7-d") == nil {
+		t.Error("series resistor missing")
+	}
+	if _, err := fc.Compile(); err != nil {
+		t.Fatalf("open circuit does not compile: %v", err)
+	}
+	// Original untouched.
+	if c.Device("M7").(*device.MOSFET).TerminalNames()[0] == "M7#op" {
+		t.Error("Insert mutated the golden circuit")
+	}
+}
+
+func TestOpenInsertErrors(t *testing.T) {
+	c := macros.IVConverter()
+	if _, err := NewDrainOpen("M99", 1e6).Insert(c); err == nil {
+		t.Error("missing transistor accepted")
+	}
+	if _, err := NewDrainOpen("M7", 0).Insert(c); err == nil {
+		t.Error("zero impact accepted")
+	}
+	bad := &Open{Transistor: "M7", Terminal: 1, R: 1e6, R0: 1e6}
+	if _, err := bad.Insert(c); err == nil {
+		t.Error("gate open accepted")
+	}
+}
+
+func TestDrainOpenDisturbsMacro(t *testing.T) {
+	// Opening M10's drain kills the output sink: the DC output must move
+	// far from nominal.
+	c := macros.IVConverter()
+	run := func(ck *circuit.Circuit) float64 {
+		e, err := sim.New(ck, sim.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			t.Skipf("open state did not converge: %v", err)
+		}
+		return e.Voltage(x, macros.NodeVmid)
+	}
+	nom := run(c.Clone())
+	fc, err := NewDrainOpen("M10", 10e6).Insert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := run(fc)
+	if math.Abs(nom-bad) < 0.05 {
+		t.Errorf("drain open barely moved Vmid: %g -> %g", nom, bad)
+	}
+}
+
+func TestAllDrainOpensCount(t *testing.T) {
+	c := macros.IVConverter()
+	opens := AllDrainOpens(c, 10e6)
+	if len(opens) != 10 {
+		t.Fatalf("open count = %d, want one per MOSFET", len(opens))
+	}
+	seen := map[string]bool{}
+	for _, f := range opens {
+		if seen[f.ID()] {
+			t.Errorf("duplicate %s", f.ID())
+		}
+		seen[f.ID()] = true
+	}
+}

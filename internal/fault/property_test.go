@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/macros"
+)
+
+// TestWeakenStrengthenInverse: Strengthen(Weaken(f, k), k) restores the
+// impact (floating-point exactly for multiplicative round trips with the
+// same k).
+func TestWeakenStrengthenInverse(t *testing.T) {
+	f := func(kRaw float64) bool {
+		k := 1 + math.Mod(math.Abs(kRaw), 10)
+		base := Fault(NewBridge("a", "b", 10e3))
+		round := Strengthen(Weaken(base, k), k)
+		return math.Abs(round.Impact()-base.Impact()) < 1e-9*base.Impact()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWithImpactPreservesIdentity: impact manipulation never changes the
+// fault's identity or dictionary impact.
+func TestWithImpactPreservesIdentity(t *testing.T) {
+	f := func(rRaw float64) bool {
+		r := 1 + math.Mod(math.Abs(rRaw), 1e9)
+		for _, base := range []Fault{NewBridge("x", "y", 10e3), NewPinhole("M1", 2e3)} {
+			v := base.WithImpact(r)
+			if v.ID() != base.ID() || v.Kind() != base.Kind() {
+				return false
+			}
+			if v.InitialImpact() != base.InitialImpact() {
+				return false
+			}
+			if v.Impact() != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertNeverMutatesGolden: fault insertion at any impact leaves the
+// golden netlist untouched.
+func TestInsertNeverMutatesGolden(t *testing.T) {
+	golden := macros.IVConverter()
+	before := golden.String()
+	f := func(idx uint8, rRaw float64) bool {
+		r := 10 + math.Mod(math.Abs(rRaw), 1e7)
+		dict := Dictionary(golden, 10e3, 2e3)
+		fl := dict[int(idx)%len(dict)].WithImpact(r)
+		if _, err := fl.Insert(golden); err != nil {
+			return false
+		}
+		return golden.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDictionaryDeterministic: two enumerations agree element-wise.
+func TestDictionaryDeterministic(t *testing.T) {
+	g := macros.IVConverter()
+	a := Dictionary(g, 10e3, 2e3)
+	b := Dictionary(g, 10e3, 2e3)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i].ID(), b[i].ID())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/macros"
+)
+
+func TestUniformWeights(t *testing.T) {
+	dict := Dictionary(macros.IVConverter(), 10e3, 2e3)
+	ws := UniformWeights(dict)
+	if len(ws) != 55 {
+		t.Fatalf("weighted list = %d, want 55", len(ws))
+	}
+	if TotalWeight(ws) != 55 {
+		t.Errorf("total weight = %g, want 55", TotalWeight(ws))
+	}
+}
+
+func TestHeuristicIFAWeights(t *testing.T) {
+	dict := Dictionary(macros.IVConverter(), 10e3, 2e3)
+	ws := HeuristicIFAWeights(dict)
+	var rail, signal, pin float64
+	for _, w := range ws {
+		switch {
+		case w.Kind() == KindPinhole:
+			pin = w.Weight
+		case isRail((w.Fault.(*Bridge)).NodeA) || isRail((w.Fault.(*Bridge)).NodeB):
+			rail = w.Weight
+		default:
+			signal = w.Weight
+		}
+	}
+	if !(rail > signal && signal > pin) {
+		t.Errorf("weight ordering rail(%g) > signal(%g) > pinhole(%g) violated", rail, signal, pin)
+	}
+}
+
+func TestWeightedCoverage(t *testing.T) {
+	ws := []Weighted{
+		{Fault: NewBridge("a", "b", 1e3), Weight: 3},
+		{Fault: NewBridge("c", "d", 1e3), Weight: 1},
+	}
+	cov, err := WeightedCoverage(ws, map[string]bool{"bridge:a-b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov-75) > 1e-9 {
+		t.Errorf("weighted coverage = %g, want 75", cov)
+	}
+	if _, err := WeightedCoverage([]Weighted{{Fault: NewBridge("a", "b", 1), Weight: 0}}, nil); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestWeightedCoverageUniformMatchesCount(t *testing.T) {
+	dict := Dictionary(macros.IVConverter(), 10e3, 2e3)
+	ws := UniformWeights(dict)
+	detected := map[string]bool{}
+	for i, f := range dict {
+		if i%2 == 0 {
+			detected[f.ID()] = true
+		}
+	}
+	cov, err := WeightedCoverage(ws, detected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * float64(len(detected)) / float64(len(dict))
+	if math.Abs(cov-want) > 1e-9 {
+		t.Errorf("uniform weighted coverage = %g, want plain %g", cov, want)
+	}
+}
+
+func TestTopByWeight(t *testing.T) {
+	ws := []Weighted{
+		{Fault: NewBridge("a", "b", 1e3), Weight: 1},
+		{Fault: NewBridge("c", "d", 1e3), Weight: 5},
+		{Fault: NewPinhole("M1", 2e3), Weight: 3},
+	}
+	top := TopByWeight(ws, 2)
+	if len(top) != 2 || top[0].Weight != 5 || top[1].Weight != 3 {
+		t.Errorf("top = %+v", top)
+	}
+	all := TopByWeight(ws, 99)
+	if len(all) != 3 {
+		t.Errorf("overlong n should clamp, got %d", len(all))
+	}
+	// Determinism on ties.
+	tie := []Weighted{
+		{Fault: NewBridge("x", "y", 1), Weight: 2},
+		{Fault: NewBridge("a", "b", 1), Weight: 2},
+	}
+	first := TopByWeight(tie, 1)[0].ID()
+	if first != "bridge:a-b" {
+		t.Errorf("tie broken by %s, want lexicographic", first)
+	}
+}

@@ -1,0 +1,119 @@
+// Package macros contains the analog macro designs used by the test
+// generation experiments, most importantly the CMOS IV-converter
+// (transimpedance amplifier) that reproduces the paper's case study.
+//
+// The IV-converter substitutes for the photodetector macro of Kimmels
+// [9] referenced in the paper, which is not publicly available. It is a
+// two-stage CMOS amplifier with a source-follower output buffer and a
+// resistive feedback network, sized for a 0–40 µA input current range on
+// a 5 V supply. Its defining property for the reproduction is its node
+// and transistor count: exactly 10 circuit nodes including ground (45
+// exhaustive bridging faults) and 10 MOSFETs (10 pinhole faults), giving
+// the paper's 55-fault dictionary.
+package macros
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/wave"
+)
+
+// Standardized node names of the IV-converter macro type, as required by
+// the paper's reusable test configuration descriptions ("node names
+// should however be standardized").
+const (
+	NodeIin   = "Iin"   // current input / summing node
+	NodeVout  = "Vout"  // buffered voltage output
+	NodeVdd   = "Vdd"   // positive supply
+	NodeVref  = "Vref"  // reference input (virtual ground level)
+	NodeNmir  = "Nmir"  // mirror gate node (first stage)
+	NodeOut1  = "Out1"  // first-stage output
+	NodeVmid  = "Vmid"  // second-stage output
+	NodeNbias = "Nbias" // bias rail
+	NodeNtail = "Ntail" // differential-pair tail
+)
+
+// Supply and reference levels of the macro.
+const (
+	SupplyVoltage    = 5.0
+	ReferenceVoltage = 2.5
+	// FeedbackResistance is the transimpedance: Vout ≈ Vref − Iin·Rf.
+	FeedbackResistance = 50e3
+)
+
+// InputSourceName is the instance name of the input current source the
+// test configurations control.
+const InputSourceName = "Iin"
+
+// SupplySourceName is the instance name of the Vdd supply, whose branch
+// current is the supply-current return value of configuration #2.
+const SupplySourceName = "Vdd"
+
+// IVConverter builds the macro with a quiet (0 A) input source attached.
+// Callers replace the input source waveform to apply stimuli.
+func IVConverter() *circuit.Circuit {
+	c := circuit.New("iv-converter")
+
+	nm := device.DefaultNMOSModel()
+	pm := device.DefaultPMOSModel()
+
+	// Supplies and reference.
+	c.Add(device.NewDCVSource(SupplySourceName, NodeVdd, "0", SupplyVoltage))
+	c.Add(device.NewDCVSource("Vref", NodeVref, "0", ReferenceVoltage))
+	// Input current source: current flows INTO the summing node.
+	c.Add(device.NewISource(InputSourceName, NodeIin, "0", wave.DC(0)))
+
+	// Input pad protection: the ESD clamps give over-range input currents
+	// a path into the rails, so the DC configurations can sweep Iin,dc to
+	// 100 µA (beyond the 40 µA linear range) with a well-posed solution.
+	c.Add(device.NewDiode("Desd1", NodeIin, NodeVdd, nil))
+	c.Add(device.NewDiode("Desd2", "0", NodeIin, nil))
+
+	// Bias generator: Rb + diode-connected M8 set ~30 µA.
+	c.Add(device.NewResistor("Rb", NodeVdd, NodeNbias, 130e3))
+	c.Add(device.NewMOSFET("M8", NodeNbias, NodeNbias, "0", nm, 10e-6, 1e-6))
+
+	// First stage: NMOS differential pair with PMOS mirror load.
+	// M1 gate is the inverting input (Iin), M2 gate the reference.
+	c.Add(device.NewMOSFET("M1", NodeNmir, NodeIin, NodeNtail, nm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M2", NodeOut1, NodeVref, NodeNtail, nm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M3", NodeNmir, NodeNmir, NodeVdd, pm, 25e-6, 1e-6))
+	c.Add(device.NewMOSFET("M4", NodeOut1, NodeNmir, NodeVdd, pm, 25e-6, 1e-6))
+	c.Add(device.NewMOSFET("M5", NodeNtail, NodeNbias, "0", nm, 20e-6, 1e-6))
+
+	// Second stage: PMOS common source with NMOS current-sink load.
+	c.Add(device.NewMOSFET("M6", NodeVmid, NodeOut1, NodeVdd, pm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M7", NodeVmid, NodeNbias, "0", nm, 20e-6, 1e-6))
+
+	// Output buffer: NMOS source follower with current-sink bias.
+	c.Add(device.NewMOSFET("M9", NodeVdd, NodeVmid, NodeVout, nm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M10", NodeVout, NodeNbias, "0", nm, 20e-6, 1e-6))
+
+	// Compensation, load and feedback. The dominant pole sits at Out1 via
+	// a grounded capacitor rather than a Miller capacitor: the level-1
+	// transistors carry no gate capacitance, so the Miller RHP zero would
+	// sit right at the loop's unity-gain frequency and destabilize it.
+	// Cdom is sized for ≈70° phase margin with the follower's output pole.
+	c.Add(device.NewCapacitor("Cdom", NodeOut1, "0", 300e-12))
+	c.Add(device.NewCapacitor("CL", NodeVout, "0", 1e-12))
+	c.Add(device.NewResistor("Rf", NodeVout, NodeIin, FeedbackResistance))
+
+	return c
+}
+
+// SetInputWave replaces the input current waveform on (a clone of) the
+// macro. It panics if the input source is missing, which indicates a
+// corrupted netlist rather than a recoverable condition.
+func SetInputWave(c *circuit.Circuit, w wave.Waveform) {
+	src, ok := c.Device(InputSourceName).(*device.ISource)
+	if !ok {
+		panic("macros: circuit has no input current source " + InputSourceName)
+	}
+	src.W = w
+}
+
+// TransistorNames lists the macro's MOSFETs in schematic order; the
+// pinhole fault generator enumerates these.
+func TransistorNames() []string {
+	return []string{"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "M10"}
+}

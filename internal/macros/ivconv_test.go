@@ -1,0 +1,174 @@
+package macros
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/wave"
+)
+
+func TestIVConverterStructure(t *testing.T) {
+	c := IVConverter()
+	// Paper parity: 10 nodes incl. ground -> C(10,2)=45 bridges; 10 MOSFETs.
+	if got := len(c.AllNodes()); got != 10 {
+		t.Errorf("node count (incl. ground) = %d, want 10", got)
+	}
+	mos := 0
+	for _, d := range c.Devices() {
+		if _, ok := d.(*device.MOSFET); ok {
+			mos++
+		}
+	}
+	if mos != 10 {
+		t.Errorf("MOSFET count = %d, want 10", mos)
+	}
+	for _, name := range TransistorNames() {
+		if _, ok := c.Device(name).(*device.MOSFET); !ok {
+			t.Errorf("transistor %s missing", name)
+		}
+	}
+}
+
+func TestIVConverterOperatingPoint(t *testing.T) {
+	c := IVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero input current the summing node sits at the virtual
+	// ground and the output returns to Vref through Rf.
+	viin := e.Voltage(x, NodeIin)
+	vout := e.Voltage(x, NodeVout)
+	if math.Abs(viin-ReferenceVoltage) > 0.05 {
+		t.Errorf("V(Iin) = %g, want ≈ %g (virtual ground)", viin, ReferenceVoltage)
+	}
+	if math.Abs(vout-ReferenceVoltage) > 0.05 {
+		t.Errorf("V(Vout) = %g, want ≈ %g at zero input", vout, ReferenceVoltage)
+	}
+	// Every transistor in the signal path must be on.
+	for _, name := range TransistorNames() {
+		m := c.Device(name).(*device.MOSFET)
+		if m.Region(x) == "off" {
+			t.Errorf("%s is off at the operating point (margin %g)", name, m.SaturationMargin(x))
+		}
+	}
+}
+
+func TestIVConverterTransferSlope(t *testing.T) {
+	// Vout ≈ Vref − Iin·Rf over the linear range.
+	c := IVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []float64{0, 10e-6, 20e-6, 30e-6, 40e-6}
+	sols, err := e.SweepDC(InputSourceName, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range sols {
+		want := ReferenceVoltage - points[i]*FeedbackResistance
+		got := e.Voltage(x, NodeVout)
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("Iin=%g: Vout=%g, want %g±0.1", points[i], got, want)
+		}
+	}
+}
+
+func TestIVConverterSupplyCurrentScale(t *testing.T) {
+	c := IVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := e.BranchCurrent(x, SupplySourceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idd := -i
+	// Bias chain ~30µA + first stage ~60µA + second ~60µA + buffer ~60µA.
+	if idd < 50e-6 || idd > 500e-6 {
+		t.Errorf("Idd = %g, want ~100-300 µA", idd)
+	}
+}
+
+func TestIVConverterStepResponseSettles(t *testing.T) {
+	c := IVConverter()
+	SetInputWave(c, wave.Step{Base: 5e-6, Elev: 20e-6, Delay: 10e-9, Rise: 10e-9})
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Transient(7.5e-6, 10e-9, []string{NodeVout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tr.Signal(NodeVout)
+	start, final := v[0], v[len(v)-1]
+	wantStart := ReferenceVoltage - 5e-6*FeedbackResistance
+	wantFinal := ReferenceVoltage - 25e-6*FeedbackResistance
+	if math.Abs(start-wantStart) > 0.1 {
+		t.Errorf("start = %g, want %g", start, wantStart)
+	}
+	if math.Abs(final-wantFinal) > 0.1 {
+		t.Errorf("final = %g, want %g", final, wantFinal)
+	}
+}
+
+func TestIVConverterTHDBaselineSmall(t *testing.T) {
+	// Mid-range bias, 5 µA sine: the nominal converter is nearly linear,
+	// so THD should be small.
+	c := IVConverter()
+	f := 10e3
+	SetInputWave(c, wave.Sine{Offset: 20e-6, Amplitude: 5e-6, Freq: f})
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 1 / f
+	tr, err := e.Transient(5*period, period/256, []string{NodeVout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the last 2 periods (steady state).
+	v := tr.Signal(NodeVout)
+	tail := v[len(v)-512:]
+	amp1 := 0.0
+	{
+		// Fundamental amplitude should be ≈ 5µA·50k = 0.25 V.
+		maxv, minv := tail[0], tail[0]
+		for _, s := range tail {
+			if s > maxv {
+				maxv = s
+			}
+			if s < minv {
+				minv = s
+			}
+		}
+		amp1 = (maxv - minv) / 2
+	}
+	if math.Abs(amp1-0.25) > 0.05 {
+		t.Errorf("output sine amplitude = %g, want ≈ 0.25", amp1)
+	}
+}
+
+func TestSetInputWavePanicsWithoutSource(t *testing.T) {
+	c := IVConverter()
+	c.Remove(InputSourceName)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetInputWave on gutted circuit did not panic")
+		}
+	}()
+	SetInputWave(c, wave.DC(1e-6))
+}

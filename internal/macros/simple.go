@@ -1,0 +1,55 @@
+package macros
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/wave"
+)
+
+// SimpleIVConverter builds a reduced single-stage variant of the macro:
+// the same standardized interface (Iin, Vout, Vdd, Vref) with one gain
+// stage and a source-follower buffer — 8 transistors, 9 circuit nodes
+// including ground. It serves as a second macro type for tests and for
+// demonstrating that the generation flow is macro-agnostic; its
+// exhaustive dictionary is C(9,2) = 36 bridges + 8 pinholes = 44 faults.
+func SimpleIVConverter() *circuit.Circuit {
+	c := circuit.New("simple-iv-converter")
+
+	nm := device.DefaultNMOSModel()
+	pm := device.DefaultPMOSModel()
+
+	c.Add(device.NewDCVSource(SupplySourceName, NodeVdd, "0", SupplyVoltage))
+	c.Add(device.NewDCVSource("Vref", NodeVref, "0", ReferenceVoltage))
+	c.Add(device.NewISource(InputSourceName, NodeIin, "0", wave.DC(0)))
+
+	// Input protection (same rationale as the full macro).
+	c.Add(device.NewDiode("Desd1", NodeIin, NodeVdd, nil))
+	c.Add(device.NewDiode("Desd2", "0", NodeIin, nil))
+
+	// Bias chain ~30 µA.
+	c.Add(device.NewResistor("Rb", NodeVdd, NodeNbias, 130e3))
+	c.Add(device.NewMOSFET("M8", NodeNbias, NodeNbias, "0", nm, 10e-6, 1e-6))
+
+	// Single gain stage: differential pair with mirror load.
+	c.Add(device.NewMOSFET("M1", NodeNmir, NodeVref, NodeNtail, nm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M2", NodeOut1, NodeIin, NodeNtail, nm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M3", NodeNmir, NodeNmir, NodeVdd, pm, 25e-6, 1e-6))
+	c.Add(device.NewMOSFET("M4", NodeOut1, NodeNmir, NodeVdd, pm, 25e-6, 1e-6))
+	c.Add(device.NewMOSFET("M5", NodeNtail, NodeNbias, "0", nm, 20e-6, 1e-6))
+
+	// Buffer.
+	c.Add(device.NewMOSFET("M9", NodeVdd, NodeOut1, NodeVout, nm, 50e-6, 1e-6))
+	c.Add(device.NewMOSFET("M10", NodeVout, NodeNbias, "0", nm, 20e-6, 1e-6))
+
+	// Single-stage loop: a modest dominant cap suffices.
+	c.Add(device.NewCapacitor("Cdom", NodeOut1, "0", 50e-12))
+	c.Add(device.NewCapacitor("CL", NodeVout, "0", 1e-12))
+	c.Add(device.NewResistor("Rf", NodeVout, NodeIin, FeedbackResistance))
+
+	return c
+}
+
+// SimpleTransistorNames lists the reduced macro's MOSFETs.
+func SimpleTransistorNames() []string {
+	return []string{"M1", "M2", "M3", "M4", "M5", "M8", "M9", "M10"}
+}

@@ -1,0 +1,83 @@
+package macros
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func TestSimpleIVConverterStructure(t *testing.T) {
+	c := SimpleIVConverter()
+	if got := len(c.AllNodes()); got != 9 {
+		t.Errorf("node count = %d, want 9 (incl. ground)", got)
+	}
+	mos := 0
+	for _, d := range c.Devices() {
+		if _, ok := d.(*device.MOSFET); ok {
+			mos++
+		}
+	}
+	if mos != 8 {
+		t.Errorf("MOSFET count = %d, want 8", mos)
+	}
+	for _, n := range SimpleTransistorNames() {
+		if c.Device(n) == nil {
+			t.Errorf("transistor %s missing", n)
+		}
+	}
+}
+
+func TestSimpleIVConverterOperatingPoint(t *testing.T) {
+	c := SimpleIVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Voltage(x, NodeVout); math.Abs(got-ReferenceVoltage) > 0.1 {
+		t.Errorf("V(Vout) = %g, want ≈ %g", got, ReferenceVoltage)
+	}
+}
+
+func TestSimpleIVConverterTransfer(t *testing.T) {
+	c := SimpleIVConverter()
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []float64{0, 10e-6, 20e-6, 30e-6}
+	sols, err := e.SweepDC(InputSourceName, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range sols {
+		want := ReferenceVoltage - points[i]*FeedbackResistance
+		got := e.Voltage(x, NodeVout)
+		// The single-stage loop has ~20× less gain than the full macro:
+		// allow a correspondingly larger static error.
+		if math.Abs(got-want) > 0.25 {
+			t.Errorf("Iin=%g: Vout=%g, want %g±0.25", points[i], got, want)
+		}
+	}
+}
+
+func TestSimpleMacroSharesInterface(t *testing.T) {
+	// Both macros expose the standardized nodes, so the same test
+	// configurations must run on either.
+	for _, c := range []*circuit.Circuit{IVConverter(), SimpleIVConverter()} {
+		for _, n := range []string{NodeIin, NodeVout, NodeVdd, NodeVref} {
+			if !c.HasNode(n) {
+				t.Errorf("macro %s missing node %s", c.Name(), n)
+			}
+		}
+		if c.Device(InputSourceName) == nil || c.Device(SupplySourceName) == nil {
+			t.Errorf("macro %s missing standard sources", c.Name())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package macros
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func measurePeaking(t *testing.T, e *sim.Engine) float64 {
+	t.Helper()
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := sim.LogSpace(1e2, 1e9, 71)
+	res, err := e.AC(xop, InputSourceName, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.MagDB(0, NodeVout)
+	worst := 0.0
+	for i := range freqs {
+		if p := res.MagDB(i, NodeVout) - ref; p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+func TestIVConverterClosedLoopStable(t *testing.T) {
+	e, err := sim.New(IVConverter(), sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := measurePeaking(t, e); peak > 6 {
+		t.Errorf("closed-loop peaking = %.1f dB: loop under-compensated", peak)
+	}
+}
+
+func TestSimpleIVConverterClosedLoopStable(t *testing.T) {
+	e, err := sim.New(SimpleIVConverter(), sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := measurePeaking(t, e); peak > 6 {
+		t.Errorf("closed-loop peaking = %.1f dB: loop under-compensated", peak)
+	}
+}
+
+func TestIVConverterLowFrequencyTransimpedance(t *testing.T) {
+	// |Vout/Iin| at low frequency equals Rf (= 94 dBΩ for 50 kΩ).
+	e, err := sim.New(IVConverter(), sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AC(xop, InputSourceName, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20 * math.Log10(FeedbackResistance)
+	if got := res.MagDB(0, NodeVout); math.Abs(got-want) > 0.5 {
+		t.Errorf("low-frequency transimpedance = %.2f dBΩ, want %.2f", got, want)
+	}
+}
+
+func TestIVConverterBandwidthReasonable(t *testing.T) {
+	// Find the -3 dB frequency; it must sit in the MHz decade the
+	// compensation targets (fast enough for the 7.5 µs step window, slow
+	// enough to be dominated by Cdom).
+	e, err := sim.New(IVConverter(), sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := sim.LogSpace(1e3, 1e9, 121)
+	res, err := e.AC(xop, InputSourceName, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.MagDB(0, NodeVout)
+	f3 := 0.0
+	for i := range freqs {
+		if res.MagDB(i, NodeVout) < ref-3 {
+			f3 = freqs[i]
+			break
+		}
+	}
+	if f3 < 1e5 || f3 > 1e9 {
+		t.Errorf("closed-loop -3 dB at %g Hz, want 0.1 MHz - 1 GHz", f3)
+	}
+}

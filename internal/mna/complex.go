@@ -1,0 +1,171 @@
+package mna
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ComplexSystem is the complex-valued analogue of System, used by the AC
+// small-signal analysis where reactive stamps are jωC / 1/(jωL).
+type ComplexSystem struct {
+	n    int
+	a    []complex128
+	b    []complex128
+	lu   []complex128
+	perm []int
+	x    []complex128
+}
+
+// NewComplexSystem returns a zeroed n-dimensional complex system.
+func NewComplexSystem(n int) *ComplexSystem {
+	if n < 0 {
+		panic(fmt.Sprintf("mna: negative dimension %d", n))
+	}
+	return &ComplexSystem{
+		n:    n,
+		a:    make([]complex128, n*n),
+		b:    make([]complex128, n),
+		lu:   make([]complex128, n*n),
+		perm: make([]int, n),
+		x:    make([]complex128, n),
+	}
+}
+
+// Dim returns the system dimension.
+func (s *ComplexSystem) Dim() int { return s.n }
+
+// Clear zeroes the matrix and right-hand side.
+func (s *ComplexSystem) Clear() {
+	for i := range s.a {
+		s.a[i] = 0
+	}
+	for i := range s.b {
+		s.b[i] = 0
+	}
+}
+
+// At returns matrix entry (i, j); ground indices (-1) read as 0.
+func (s *ComplexSystem) At(i, j int) complex128 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return s.a[i*s.n+j]
+}
+
+// Add adds v to matrix entry (i, j); either index may be -1 (ground).
+func (s *ComplexSystem) Add(i, j int, v complex128) {
+	if i < 0 || j < 0 {
+		return
+	}
+	s.a[i*s.n+j] += v
+}
+
+// AddRHS adds v to right-hand-side entry i; i may be -1 (ground).
+func (s *ComplexSystem) AddRHS(i int, v complex128) {
+	if i < 0 {
+		return
+	}
+	s.b[i] += v
+}
+
+// StampAdmittance stamps a two-terminal admittance y between unknowns i
+// and j (either may be -1 for ground).
+func (s *ComplexSystem) StampAdmittance(i, j int, y complex128) {
+	s.Add(i, i, y)
+	s.Add(j, j, y)
+	s.Add(i, j, -y)
+	s.Add(j, i, -y)
+}
+
+// StampCurrent stamps a phasor current flowing from node a into node b.
+func (s *ComplexSystem) StampCurrent(a, b int, cur complex128) {
+	s.AddRHS(a, -cur)
+	s.AddRHS(b, cur)
+}
+
+// StampVoltageSource stamps an ideal phasor voltage source with branch
+// unknown br: V(plus) − V(minus) = v.
+func (s *ComplexSystem) StampVoltageSource(br, plus, minus int, v complex128) {
+	s.Add(plus, br, 1)
+	s.Add(minus, br, -1)
+	s.Add(br, plus, 1)
+	s.Add(br, minus, -1)
+	s.AddRHS(br, v)
+}
+
+// StampVCCS stamps a voltage-controlled current source with transadmittance g.
+func (s *ComplexSystem) StampVCCS(p, m, cp, cm int, g complex128) {
+	s.Add(p, cp, g)
+	s.Add(p, cm, -g)
+	s.Add(m, cp, -g)
+	s.Add(m, cm, g)
+}
+
+// Factor computes the LU factorization with partial pivoting.
+func (s *ComplexSystem) Factor() error {
+	copy(s.lu, s.a)
+	n := s.n
+	m := s.lu
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		max := cmplx.Abs(m[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(m[i*n+k]); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max == 0 {
+			return fmt.Errorf("%w: zero pivot in column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				m[k*n+j], m[p*n+j] = m[p*n+j], m[k*n+j]
+			}
+			s.perm[k], s.perm[p] = s.perm[p], s.perm[k]
+		}
+		piv := m[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := m[i*n+k] / piv
+			m[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				m[i*n+j] -= l * m[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves the factored system for the stamped right-hand side. The
+// returned slice is reused by subsequent calls.
+func (s *ComplexSystem) Solve() []complex128 {
+	n := s.n
+	m := s.lu
+	x := s.x
+	tmp := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = s.b[s.perm[i]]
+	}
+	copy(x, tmp)
+	for i := 1; i < n; i++ {
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= m[i*n+j] * x[j]
+		}
+		x[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i*n+j] * x[j]
+		}
+		x[i] = sum / m[i*n+i]
+	}
+	return x
+}

@@ -1,0 +1,230 @@
+// Package mna provides the modified-nodal-analysis (MNA) linear systems
+// used by the circuit simulator: dense real and complex matrices with LU
+// factorization, and the index bookkeeping that maps circuit nodes and
+// source branches onto matrix rows.
+//
+// Analog macros are small (tens of unknowns), so a dense solver with
+// partial pivoting is both simpler and faster than a sparse one.
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when LU factorization encounters a pivot that is
+// numerically zero, i.e. the circuit matrix is singular (floating node,
+// voltage-source loop, ...).
+var ErrSingular = errors.New("mna: singular matrix")
+
+// System is a dense real linear system A·x = b of dimension n.
+//
+// Row/column index 0 corresponds to the first non-ground unknown; the
+// ground node is eliminated by convention. Stamping helpers accept the
+// value -1 for "ground" and silently drop contributions to that row or
+// column, so device code can stamp without special-casing ground.
+type System struct {
+	n    int
+	a    []float64 // row-major n×n
+	b    []float64
+	lu   []float64 // factorization workspace
+	perm []int     // row permutation from partial pivoting
+	x    []float64
+}
+
+// NewSystem returns a zeroed n-dimensional system.
+func NewSystem(n int) *System {
+	if n < 0 {
+		panic(fmt.Sprintf("mna: negative dimension %d", n))
+	}
+	return &System{
+		n:    n,
+		a:    make([]float64, n*n),
+		b:    make([]float64, n),
+		lu:   make([]float64, n*n),
+		perm: make([]int, n),
+		x:    make([]float64, n),
+	}
+}
+
+// Dim returns the system dimension.
+func (s *System) Dim() int { return s.n }
+
+// Clear zeroes the matrix and right-hand side so the system can be
+// re-stamped for the next Newton iteration or time step.
+func (s *System) Clear() {
+	for i := range s.a {
+		s.a[i] = 0
+	}
+	for i := range s.b {
+		s.b[i] = 0
+	}
+}
+
+// At returns matrix entry (i, j). Ground indices (-1) read as 0.
+func (s *System) At(i, j int) float64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return s.a[i*s.n+j]
+}
+
+// RHS returns right-hand-side entry i. Ground (-1) reads as 0.
+func (s *System) RHS(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return s.b[i]
+}
+
+// Add adds v to matrix entry (i, j). Either index may be -1 (ground), in
+// which case the contribution is dropped.
+func (s *System) Add(i, j int, v float64) {
+	if i < 0 || j < 0 {
+		return
+	}
+	s.a[i*s.n+j] += v
+}
+
+// AddRHS adds v to right-hand-side entry i; i may be -1 (ground).
+func (s *System) AddRHS(i int, v float64) {
+	if i < 0 {
+		return
+	}
+	s.b[i] += v
+}
+
+// StampConductance stamps a two-terminal conductance g between unknowns i
+// and j (either may be -1 for ground): the usual
+//
+//	[ +g  -g ]
+//	[ -g  +g ]
+//
+// pattern.
+func (s *System) StampConductance(i, j int, g float64) {
+	s.Add(i, i, g)
+	s.Add(j, j, g)
+	s.Add(i, j, -g)
+	s.Add(j, i, -g)
+}
+
+// StampCurrent stamps an independent current i flowing from node a into
+// node b (current leaves a, enters b).
+func (s *System) StampCurrent(a, b int, cur float64) {
+	s.AddRHS(a, -cur)
+	s.AddRHS(b, cur)
+}
+
+// StampVoltageSource stamps an ideal voltage source with branch unknown
+// br: V(plus) − V(minus) = v. The branch row enforces the constraint and
+// the branch column injects the branch current into the node equations.
+func (s *System) StampVoltageSource(br, plus, minus int, v float64) {
+	s.Add(plus, br, 1)
+	s.Add(minus, br, -1)
+	s.Add(br, plus, 1)
+	s.Add(br, minus, -1)
+	s.AddRHS(br, v)
+}
+
+// StampVCCS stamps a voltage-controlled current source: a current
+// g·(V(cp)−V(cm)) flowing from node p to node m.
+func (s *System) StampVCCS(p, m, cp, cm int, g float64) {
+	s.Add(p, cp, g)
+	s.Add(p, cm, -g)
+	s.Add(m, cp, -g)
+	s.Add(m, cm, g)
+}
+
+// Factor computes the LU factorization with partial pivoting. The stamped
+// matrix is preserved; the factorization lives in a private workspace so
+// the same stamps can be inspected after solving.
+func (s *System) Factor() error {
+	copy(s.lu, s.a)
+	return luFactor(s.lu, s.perm, s.n)
+}
+
+// Solve solves the factored system for the stamped right-hand side and
+// returns the solution. The returned slice is reused by subsequent calls;
+// callers that retain it must copy. Factor must have been called since the
+// last Clear/stamp cycle.
+func (s *System) Solve() []float64 {
+	copy(s.x, s.b)
+	luSolve(s.lu, s.perm, s.n, s.x)
+	return s.x
+}
+
+// FactorSolve clears nothing, factors, and solves in one call.
+func (s *System) FactorSolve() ([]float64, error) {
+	if err := s.Factor(); err != nil {
+		return nil, err
+	}
+	return s.Solve(), nil
+}
+
+// luFactor performs in-place Doolittle LU with partial pivoting on the
+// row-major n×n matrix m, recording the pivot rows in perm.
+func luFactor(m []float64, perm []int, n int) error {
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p := k
+		max := math.Abs(m[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m[i*n+k]); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return fmt.Errorf("%w: zero pivot in column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				m[k*n+j], m[p*n+j] = m[p*n+j], m[k*n+j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		piv := m[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := m[i*n+k] / piv
+			m[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				m[i*n+j] -= l * m[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// luSolve solves LU·x = P·b in place: x carries b on entry and the
+// solution on return.
+func luSolve(m []float64, perm []int, n int, x []float64) {
+	// Apply permutation.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[perm[i]]
+	}
+	copy(x, tmp)
+	// Forward substitution (unit lower triangle).
+	for i := 1; i < n; i++ {
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= m[i*n+j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i*n+j] * x[j]
+		}
+		x[i] = sum / m[i*n+i]
+	}
+}

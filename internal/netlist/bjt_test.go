@@ -1,0 +1,123 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+const ceAmpNetlist = `
+.title ce-amp
+.model q1 npn bf=150 is=2e-15
+Vcc vcc 0 10
+Vb  b   0 0.68
+Q1  c b 0 q1
+RC  vcc c 5k
+`
+
+func TestParseBJT(t *testing.T) {
+	c, err := ParseString(ceAmpNetlist, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := c.Device("Q1").(*device.BJT)
+	if !ok {
+		t.Fatal("Q1 missing")
+	}
+	if q.Model.BF != 150 || q.Model.IS != 2e-15 || q.Model.Type != device.NPN {
+		t.Errorf("model = %+v", q.Model)
+	}
+}
+
+func TestBJTCommonEmitterOP(t *testing.T) {
+	c, err := ParseString(ceAmpNetlist, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ic = IS·exp(0.68/VT) ≈ 0.54 mA, Vc = 10 − 5k·Ic ≈ 7.3 V.
+	q := c.Device("Q1").(*device.BJT)
+	ic := q.CollectorCurrent(x)
+	vc := e.Voltage(x, "c")
+	if math.Abs(vc-(10-5e3*ic)) > 1e-6 {
+		t.Errorf("KCL: Vc=%g with Ic=%g", vc, ic)
+	}
+	if vc < 5 || vc > 9.5 {
+		t.Errorf("Vc = %g, want a mid-rail bias", vc)
+	}
+}
+
+func TestBJTCommonEmitterACGain(t *testing.T) {
+	c, err := ParseString(ceAmpNetlist, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(c, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AC(xop, "Vb", []float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Device("Q1").(*device.BJT)
+	gm := q.CollectorCurrent(xop) / 0.02585
+	want := gm * 5e3
+	got := res.Voltage(0, "c")
+	if math.Abs(real(got)+want) > 0.01*want {
+		t.Errorf("AC gain = %v, want -%g", got, want)
+	}
+}
+
+func TestBJTUnknownModelRejected(t *testing.T) {
+	if _, err := ParseString("Q1 c b 0 nosuch\nVc c 0 1\nVb b 0 1\n", "x"); err == nil {
+		t.Error("unknown BJT model accepted")
+	}
+	if _, err := ParseString(".model m npn bf\nQ1 c b 0 m\n", "x"); err == nil {
+		t.Error("malformed BJT model parameter accepted")
+	}
+}
+
+func TestBJTInSubckt(t *testing.T) {
+	src := `
+.subckt stage in out vcc
+.model q npn
+Q1 out in 0 q
+RC vcc out 5k
+.ends
+Vcc vcc 0 10
+Vin in 0 0.66
+X1 in out vcc stage
+`
+	c, err := ParseString(src, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Device("X1.Q1").(*device.BJT); !ok {
+		t.Fatalf("flattened BJT missing: %s", c.String())
+	}
+}
+
+func TestFormatBJT(t *testing.T) {
+	c, err := ParseString(ceAmpNetlist, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Format(c), "Q1 c b 0 npn") {
+		t.Errorf("Format output:\n%s", Format(c))
+	}
+}

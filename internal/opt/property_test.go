@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPowellNeverWorseThanSeed: the optimizer must return a point at
+// least as good as its starting value, for arbitrary smooth objectives.
+func TestPowellNeverWorseThanSeed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random positive-definite quadratic with cross terms.
+		a := 1 + rng.Float64()*4
+		b := 1 + rng.Float64()*4
+		c := rng.Float64() // |c| < sqrt(ab) keeps it convex
+		cx, cy := rng.Float64()*2-1, rng.Float64()*2-1
+		obj := func(x []float64) float64 {
+			u, v := x[0]-cx, x[1]-cy
+			return a*u*u + b*v*v + c*u*v
+		}
+		box := NewBox([]float64{-3, -3}, []float64{3, 3})
+		seedPt := []float64{rng.Float64()*6 - 3, rng.Float64()*6 - 3}
+		res := Powell(obj, box, seedPt, 1e-6)
+		return res.F <= obj(box.Clamp(append([]float64(nil), seedPt...)))+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPowellFindsConvexMinimum: on convex quadratics inside the box the
+// optimizer reaches the analytic minimum.
+func TestPowellFindsConvexMinimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cx, cy := rng.Float64()*4-2, rng.Float64()*4-2 // inside [-3,3]
+		obj := func(x []float64) float64 {
+			u, v := x[0]-cx, x[1]-cy
+			return u*u + 2*v*v
+		}
+		box := NewBox([]float64{-3, -3}, []float64{3, 3})
+		res := Powell(obj, box, []float64{0, 0}, 1e-8)
+		return math.Abs(res.X[0]-cx) < 1e-3 && math.Abs(res.X[1]-cy) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBrentStaysInBounds: whatever the objective, the minimizer never
+// leaves [a, b].
+func TestBrentStaysInBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*10 - 5
+		b := a + 0.1 + rng.Float64()*10
+		obj := func(x float64) float64 { return math.Sin(5*x) + 0.1*x }
+		res := Brent(obj, a, b, 1e-8)
+		return res.X[0] >= a-1e-12 && res.X[0] <= b+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGridMinimumIsTrueGridMinimum: Grid must return the exact minimum
+// over its own sample set.
+func TestGridMinimumIsTrueGridMinimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make(map[[2]int]float64)
+		obj := func(x []float64) float64 {
+			// Deterministic pseudo-random surface keyed by position.
+			k := [2]int{int(math.Round(x[0] * 4)), int(math.Round(x[1] * 4))}
+			if v, ok := vals[k]; ok {
+				return v
+			}
+			v := rng.NormFloat64()
+			vals[k] = v
+			return v
+		}
+		box := NewBox([]float64{0, 0}, []float64{1, 1})
+		res := Grid(obj, box, 5)
+		min := math.Inf(1)
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+		}
+		return res.F == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

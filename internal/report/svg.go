@@ -1,0 +1,129 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Minimal SVG line-plot rendering for waveforms and sweeps, so the tools
+// can drop viewable artifacts next to their text reports without any
+// external plotting dependency.
+
+// Series is one named line of an SVG plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// SVGOptions tunes the plot canvas.
+type SVGOptions struct {
+	Width, Height int
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+// DefaultSVGOptions returns a 720×420 canvas.
+func DefaultSVGOptions(title, xlabel, ylabel string) SVGOptions {
+	return SVGOptions{Width: 720, Height: 420, Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// seriesColors cycles through a readable palette.
+var seriesColors = []string{"#1668b5", "#d1495b", "#2e8b57", "#b8860b", "#6a4fb3", "#444444"}
+
+// SVGPlot renders the series as an SVG line chart. All series must have
+// equal-length, non-empty X/Y slices.
+func SVGPlot(w io.Writer, opts SVGOptions, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: SVG plot without series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x / %d y points", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// 5 % vertical headroom.
+	pad := 0.05 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	const ml, mr, mt, mb = 64, 16, 36, 46 // margins
+	pw := float64(opts.Width - ml - mr)
+	ph := float64(opts.Height - mt - mb)
+	px := func(x float64) float64 { return ml + pw*(x-xmin)/(xmax-xmin) }
+	py := func(y float64) float64 { return mt + ph*(1-(y-ymin)/(ymax-ymin)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`+"\n",
+		ml, mt, pw, ph)
+	// Title and axis labels.
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", ml, xmlEscape(opts.Title))
+	}
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			ml+pw/2, opts.Height-10, xmlEscape(opts.XLabel))
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.0f" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+			mt+ph/2, mt+ph/2, xmlEscape(opts.YLabel))
+	}
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle" fill="#555">%s</text>`+"\n",
+			px(fx), mt+ph+16, Engineering(fx))
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="end" fill="#555">%s</text>`+"\n",
+			float64(ml-6), py(fy)+4, Engineering(fy))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			ml, py(fy), ml+pw, py(fy))
+	}
+	// Series.
+	for si, s := range series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts strings.Builder
+		for i := range s.X {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.2f,%.2f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			pts.String(), color)
+		// Legend.
+		ly := mt + 16 + 16*si
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%d" x2="%.0f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			ml+pw-120, ly, ml+pw-100, ly, color)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" fill="#333">%s</text>`+"\n",
+			ml+pw-94, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

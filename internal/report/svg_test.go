@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGPlotBasics(t *testing.T) {
+	var b strings.Builder
+	err := SVGPlot(&b, DefaultSVGOptions("Step response", "t [s]", "V"),
+		Series{Name: "Vout", X: []float64{0, 1e-6, 2e-6}, Y: []float64{2.25, 1.3, 1.25}},
+		Series{Name: "Vmid", X: []float64{0, 1e-6, 2e-6}, Y: []float64{3.1, 2.1, 2.05}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Step response", "Vout", "Vmid", "t [s]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polyline count = %d, want 2", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestSVGPlotErrors(t *testing.T) {
+	var b strings.Builder
+	if err := SVGPlot(&b, DefaultSVGOptions("", "", "")); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := SVGPlot(&b, DefaultSVGOptions("", "", ""),
+		Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if err := SVGPlot(&b, DefaultSVGOptions("", "", ""),
+		Series{Name: "empty"}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestSVGPlotDegenerateRanges(t *testing.T) {
+	var b strings.Builder
+	// Constant series: the range guards must avoid division by zero.
+	err := SVGPlot(&b, DefaultSVGOptions("flat", "x", "y"),
+		Series{Name: "c", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("degenerate ranges produced NaN coordinates")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}

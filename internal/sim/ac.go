@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/device"
+	"repro/internal/mna"
+)
+
+// ACResult holds small-signal phasor solutions, one per analysis
+// frequency.
+type ACResult struct {
+	Freqs     []float64
+	solutions [][]complex128
+	eng       *Engine
+}
+
+// Voltage returns the phasor voltage of a node at frequency point i.
+func (r *ACResult) Voltage(i int, node string) complex128 {
+	if circuitIsGround(node) {
+		return 0
+	}
+	idx, ok := r.eng.layout.NodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown node %q", node))
+	}
+	return r.solutions[i][idx]
+}
+
+// MagDB returns 20·log10 |V(node)| at frequency point i.
+func (r *ACResult) MagDB(i int, node string) float64 {
+	return 20 * math.Log10(cmplx.Abs(r.Voltage(i, node)))
+}
+
+// PhaseDeg returns the phase of V(node) in degrees at frequency point i.
+func (r *ACResult) PhaseDeg(i int, node string) float64 {
+	return cmplx.Phase(r.Voltage(i, node)) * 180 / math.Pi
+}
+
+func circuitIsGround(node string) bool {
+	switch node {
+	case "0", "gnd", "GND", "":
+		return true
+	}
+	return false
+}
+
+// AC performs small-signal analysis linearized around a DC operating
+// point. The named independent source is driven with a unit AC magnitude
+// (1 V or 1 A); everything else is quiet.
+func (e *Engine) AC(xop []float64, input string, freqs []float64) (*ACResult, error) {
+	src := e.ckt.Device(input)
+	if src == nil {
+		return nil, fmt.Errorf("sim: AC input %q not found", input)
+	}
+	res := &ACResult{Freqs: freqs, eng: e}
+	n := e.layout.Dim()
+	sys := mna.NewComplexSystem(n)
+	for _, f := range freqs {
+		omega := 2 * math.Pi * f
+		sys.Clear()
+		for _, d := range e.ckt.Devices() {
+			if ac, ok := d.(device.ACStamper); ok {
+				ac.StampAC(sys, xop, omega)
+			}
+		}
+		// Drive the excitation source with unit magnitude.
+		switch s := src.(type) {
+		case *device.VSource:
+			sys.AddRHS(s.BranchBase(), 1)
+		case *device.ISource:
+			terms := s.Terminals()
+			sys.StampCurrent(terms[1], terms[0], 1)
+		default:
+			return nil, fmt.Errorf("sim: AC input %q is not an independent source", input)
+		}
+		if err := sys.Factor(); err != nil {
+			return nil, fmt.Errorf("sim: AC at %g Hz: %w", f, err)
+		}
+		sol := sys.Solve()
+		snap := make([]complex128, n)
+		copy(snap, sol)
+		res.solutions = append(res.solutions, snap)
+	}
+	return res, nil
+}
+
+// LogSpace returns n logarithmically spaced frequencies from lo to hi
+// inclusive, a convenience for Bode-style sweeps.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LinSpace returns n linearly spaced values from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/wave"
+)
+
+func rcCircuit() *circuit.Circuit {
+	c := circuit.New("rc")
+	c.Add(device.NewVSource("V1", "in", "0", wave.Step{Base: 0, Elev: 1}))
+	c.Add(device.NewResistor("R1", "in", "out", 1e3))
+	c.Add(device.NewCapacitor("C1", "out", "0", 1e-6))
+	return c
+}
+
+func TestAdaptiveRCMatchesAnalytic(t *testing.T) {
+	e := newEngine(t, rcCircuit())
+	tau := 1e-3
+	tr, err := e.TransientAdaptive(DefaultAdaptiveSpec(3*tau), []string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tr.Signal("out")
+	for i, tt := range tr.Times {
+		want := 1 - math.Exp(-tt/tau)
+		if math.Abs(v[i]-want) > 2e-3 {
+			t.Fatalf("t=%g: v=%g, want %g", tt, v[i], want)
+		}
+	}
+	if got := v[len(v)-1]; math.Abs(got-(1-math.Exp(-3))) > 2e-3 {
+		t.Errorf("final = %g, want %g", got, 1-math.Exp(-3))
+	}
+}
+
+func TestAdaptiveGrowsStepOnSmoothTail(t *testing.T) {
+	e := newEngine(t, rcCircuit())
+	tau := 1e-3
+	tr, err := e.TransientAdaptive(DefaultAdaptiveSpec(5*tau), []string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps near the start (fast edge) must be smaller than near the end
+	// (settled).
+	n := tr.Len()
+	early := tr.Times[2] - tr.Times[1]
+	late := tr.Times[n-1] - tr.Times[n-2]
+	if late <= early {
+		t.Errorf("step did not grow: early=%g late=%g", early, late)
+	}
+	// And far fewer points than a fixed-step run at the early resolution.
+	fixedCount := int(5 * tau / early)
+	if n >= fixedCount {
+		t.Errorf("adaptive used %d points, fixed equivalent %d", n, fixedCount)
+	}
+}
+
+func TestAdaptiveTimeAxisMonotone(t *testing.T) {
+	e := newEngine(t, rcCircuit())
+	tr, err := e.TransientAdaptive(DefaultAdaptiveSpec(2e-3), []string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Times[i] <= tr.Times[i-1] {
+			t.Fatalf("time axis not monotone at %d", i)
+		}
+	}
+	if math.Abs(tr.Times[tr.Len()-1]-2e-3) > 1e-9 {
+		t.Errorf("final time = %g, want 2e-3", tr.Times[tr.Len()-1])
+	}
+}
+
+func TestAdaptiveRejectsBadSpec(t *testing.T) {
+	e := newEngine(t, rcCircuit())
+	if _, err := e.TransientAdaptive(AdaptiveSpec{Stop: 0}, nil); err == nil {
+		t.Error("zero stop accepted")
+	}
+	if _, err := e.TransientAdaptive(AdaptiveSpec{Stop: 1, DtIni: 0.1, DtMin: 1e-12, DtMax: 0.01}, nil); err == nil {
+		t.Error("DtMax < DtIni accepted")
+	}
+}
+
+func TestAdaptiveIVConverterStepAgreesWithFixed(t *testing.T) {
+	// Cross-validate the two integrators on the macro's step response.
+	build := func() *Engine {
+		ckt := macros.IVConverter()
+		macros.SetInputWave(ckt, wave.Step{Base: 5e-6, Elev: 20e-6, Delay: 10e-9, Rise: 10e-9})
+		e, err := New(ckt, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	fixed, err := build().Transient(2e-6, 10e-9, []string{macros.NodeVout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultAdaptiveSpec(2e-6)
+	spec.DtIni = 5e-9
+	adaptive, err := build().TransientAdaptive(spec, []string{macros.NodeVout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := fixed.Signal(macros.NodeVout)
+	av := adaptive.Signal(macros.NodeVout)
+	if math.Abs(fv[len(fv)-1]-av[len(av)-1]) > 1e-3 {
+		t.Errorf("final values disagree: fixed=%g adaptive=%g",
+			fv[len(fv)-1], av[len(av)-1])
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/macros"
+)
+
+// TestOperatingPointFallbackPaths forces the gmin/source stepping
+// fallbacks by starving plain Newton of iterations: from a cold start
+// the macro needs ~20 damped iterations, so MaxIter = 12 fails the
+// direct attempt while each incremental continuation step still fits.
+// The fallback must land on the same operating point as the easy path.
+func TestOperatingPointFallbackPaths(t *testing.T) {
+	ref := func() float64 {
+		e, err := New(macros.IVConverter(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Voltage(x, macros.NodeVout)
+	}()
+
+	opts := DefaultOptions()
+	opts.MaxIter = 12
+	e, err := New(macros.IVConverter(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatalf("continuation fallbacks failed: %v", err)
+	}
+	if got := e.Voltage(x, macros.NodeVout); math.Abs(got-ref) > 1e-3 {
+		t.Errorf("fallback OP Vout = %g, reference %g", got, ref)
+	}
+}
+
+// TestOperatingPointImpossible: with a hopeless iteration budget every
+// strategy fails and the engine reports ErrNoConvergence wrapped in
+// context rather than hanging or panicking.
+func TestOperatingPointImpossible(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxIter = 1
+	e, err := New(macros.IVConverter(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OperatingPoint(); err == nil {
+		t.Fatal("1-iteration budget converged — fallback accounting broken")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := New(macros.IVConverter(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Circuit() == nil || e.Circuit().Name() != "iv-converter" {
+		t.Error("Circuit accessor wrong")
+	}
+	if e.Layout() == nil || e.Layout().NumNodes != 9 {
+		t.Errorf("Layout = %+v", e.Layout())
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/wave"
+)
+
+// csAmpWithCaps builds a common-source amplifier whose transistor
+// carries gate capacitance, so its dynamics come from the device model
+// rather than explicit capacitors.
+func csAmpWithCaps() (*circuit.Circuit, *device.MOSFET) {
+	c := circuit.New("cs-caps")
+	mod := device.DefaultNMOSModel().WithGateCaps(3.45e-3, 0.3e-9, 0.3e-9)
+	mod.Lambda = 0
+	// Sized to sit in saturation: Id = 108 µA, 2.16 V across RL,
+	// gm = 0.72 mS, gain ≈ 14.4.
+	m := device.NewMOSFET("M1", "d", "g", "0", mod, 20e-6, 1e-6)
+	c.Add(device.NewDCVSource("Vdd", "vdd", "0", 5))
+	c.Add(device.NewVSource("Vg", "gin", "0", wave.DC(1.0)))
+	c.Add(device.NewResistor("Rg", "gin", "g", 100e3))
+	c.Add(m)
+	c.Add(device.NewResistor("RL", "vdd", "d", 20e3))
+	return c, m
+}
+
+// csAmpInputCap returns the Miller-multiplied input capacitance of the
+// amp at its operating point.
+func csAmpInputCap(m *device.MOSFET) float64 {
+	gm := 120e-6 * 20 * 0.3 // β·vov
+	gain := gm * 20e3
+	return m.Cgs() + m.Cgd()*(1+gain)
+}
+
+func TestMOSGateCapsCreateACPole(t *testing.T) {
+	c, m := csAmpWithCaps()
+	e, err := New(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input pole from Rg against Cgs + Miller-multiplied Cgd.
+	fp := 1 / (2 * math.Pi * 100e3 * csAmpInputCap(m))
+	res, err := e.AC(xop, "Vg", []float64{fp / 100, fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := res.MagDB(0, "d")
+	atPole := res.MagDB(1, "d")
+	drop := low - atPole
+	if drop < 2 || drop > 4.5 {
+		t.Errorf("gain drop at predicted pole = %.2f dB, want ≈ 3 dB", drop)
+	}
+}
+
+func TestMOSGateCapsSlowTransientEdge(t *testing.T) {
+	// With gate caps, a step through Rg charges the gate with
+	// tau = Rg·Cin; the output must move gradually, not instantly.
+	c, m := csAmpWithCaps()
+	const step = 0.05 // small enough to stay in saturation
+	vg := c.Device("Vg").(*device.VSource)
+	vg.W = wave.Step{Base: 1.0, Elev: step, Delay: 0, Rise: 0}
+	e, err := New(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 100e3 * csAmpInputCap(m)
+	tr, err := e.Transient(8*tau, tau/50, []string{"d", "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Signal("g")
+	// The Miller capacitance varies with the (moving) gain, so the charge
+	// curve is only approximately exponential: demand a gradual charge —
+	// clearly away from both instant and frozen — around the linear-RC 63 %.
+	covered := (g[50] - g[0]) / step // t = tau estimate
+	if covered < 0.35 || covered > 0.9 {
+		t.Errorf("gate charge at tau = %.2f of step, want a gradual ~0.63", covered)
+	}
+	if math.Abs(g[len(g)-1]-(1.0+step)) > 0.002 {
+		t.Errorf("final gate = %g, want %g", g[len(g)-1], 1.0+step)
+	}
+}
+
+func TestCaplessMOSFETTransientUnchanged(t *testing.T) {
+	// A capless transistor must respond instantly (static device): the
+	// drain settles in the very first step after an ideal gate step.
+	c := circuit.New("cs-static")
+	mod := device.DefaultNMOSModel()
+	mod.Lambda = 0
+	c.Add(device.NewDCVSource("Vdd", "vdd", "0", 5))
+	c.Add(device.NewVSource("Vg", "g", "0", wave.Step{Base: 1.0, Elev: 0.2, Delay: 0}))
+	c.Add(device.NewMOSFET("M1", "d", "g", "0", mod, 10e-6, 1e-6))
+	c.Add(device.NewResistor("RL", "vdd", "d", 10e3))
+	e, err := New(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Transient(10e-9, 1e-9, []string{"d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.Signal("d")
+	if math.Abs(d[1]-d[len(d)-1]) > 1e-9 {
+		t.Errorf("static transistor should settle instantly: %g vs %g", d[1], d[len(d)-1])
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/wave"
+)
+
+func TestNoiseResistorDivider(t *testing.T) {
+	// Two 1 kΩ resistors from an ideal source: output noise density is
+	// that of R1 || R2 = 500 Ω at every frequency.
+	c := circuit.New("div")
+	c.Add(device.NewDCVSource("V1", "in", "0", 1))
+	c.Add(device.NewResistor("R1", "in", "out", 1e3))
+	c.Add(device.NewResistor("R2", "out", "0", 1e3))
+	e := newEngine(t, c)
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Noise(xop, "out", []float64{1e3, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(fourKT * 500)
+	for _, p := range res.Points {
+		if math.Abs(p.Density-want) > 1e-2*want {
+			t.Errorf("f=%g: density %g, want %g", p.Freq, p.Density, want)
+		}
+	}
+	// Both resistors contribute equally by symmetry.
+	p := res.Points[0]
+	if math.Abs(p.Contributions["R1"]-p.Contributions["R2"]) > 1e-3*p.Contributions["R1"] {
+		t.Errorf("asymmetric contributions: %v", p.Contributions)
+	}
+}
+
+func TestNoiseRCIntegratesToKTOverC(t *testing.T) {
+	// Classic result: total output noise of an RC filter is sqrt(kT/C),
+	// independent of R.
+	c := circuit.New("rc")
+	c.Add(device.NewDCVSource("V1", "in", "0", 0))
+	c.Add(device.NewResistor("R1", "in", "out", 1e3))
+	c.Add(device.NewCapacitor("C1", "out", "0", 1e-9))
+	e := newEngine(t, c)
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fc = 159 kHz; integrate densely well past it.
+	freqs := LinSpace(1, 30e6, 3000)
+	res, err := e.Noise(xop, "out", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.TotalRMS()
+	want := math.Sqrt(1.380649e-23 * 300 / 1e-9) // 2.03 µV
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("integrated noise = %g, want kT/C %g", got, want)
+	}
+}
+
+func TestNoiseCommonSourceAmp(t *testing.T) {
+	// Output noise power at low frequency: 4kT·RL (load) +
+	// 4kT·(2/3)·gm·RL² (channel).
+	c := circuit.New("cs")
+	mod := device.DefaultNMOSModel()
+	mod.Lambda = 0
+	c.Add(device.NewDCVSource("Vdd", "vdd", "0", 5))
+	c.Add(device.NewDCVSource("Vg", "g", "0", 1.0))
+	c.Add(device.NewMOSFET("M1", "d", "g", "0", mod, 10e-6, 1e-6))
+	c.Add(device.NewResistor("RL", "vdd", "d", 10e3))
+	e := newEngine(t, c)
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Noise(xop, "d", []float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := 120e-6 * 10 * 0.3
+	wantPower := fourKT*10e3 + fourKT*(2.0/3.0)*gm*10e3*10e3
+	got := res.Points[0].Density
+	if math.Abs(got-math.Sqrt(wantPower)) > 0.02*math.Sqrt(wantPower) {
+		t.Errorf("density = %g, want %g", got, math.Sqrt(wantPower))
+	}
+	// The transistor dominates: γ·gm·RL = 2/3·0.36m·10k = 2.4 > 1.
+	p := res.Points[0]
+	if p.Contributions["M1"] <= p.Contributions["RL"] {
+		t.Errorf("expected channel noise to dominate: %v", p.Contributions)
+	}
+}
+
+func TestNoiseIVConverterFinite(t *testing.T) {
+	ckt := macros.IVConverter()
+	macros.SetInputWave(ckt, wave.DC(20e-6))
+	e := newEngine(t, ckt)
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Noise(xop, macros.NodeVout, []float64{1e3, 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Density <= 0 || math.IsNaN(p.Density) || p.Density > 1e-3 {
+			t.Errorf("f=%g: implausible macro output noise %g V/√Hz", p.Freq, p.Density)
+		}
+	}
+}
+
+func TestNoiseErrors(t *testing.T) {
+	c := circuit.New("r")
+	c.Add(device.NewDCVSource("V1", "a", "0", 1))
+	c.Add(device.NewResistor("R1", "a", "0", 1e3))
+	e := newEngine(t, c)
+	xop, err := e.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Noise(xop, "nope", []float64{1e3}); err == nil {
+		t.Error("unknown output node accepted")
+	}
+	if _, err := e.Noise(xop, "a", nil); err == nil {
+		t.Error("empty frequency list accepted")
+	}
+}
+
+func TestNoiseTotalRMSDegenerate(t *testing.T) {
+	r := &NoiseResult{}
+	if r.TotalRMS() != 0 {
+		t.Error("empty result should integrate to 0")
+	}
+}

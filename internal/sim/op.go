@@ -1,0 +1,255 @@
+// Package sim runs analyses on compiled circuits: DC operating point
+// (Newton–Raphson with gmin and source stepping), DC sweeps, transient
+// simulation with trapezoidal/backward-Euler companion models, and
+// small-signal AC. It is the in-repo replacement for the HSPICE runs the
+// paper relied on.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/mna"
+)
+
+// ErrNoConvergence is returned when Newton iteration fails to converge
+// even with gmin and source stepping.
+var ErrNoConvergence = errors.New("sim: no convergence")
+
+// Options tunes the nonlinear solver. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	// AbsTol / RelTol form the per-unknown Newton convergence criterion
+	// |Δx| ≤ AbsTol + RelTol·|x|.
+	AbsTol float64
+	RelTol float64
+	// MaxIter bounds Newton iterations per solve.
+	MaxIter int
+	// MaxStep clamps the per-iteration update of any unknown (voltage
+	// limiting); 0 disables clamping.
+	MaxStep float64
+	// GminFloor is the convergence-aid conductance left in place even
+	// after gmin stepping finishes.
+	GminFloor float64
+	// GshuntStart is the initial node-to-ground shunt for gmin stepping.
+	GshuntStart float64
+}
+
+// DefaultOptions returns the solver settings used throughout the repo.
+func DefaultOptions() Options {
+	return Options{
+		AbsTol:      1e-9,
+		RelTol:      1e-6,
+		MaxIter:     150,
+		MaxStep:     0.5,
+		GminFloor:   1e-12,
+		GshuntStart: 1e-3,
+	}
+}
+
+// Engine owns the scratch state for analyses on one compiled circuit.
+// An Engine is not safe for concurrent use; clone the circuit and build
+// one engine per goroutine.
+type Engine struct {
+	ckt    *circuit.Circuit
+	layout *circuit.Layout
+	sys    *mna.System
+	opts   Options
+
+	stampers []device.Stamper
+	dynamics []device.Dynamic
+	stateOff []int // parallel to dynamics
+	stateLen int
+}
+
+// New compiles the circuit (if needed) and returns an engine.
+func New(ckt *circuit.Circuit, opts Options) (*Engine, error) {
+	layout, err := ckt.Compile()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		ckt:    ckt,
+		layout: layout,
+		sys:    mna.NewSystem(layout.Dim()),
+		opts:   opts,
+	}
+	for _, d := range ckt.Devices() {
+		if st, ok := d.(device.Stamper); ok {
+			e.stampers = append(e.stampers, st)
+		}
+		if dy, ok := d.(device.Dynamic); ok {
+			e.dynamics = append(e.dynamics, dy)
+			e.stateOff = append(e.stateOff, e.stateLen)
+			e.stateLen += dy.NumStates()
+		}
+	}
+	return e, nil
+}
+
+// Circuit returns the engine's circuit.
+func (e *Engine) Circuit() *circuit.Circuit { return e.ckt }
+
+// Layout returns the compiled layout.
+func (e *Engine) Layout() *circuit.Layout { return e.layout }
+
+// Voltage reads a node voltage from a solution vector.
+func (e *Engine) Voltage(x []float64, node string) float64 {
+	return e.ckt.NodeVoltage(x, node)
+}
+
+// OperatingPoint solves the DC operating point. The strategy is the
+// SPICE classic: plain Newton from a zero (or provided) initial guess,
+// then gmin stepping, then source stepping.
+func (e *Engine) OperatingPoint() ([]float64, error) {
+	x := make([]float64, e.layout.Dim())
+
+	ctx := &device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
+	if err := e.newton(x, ctx, 0); err == nil {
+		return x, nil
+	}
+
+	// Gmin stepping: solve with a strong shunt from every node to ground,
+	// then relax it geometrically, reusing the previous solution.
+	for i := range x {
+		x[i] = 0
+	}
+	gshunt := e.opts.GshuntStart
+	ok := true
+	for gshunt >= e.opts.GminFloor {
+		ctx.Gmin = math.Max(gshunt, e.opts.GminFloor)
+		if err := e.newton(x, ctx, gshunt); err != nil {
+			ok = false
+			break
+		}
+		gshunt /= 10
+	}
+	if ok {
+		ctx.Gmin = e.opts.GminFloor
+		if err := e.newton(x, ctx, 0); err == nil {
+			return x, nil
+		}
+	}
+
+	// Source stepping: ramp all independent sources from 0 to full value.
+	for i := range x {
+		x[i] = 0
+	}
+	ctx.Gmin = e.opts.GminFloor
+	scale := 0.0
+	step := 0.1
+	for scale < 1 {
+		next := math.Min(1, scale+step)
+		ctx.SrcScale = next
+		prev := make([]float64, len(x))
+		copy(prev, x)
+		if err := e.newton(x, ctx, 0); err != nil {
+			copy(x, prev)
+			step /= 2
+			if step < 1e-4 {
+				return nil, fmt.Errorf("%w: source stepping stalled at scale %.4g", ErrNoConvergence, scale)
+			}
+			continue
+		}
+		scale = next
+		step = math.Min(step*1.5, 0.25)
+	}
+	ctx.SrcScale = 1
+	if err := e.newton(x, ctx, 0); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// newton iterates the static system to convergence, updating x in place.
+// gshunt, when positive, adds a conductance from every node unknown to
+// ground (the gmin-stepping shunt).
+func (e *Engine) newton(x []float64, ctx *device.Context, gshunt float64) error {
+	n := e.layout.Dim()
+	for it := 0; it < e.opts.MaxIter; it++ {
+		e.sys.Clear()
+		for _, st := range e.stampers {
+			st.Stamp(e.sys, x, ctx)
+		}
+		if gshunt > 0 {
+			for i := 0; i < e.layout.NumNodes; i++ {
+				e.sys.Add(i, i, gshunt)
+			}
+		}
+		xs, err := e.sys.FactorSolve()
+		if err != nil {
+			return err
+		}
+		conv := true
+		for i := 0; i < n; i++ {
+			dx := xs[i] - x[i]
+			limit := e.opts.MaxStep
+			if i >= e.layout.NumNodes {
+				// Branch currents are not voltage-limited: clamping them
+				// only slows convergence.
+				limit = 0
+			}
+			if limit > 0 && math.Abs(dx) > limit {
+				dx = math.Copysign(limit, dx)
+			}
+			x[i] += dx
+			if math.Abs(dx) > e.opts.AbsTol+e.opts.RelTol*math.Abs(x[i]) {
+				conv = false
+			}
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return fmt.Errorf("%w: solution diverged at unknown %d", ErrNoConvergence, i)
+			}
+		}
+		if conv && it > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d Newton iterations exhausted", ErrNoConvergence, e.opts.MaxIter)
+}
+
+// SweepDC solves operating points while overriding the DC level of the
+// named source device (a *device.ISource or *device.VSource whose
+// waveform is replaced by a DC value per point). It returns one solution
+// per value; consecutive points reuse the previous solution as the
+// Newton seed.
+func (e *Engine) SweepDC(source string, values []float64) ([][]float64, error) {
+	d := e.ckt.Device(source)
+	if d == nil {
+		return nil, fmt.Errorf("sim: sweep source %q not found", source)
+	}
+	restore, set, err := sourceOverride(d)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
+
+	out := make([][]float64, 0, len(values))
+	var x []float64
+	ctx := &device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
+	for i, v := range values {
+		set(v)
+		if i == 0 {
+			first, err := e.OperatingPoint()
+			if err != nil {
+				return nil, fmt.Errorf("sweep point %d (%g): %w", i, v, err)
+			}
+			x = first
+		} else {
+			if err := e.newton(x, ctx, 0); err != nil {
+				// Fall back to a cold start for hard points.
+				cold, cerr := e.OperatingPoint()
+				if cerr != nil {
+					return nil, fmt.Errorf("sweep point %d (%g): %w", i, v, err)
+				}
+				x = cold
+			}
+		}
+		snap := make([]float64, len(x))
+		copy(snap, x)
+		out = append(out, snap)
+	}
+	return out, nil
+}

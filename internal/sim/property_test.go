@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// randomLadder builds a random RC ladder driven by a DC source. Every
+// node has a resistive path to ground, so the OP is well posed.
+func randomLadder(rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New("ladder")
+	n := 2 + rng.Intn(6)
+	c.Add(device.NewDCVSource("V0", "n0", "0", 1+rng.Float64()*4))
+	prev := "n0"
+	for i := 1; i <= n; i++ {
+		cur := fmt.Sprintf("n%d", i)
+		c.Add(device.NewResistor(fmt.Sprintf("Rs%d", i), prev, cur, 100+rng.Float64()*9900))
+		c.Add(device.NewResistor(fmt.Sprintf("Rp%d", i), cur, "0", 1e3+rng.Float64()*99e3))
+		if rng.Intn(2) == 0 {
+			c.Add(device.NewCapacitor(fmt.Sprintf("Cp%d", i), cur, "0", 1e-12+rng.Float64()*1e-9))
+		}
+		prev = cur
+	}
+	return c
+}
+
+// TestOPKCLResidual: at any converged operating point, the current
+// through each series resistor equals the sum of downstream shunt
+// currents — spot-checked via total source current equal to the sum of
+// all shunt-resistor currents.
+func TestOPKCLResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomLadder(rng)
+		e, err := New(c, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			return false
+		}
+		src, err := e.BranchCurrent(x, "V0")
+		if err != nil {
+			return false
+		}
+		shunt := 0.0
+		for _, d := range c.Devices() {
+			r, ok := d.(*device.Resistor)
+			if !ok || !circuit.IsGround(r.TerminalNames()[1]) {
+				continue
+			}
+			shunt += r.Current(x)
+		}
+		return math.Abs(-src-shunt) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransientConvergesToDC: for any random ladder, the transient
+// settles to the DC solution (caps fully charged).
+func TestTransientConvergesToDC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomLadder(rng)
+		last := c.Nodes()[len(c.Nodes())-1]
+		e, err := New(c, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			return false
+		}
+		want := e.Voltage(x, last)
+		// Longest plausible time constant: 100k × 1n = 0.1 ms.
+		tr, err := e.Transient(1e-3, 1e-6, []string{last})
+		if err != nil {
+			return false
+		}
+		got := tr.Signal(last)[tr.Len()-1]
+		return math.Abs(got-want) < 1e-6+1e-4*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestACZeroFrequencyMatchesDCSensitivity: at a very low frequency the
+// AC transfer of a resistive ladder equals the DC divide ratio.
+func TestACZeroFrequencyMatchesDCSensitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomLadder(rng)
+		last := c.Nodes()[len(c.Nodes())-1]
+		e, err := New(c, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		xop, err := e.OperatingPoint()
+		if err != nil {
+			return false
+		}
+		res, err := e.AC(xop, "V0", []float64{1e-3})
+		if err != nil {
+			return false
+		}
+		// DC ratio from the operating point (source is the only drive).
+		vsrc := c.Device("V0").(*device.VSource).W.DC()
+		wantRatio := e.Voltage(xop, last) / vsrc
+		gotRatio := real(res.Voltage(0, last))
+		return math.Abs(gotRatio-wantRatio) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

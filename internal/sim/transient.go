@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/wave"
+)
+
+// Trace holds transient results: the time axis plus one sample series per
+// requested probe node.
+type Trace struct {
+	Times   []float64
+	Signals map[string][]float64
+}
+
+// Signal returns the samples recorded for a probe node.
+func (t *Trace) Signal(node string) []float64 { return t.Signals[node] }
+
+// Len returns the number of time points.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// Transient integrates the circuit from its DC operating point to stop
+// seconds with a fixed base step dt, recording the probe node voltages at
+// every accepted step (t = dt, 2·dt, ..., plus t = 0 for the operating
+// point).
+//
+// The first step after t = 0 uses backward Euler to damp the
+// inconsistent initial capacitor currents; all later steps are
+// trapezoidal. A step that fails to converge is retried with up to 8
+// binary subdivisions before the analysis gives up.
+func (e *Engine) Transient(stop, dt float64, probes []string) (*Trace, error) {
+	if stop <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("sim: invalid transient window stop=%g dt=%g", stop, dt)
+	}
+	x, err := e.OperatingPoint()
+	if err != nil {
+		return nil, fmt.Errorf("sim: transient operating point: %w", err)
+	}
+	state := make([]float64, e.stateLen)
+	for i, dy := range e.dynamics {
+		dy.InitState(x, state[e.stateOff[i]:e.stateOff[i]+dy.NumStates()])
+	}
+
+	tr := &Trace{Signals: make(map[string][]float64, len(probes))}
+	record := func(t float64, x []float64) {
+		tr.Times = append(tr.Times, t)
+		for _, p := range probes {
+			tr.Signals[p] = append(tr.Signals[p], e.ckt.NodeVoltage(x, p))
+		}
+	}
+	record(0, x)
+
+	steps := int(math.Round(stop / dt))
+	if steps < 1 {
+		steps = 1
+	}
+	t := 0.0
+	firstStep := true
+	for s := 0; s < steps; s++ {
+		target := float64(s+1) * dt
+		if err := e.advance(x, state, t, target, firstStep, 0); err != nil {
+			return nil, fmt.Errorf("sim: transient at t=%.4g: %w", target, err)
+		}
+		firstStep = false
+		t = target
+		record(t, x)
+	}
+	return tr, nil
+}
+
+// advance integrates from t to target (one nominal step), recursively
+// splitting the interval when Newton fails. depth bounds the recursion.
+func (e *Engine) advance(x, state []float64, t, target float64, useBE bool, depth int) error {
+	ctx := &device.Context{
+		Mode:     device.Transient,
+		Time:     target,
+		Dt:       target - t,
+		Gmin:     e.opts.GminFloor,
+		SrcScale: 1,
+		Integ:    device.Trapezoidal,
+	}
+	if useBE {
+		ctx.Integ = device.BackwardEuler
+	}
+	trial := make([]float64, len(x))
+	copy(trial, x)
+	err := e.newtonDynamic(trial, state, ctx)
+	if err == nil {
+		copy(x, trial)
+		for i, dy := range e.dynamics {
+			dy.Commit(x, state[e.stateOff[i]:e.stateOff[i]+dy.NumStates()], ctx)
+		}
+		return nil
+	}
+	if depth >= 8 {
+		return err
+	}
+	mid := t + (target-t)/2
+	// Subdivided steps fall back to backward Euler for robustness.
+	if err := e.advance(x, state, t, mid, true, depth+1); err != nil {
+		return err
+	}
+	return e.advance(x, state, mid, target, true, depth+1)
+}
+
+// newtonDynamic is the transient Newton loop: static stamps plus dynamic
+// companion models with frozen state.
+func (e *Engine) newtonDynamic(x, state []float64, ctx *device.Context) error {
+	n := e.layout.Dim()
+	for it := 0; it < e.opts.MaxIter; it++ {
+		e.sys.Clear()
+		for _, st := range e.stampers {
+			st.Stamp(e.sys, x, ctx)
+		}
+		for i, dy := range e.dynamics {
+			dy.StampDynamic(e.sys, x, state[e.stateOff[i]:e.stateOff[i]+dy.NumStates()], ctx)
+		}
+		xs, err := e.sys.FactorSolve()
+		if err != nil {
+			return err
+		}
+		conv := true
+		for i := 0; i < n; i++ {
+			dx := xs[i] - x[i]
+			limit := e.opts.MaxStep
+			if i >= e.layout.NumNodes {
+				limit = 0
+			}
+			if limit > 0 && math.Abs(dx) > limit {
+				dx = math.Copysign(limit, dx)
+			}
+			x[i] += dx
+			if math.Abs(dx) > e.opts.AbsTol+e.opts.RelTol*math.Abs(x[i]) {
+				conv = false
+			}
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return fmt.Errorf("%w: transient solution diverged", ErrNoConvergence)
+			}
+		}
+		if conv && it > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: transient Newton exhausted", ErrNoConvergence)
+}
+
+// sourceOverride returns a setter that replaces the DC/waveform drive of
+// an independent source plus a restore function, used by sweeps.
+func sourceOverride(d device.Device) (restore func(), set func(v float64), err error) {
+	switch s := d.(type) {
+	case *device.ISource:
+		old := s.W
+		return func() { s.W = old }, func(v float64) { s.W = wave.DC(v) }, nil
+	case *device.VSource:
+		old := s.W
+		return func() { s.W = old }, func(v float64) { s.W = wave.DC(v) }, nil
+	default:
+		return nil, nil, fmt.Errorf("sim: device %q is not an independent source", d.Name())
+	}
+}
+
+// BranchCurrent returns the branch current of the named Brancher device
+// (voltage source or inductor) from a solution vector.
+func (e *Engine) BranchCurrent(x []float64, name string) (float64, error) {
+	d := e.ckt.Device(name)
+	if d == nil {
+		return 0, fmt.Errorf("sim: device %q not found", name)
+	}
+	br, ok := d.(device.Brancher)
+	if !ok {
+		return 0, fmt.Errorf("sim: device %q has no branch current", name)
+	}
+	return x[br.BranchBase()], nil
+}

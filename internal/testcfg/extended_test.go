@@ -1,0 +1,58 @@
+package testcfg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+)
+
+func TestExtendedIVConfigs(t *testing.T) {
+	cfgs := ExtendedIVConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("extended config count = %d, want 6", len(cfgs))
+	}
+	if c := ByID(cfgs, 6); c == nil || c.Name != "sinad" {
+		t.Fatal("configuration #6 (sinad) missing")
+	}
+	// The base five remain untouched.
+	for i, c := range cfgs[:5] {
+		if c.ID != i+1 {
+			t.Errorf("base config %d has ID %d", i, c.ID)
+		}
+	}
+}
+
+func TestSINADNominalHigh(t *testing.T) {
+	ckt := macros.IVConverter()
+	c := ByID(ExtendedIVConfigs(), 6)
+	r, err := c.Run(ckt, []float64{20e-6, 10e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nominal converter is nearly ideal: SINAD far above 40 dB.
+	if r[0] < 40 {
+		t.Errorf("nominal SINAD = %g dB, want > 40", r[0])
+	}
+}
+
+func TestSINADDegradesWithFault(t *testing.T) {
+	ckt := macros.IVConverter()
+	c := ByID(ExtendedIVConfigs(), 6)
+	nom, err := c.Run(ckt, []float64{20e-6, 10e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.NewBridge(macros.NodeNtail, macros.NodeOut1, 10e3)
+	faulty, err := f.Insert(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := c.Run(faulty, []float64{20e-6, 10e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad[0] >= nom[0]-1 {
+		t.Errorf("hard fault barely moved SINAD: %g -> %g dB", nom[0], bad[0])
+	}
+}

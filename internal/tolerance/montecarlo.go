@@ -1,0 +1,98 @@
+package tolerance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Spread describes the statistical process variation used by Monte-Carlo
+// box estimation: each parameter varies independently and normally with
+// the given standard deviations, truncated at ±3σ.
+type Spread struct {
+	// KPSigma is the relative σ of MOSFET KP (e.g. 0.033 for ±10 % at 3σ).
+	KPSigma float64
+	// VTSigma is the absolute σ of the threshold shift in volts.
+	VTSigma float64
+	// RSigma and CSigma are the relative σ of resistors and capacitors.
+	RSigma, CSigma float64
+}
+
+// DefaultSpread matches the DefaultCorners extremes at 3σ.
+func DefaultSpread() Spread {
+	return Spread{KPSigma: 0.10 / 3, VTSigma: 0.05 / 3, RSigma: 0.05 / 3, CSigma: 0.10 / 3}
+}
+
+// Sample draws one random process corner from the spread. Thresholds are
+// speed-correlated with KP like the deterministic corners (slow silicon
+// has lower KP and higher |VT|).
+func (sp Spread) Sample(rng *rand.Rand) Corner {
+	trunc := func(sigma float64) float64 {
+		v := rng.NormFloat64() * sigma
+		lim := 3 * sigma
+		if v > lim {
+			v = lim
+		}
+		if v < -lim {
+			v = -lim
+		}
+		return v
+	}
+	kp := trunc(sp.KPSigma)
+	// Correlated: faster silicon (higher KP) pairs with lower |VT|, so
+	// the shift's magnitude is random but its sign is tied to KP.
+	vtMag := math.Abs(trunc(sp.VTSigma))
+	return Corner{
+		Name:    "mc",
+		KPScale: 1 + kp,
+		VTShift: -vtMag * sign(kp),
+		RScale:  1 + trunc(sp.RSigma),
+		CScale:  1 + trunc(sp.CSigma),
+	}
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// MonteCarloDeviation estimates the tolerance halfwidth per return value
+// by simulating n random process samples of the fault-free circuit and
+// taking the maximum deviation from the nominal response. run must
+// execute the measurement on a circuit (the test configuration's Run
+// bound to fixed parameters). The rng seed makes runs reproducible.
+func MonteCarloDeviation(golden *circuit.Circuit, sp Spread, n int, seed int64,
+	run func(*circuit.Circuit) ([]float64, error)) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tolerance: Monte-Carlo needs n >= 1, got %d", n)
+	}
+	nom, err := run(golden)
+	if err != nil {
+		return nil, fmt.Errorf("tolerance: nominal run: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dev := make([]float64, len(nom))
+	for i := 0; i < n; i++ {
+		k := sp.Sample(rng)
+		r, err := run(Apply(golden, k))
+		if err != nil {
+			return nil, fmt.Errorf("tolerance: Monte-Carlo sample %d: %w", i, err)
+		}
+		for j := range dev {
+			if j < len(r) {
+				d := r[j] - nom[j]
+				if d < 0 {
+					d = -d
+				}
+				if d > dev[j] {
+					dev[j] = d
+				}
+			}
+		}
+	}
+	return dev, nil
+}

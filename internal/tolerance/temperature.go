@@ -1,0 +1,130 @@
+package tolerance
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Temperature modeling: production test happens at controlled but not
+// identical temperatures, and datasheets guarantee behaviour over a
+// temperature range, so the tolerance boxes can include temperature
+// corners next to process corners.
+
+// NominalTempC is the reference analysis temperature in °C.
+const NominalTempC = 27.0
+
+// TempSpec carries the first-order temperature coefficients applied by
+// AtTemperature.
+type TempSpec struct {
+	// VTCoeff is the threshold magnitude drift in V/K (negative:
+	// |VT| shrinks when hot).
+	VTCoeff float64
+	// MobilityExp is the exponent of the KP ∝ (T/T0)^MobilityExp law.
+	MobilityExp float64
+	// RTempCo is the resistor fractional drift per kelvin.
+	RTempCo float64
+	// DiodeISDoubling is the temperature interval (K) over which a diode
+	// saturation current doubles.
+	DiodeISDoubling float64
+}
+
+// DefaultTempSpec returns textbook CMOS coefficients.
+func DefaultTempSpec() TempSpec {
+	return TempSpec{
+		VTCoeff:         -2e-3,
+		MobilityExp:     -1.5,
+		RTempCo:         2e-3,
+		DiodeISDoubling: 10,
+	}
+}
+
+// AtTemperature returns a deep copy of the circuit retargeted to tempC
+// degrees Celsius using the spec's first-order coefficients.
+func AtTemperature(c *circuit.Circuit, tempC float64, spec TempSpec) *circuit.Circuit {
+	cc := c.Clone()
+	dT := tempC - NominalTempC
+	if dT == 0 {
+		return cc
+	}
+	tRatio := (tempC + 273.15) / (NominalTempC + 273.15)
+	for _, d := range cc.Devices() {
+		switch dev := d.(type) {
+		case *device.MOSFET:
+			// |VT| drifts by VTCoeff·dT for both flavours.
+			if dev.Model.Type == device.NMOS {
+				dev.Model.VT0 += spec.VTCoeff * dT
+			} else {
+				dev.Model.VT0 -= spec.VTCoeff * dT
+			}
+			dev.Model.KP *= math.Pow(tRatio, spec.MobilityExp)
+		case *device.Resistor:
+			k := 1 + spec.RTempCo*dT
+			if k > 0 {
+				dev.ScaleValue(k)
+			}
+		case *device.Diode:
+			dev.Model.VT *= tRatio
+			if spec.DiodeISDoubling > 0 {
+				dev.Model.IS *= math.Pow(2, dT/spec.DiodeISDoubling)
+			}
+		}
+	}
+	return cc
+}
+
+// TemperatureCorner wraps a temperature point as a tolerance corner by
+// name; ApplyWithTemperature resolves it.
+type TemperatureCorner struct {
+	Name  string
+	TempC float64
+	Spec  TempSpec
+}
+
+// IndustrialTemperatureCorners returns the 0 °C and 70 °C commercial
+// range extremes.
+func IndustrialTemperatureCorners() []TemperatureCorner {
+	return []TemperatureCorner{
+		{Name: "cold", TempC: 0, Spec: DefaultTempSpec()},
+		{Name: "hot", TempC: 70, Spec: DefaultTempSpec()},
+	}
+}
+
+// TemperatureDeviation runs the fault-free circuit at each temperature
+// corner and returns the max deviation per return value against the
+// nominal run, composable with process-corner deviations via
+// CombineDeviations.
+func TemperatureDeviation(golden *circuit.Circuit, corners []TemperatureCorner,
+	run func(*circuit.Circuit) ([]float64, error)) ([]float64, error) {
+	nom, err := run(golden)
+	if err != nil {
+		return nil, err
+	}
+	var rs [][]float64
+	for _, k := range corners {
+		r, err := run(AtTemperature(golden, k.TempC, k.Spec))
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, r)
+	}
+	return MaxDeviation(nom, rs), nil
+}
+
+// CombineDeviations merges independent deviation estimates (e.g. process
+// and temperature) by the conservative sum per return value.
+func CombineDeviations(devs ...[]float64) []float64 {
+	var out []float64
+	for _, d := range devs {
+		if len(d) > len(out) {
+			grown := make([]float64, len(d))
+			copy(grown, out)
+			out = grown
+		}
+		for i, v := range d {
+			out[i] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package tolerance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/sim"
+	"repro/internal/wave"
+)
+
+// dcVoutRunner measures V(Vout) at a fixed DC input, the simplest
+// configuration-like measurement for tolerance tests.
+func dcVoutRunner() func(*circuit.Circuit) ([]float64, error) {
+	return func(ck *circuit.Circuit) ([]float64, error) {
+		cc := ck.Clone()
+		macros.SetInputWave(cc, wave.DC(20e-6))
+		e, err := sim.New(cc, sim.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			return nil, err
+		}
+		return []float64{e.Voltage(x, macros.NodeVout)}, nil
+	}
+}
+
+func TestAtTemperatureScalesModels(t *testing.T) {
+	c := macros.IVConverter()
+	hot := AtTemperature(c, 77, DefaultTempSpec()) // +50 K
+	mn := hot.Device("M1").(*device.MOSFET)
+	if math.Abs(mn.Model.VT0-(0.7-0.1)) > 1e-12 {
+		t.Errorf("hot NMOS VT0 = %g, want 0.6", mn.Model.VT0)
+	}
+	mp := hot.Device("M3").(*device.MOSFET)
+	if math.Abs(mp.Model.VT0-(-0.7)) > 1e-12 {
+		t.Errorf("hot PMOS VT0 = %g, want -0.7 (|VT| shrinks)", mp.Model.VT0)
+	}
+	if mn.Model.KP >= 120e-6 {
+		t.Errorf("hot KP = %g, want below nominal (mobility drops)", mn.Model.KP)
+	}
+	r := hot.Device("Rf").(*device.Resistor)
+	if math.Abs(r.R-macros.FeedbackResistance*1.1) > 1 {
+		t.Errorf("hot Rf = %g, want +10%%", r.R)
+	}
+	d := hot.Device("Desd1").(*device.Diode)
+	if d.Model.IS <= 1e-14 {
+		t.Error("hot diode IS should grow")
+	}
+	// Original untouched.
+	if c.Device("M1").(*device.MOSFET).Model.VT0 != 0.7 {
+		t.Error("AtTemperature mutated the original")
+	}
+}
+
+func TestAtNominalTemperatureIsIdentity(t *testing.T) {
+	c := macros.IVConverter()
+	same := AtTemperature(c, NominalTempC, DefaultTempSpec())
+	if same.Device("M1").(*device.MOSFET).Model.VT0 != 0.7 {
+		t.Error("nominal temperature changed the model")
+	}
+}
+
+func TestTemperatureShiftsOperatingPoint(t *testing.T) {
+	c := macros.IVConverter()
+	run := func(ck *circuit.Circuit) float64 {
+		e, err := sim.New(ck, sim.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, err := e.BranchCurrent(x, macros.SupplySourceName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -i
+	}
+	nom := run(c.Clone())
+	hot := run(AtTemperature(c, 70, DefaultTempSpec()))
+	cold := run(AtTemperature(c, 0, DefaultTempSpec()))
+	if hot == nom || cold == nom {
+		t.Errorf("temperature corners did not move Idd: %g / %g / %g", cold, nom, hot)
+	}
+	// Bias current is Rb-defined; ±10-15 % swings are plausible, 2× not.
+	for _, v := range []float64{hot, cold} {
+		if v < nom/2 || v > nom*2 {
+			t.Errorf("implausible temperature swing: %g vs %g", v, nom)
+		}
+	}
+}
+
+func TestTemperatureDeviation(t *testing.T) {
+	c := macros.IVConverter()
+	dev, err := TemperatureDeviation(c, IndustrialTemperatureCorners(), dcVoutRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) != 1 || dev[0] <= 0 {
+		t.Fatalf("temperature deviation = %v", dev)
+	}
+}
+
+func TestCombineDeviations(t *testing.T) {
+	got := CombineDeviations([]float64{1, 2}, []float64{0.5, 0.5, 3})
+	want := []float64{1.5, 2.5, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("combined[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if CombineDeviations() != nil {
+		t.Error("empty combine should be nil")
+	}
+}

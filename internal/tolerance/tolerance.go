@@ -1,0 +1,227 @@
+// Package tolerance implements the paper's tolerance boxes: the window
+// in measurement space that safely contains every fault-free response,
+// built from known process-parameter variations plus the accuracy floor
+// of the test equipment. A fault is only guaranteed detectable when the
+// faulty response leaves this box.
+//
+// The paper assumes a "box-function" per test configuration that
+// estimates the box halfwidth for any test-parameter value set. Here the
+// box functions are constructed by simulating process corners of the
+// fault-free macro on a coarse grid over the parameter space and
+// multilinearly interpolating the observed deviations, with the
+// equipment accuracy added on top.
+package tolerance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Corner is one process corner: multiplicative transconductance scaling,
+// additive threshold shifts (made "slower" by increasing |VT|), and
+// passive-component scaling.
+type Corner struct {
+	Name string
+	// KPScale multiplies every MOSFET KP (mobility·Cox spread).
+	KPScale float64
+	// VTShift is added to NMOS VT0 and subtracted from PMOS VT0, so a
+	// positive shift slows both flavours.
+	VTShift float64
+	// RScale multiplies every resistance, CScale every capacitance.
+	RScale, CScale float64
+}
+
+// Nominal is the identity corner.
+var Nominal = Corner{Name: "nominal", KPScale: 1, RScale: 1, CScale: 1}
+
+// DefaultCorners returns the process corners used to build tolerance
+// boxes: ±10 % KP, ∓50 mV VT (speed-correlated), ±5 % R, ±10 % C.
+func DefaultCorners() []Corner {
+	return []Corner{
+		{Name: "slow", KPScale: 0.9, VTShift: +0.05, RScale: 1.05, CScale: 1.10},
+		{Name: "fast", KPScale: 1.1, VTShift: -0.05, RScale: 0.95, CScale: 0.90},
+		{Name: "slowR", KPScale: 1.0, VTShift: 0, RScale: 1.05, CScale: 1.0},
+		{Name: "fastR", KPScale: 1.0, VTShift: 0, RScale: 0.95, CScale: 1.0},
+	}
+}
+
+// Apply returns a deep copy of the circuit with the corner's scaling
+// applied to every MOSFET model, resistor and capacitor.
+func Apply(c *circuit.Circuit, k Corner) *circuit.Circuit {
+	cc := c.Clone()
+	for _, d := range cc.Devices() {
+		switch dev := d.(type) {
+		case *device.MOSFET:
+			dev.Model.KP *= k.KPScale
+			if dev.Model.Type == device.NMOS {
+				dev.Model.VT0 += k.VTShift
+			} else {
+				dev.Model.VT0 -= k.VTShift
+			}
+		case *device.Resistor:
+			if k.RScale > 0 {
+				dev.ScaleValue(k.RScale)
+			}
+		case *device.Capacitor:
+			if k.CScale > 0 {
+				dev.ScaleValue(k.CScale)
+			}
+		}
+	}
+	return cc
+}
+
+// BoxFunc estimates the tolerance-box halfwidth per return value at a
+// test-parameter vector T.
+type BoxFunc interface {
+	Halfwidths(T []float64) []float64
+}
+
+// ConstBox is a fixed halfwidth vector, mostly for tests and degenerate
+// configurations.
+type ConstBox []float64
+
+// Halfwidths implements BoxFunc.
+func (c ConstBox) Halfwidths([]float64) []float64 { return c }
+
+// GridBox interpolates corner-simulation deviations sampled on a uniform
+// grid over the parameter box, plus a constant equipment-accuracy floor.
+// It supports 1-D and 2-D parameter spaces (the dimensionalities the
+// paper's configurations use).
+type GridBox struct {
+	lo, hi   []float64
+	nPerAxis int
+	retDim   int
+	// dev holds the sampled deviation halfwidths: dev[gridIndex][ret].
+	dev [][]float64
+	// acc is the equipment accuracy floor per return value.
+	acc []float64
+}
+
+// BuildGridBox samples eval on an nPerAxis^dim uniform grid over
+// [lo, hi]. eval returns, for one parameter vector, the process-spread
+// halfwidth per return value (typically max |r_corner − r_nom| over the
+// corner list). acc is the equipment accuracy floor added to every
+// estimate.
+func BuildGridBox(lo, hi []float64, nPerAxis int, acc []float64,
+	eval func(T []float64) ([]float64, error)) (*GridBox, error) {
+	dim := len(lo)
+	if dim < 1 || dim > 2 {
+		return nil, fmt.Errorf("tolerance: GridBox supports 1-D and 2-D, got %d-D", dim)
+	}
+	if len(hi) != dim {
+		return nil, fmt.Errorf("tolerance: bounds mismatch")
+	}
+	if nPerAxis < 2 {
+		nPerAxis = 2
+	}
+	gb := &GridBox{
+		lo: append([]float64(nil), lo...), hi: append([]float64(nil), hi...),
+		nPerAxis: nPerAxis,
+		acc:      append([]float64(nil), acc...),
+	}
+	total := 1
+	for i := 0; i < dim; i++ {
+		total *= nPerAxis
+	}
+	gb.dev = make([][]float64, total)
+	T := make([]float64, dim)
+	for g := 0; g < total; g++ {
+		rem := g
+		for i := 0; i < dim; i++ {
+			step := rem % nPerAxis
+			rem /= nPerAxis
+			T[i] = lo[i] + (hi[i]-lo[i])*float64(step)/float64(nPerAxis-1)
+		}
+		d, err := eval(T)
+		if err != nil {
+			return nil, fmt.Errorf("tolerance: grid sample %v: %w", T, err)
+		}
+		if gb.retDim == 0 {
+			gb.retDim = len(d)
+		} else if len(d) != gb.retDim {
+			return nil, fmt.Errorf("tolerance: inconsistent return dimension")
+		}
+		gb.dev[g] = append([]float64(nil), d...)
+	}
+	if gb.retDim == 0 {
+		return nil, fmt.Errorf("tolerance: eval produced no return values")
+	}
+	if len(gb.acc) == 0 {
+		gb.acc = make([]float64, gb.retDim)
+	}
+	if len(gb.acc) != gb.retDim {
+		return nil, fmt.Errorf("tolerance: accuracy dimension %d != return dimension %d", len(gb.acc), gb.retDim)
+	}
+	return gb, nil
+}
+
+// Halfwidths implements BoxFunc by multilinear interpolation of the
+// sampled deviations, clamped to the grid, plus the accuracy floor.
+func (gb *GridBox) Halfwidths(T []float64) []float64 {
+	dim := len(gb.lo)
+	// Per-axis cell index and fraction.
+	idx := make([]int, dim)
+	frac := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		span := gb.hi[i] - gb.lo[i]
+		u := 0.0
+		if span > 0 {
+			u = (T[i] - gb.lo[i]) / span * float64(gb.nPerAxis-1)
+		}
+		u = math.Max(0, math.Min(u, float64(gb.nPerAxis-1)))
+		idx[i] = int(u)
+		if idx[i] >= gb.nPerAxis-1 {
+			idx[i] = gb.nPerAxis - 2
+		}
+		frac[i] = u - float64(idx[i])
+	}
+	out := make([]float64, gb.retDim)
+	switch dim {
+	case 1:
+		a := gb.dev[idx[0]]
+		b := gb.dev[idx[0]+1]
+		for r := 0; r < gb.retDim; r++ {
+			out[r] = a[r] + frac[0]*(b[r]-a[r])
+		}
+	case 2:
+		at := func(i, j int) []float64 { return gb.dev[j*gb.nPerAxis+i] }
+		f00 := at(idx[0], idx[1])
+		f10 := at(idx[0]+1, idx[1])
+		f01 := at(idx[0], idx[1]+1)
+		f11 := at(idx[0]+1, idx[1]+1)
+		fx, fy := frac[0], frac[1]
+		for r := 0; r < gb.retDim; r++ {
+			out[r] = f00[r]*(1-fx)*(1-fy) + f10[r]*fx*(1-fy) + f01[r]*(1-fx)*fy + f11[r]*fx*fy
+		}
+	}
+	for r := range out {
+		out[r] += gb.acc[r]
+		if out[r] <= 0 {
+			// A degenerate zero-width box would make every measurement a
+			// detection; keep a tiny positive floor.
+			out[r] = 1e-12
+		}
+	}
+	return out
+}
+
+// MaxDeviation is a helper that computes, per return value, the largest
+// absolute deviation across corner responses relative to the nominal
+// response.
+func MaxDeviation(nominal []float64, corners [][]float64) []float64 {
+	out := make([]float64, len(nominal))
+	for _, c := range corners {
+		for i := range nominal {
+			if i < len(c) {
+				if d := math.Abs(c[i] - nominal[i]); d > out[i] {
+					out[i] = d
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package tolerance
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/macros"
+	"repro/internal/sim"
+)
+
+func TestApplyScalesDevices(t *testing.T) {
+	c := macros.IVConverter()
+	k := Corner{Name: "x", KPScale: 1.1, VTShift: 0.05, RScale: 1.05, CScale: 0.9}
+	cc := Apply(c, k)
+
+	// Original untouched.
+	m0 := c.Device("M1").(*device.MOSFET)
+	if m0.Model.KP != 120e-6 || m0.Model.VT0 != 0.7 {
+		t.Fatal("Apply mutated the original circuit")
+	}
+	mn := cc.Device("M1").(*device.MOSFET)
+	if math.Abs(mn.Model.KP-132e-6) > 1e-12 {
+		t.Errorf("NMOS KP = %g, want 132µ", mn.Model.KP)
+	}
+	if math.Abs(mn.Model.VT0-0.75) > 1e-12 {
+		t.Errorf("NMOS VT0 = %g, want 0.75", mn.Model.VT0)
+	}
+	mp := cc.Device("M3").(*device.MOSFET)
+	if math.Abs(mp.Model.VT0-(-0.85)) > 1e-12 {
+		t.Errorf("PMOS VT0 = %g, want -0.85 (slower)", mp.Model.VT0)
+	}
+	r := cc.Device("Rf").(*device.Resistor)
+	if math.Abs(r.R-macros.FeedbackResistance*1.05) > 1e-6 {
+		t.Errorf("Rf = %g, want scaled by 1.05", r.R)
+	}
+	cl := cc.Device("CL").(*device.Capacitor)
+	if math.Abs(cl.C-0.9e-12) > 1e-21 {
+		t.Errorf("CL = %g, want 0.9p", cl.C)
+	}
+}
+
+func TestNominalCornerIsIdentity(t *testing.T) {
+	c := macros.IVConverter()
+	cc := Apply(c, Nominal)
+	m := cc.Device("M1").(*device.MOSFET)
+	if m.Model.KP != 120e-6 || m.Model.VT0 != 0.7 {
+		t.Error("nominal corner changed the MOSFET model")
+	}
+}
+
+func TestCornersShiftOperatingPoint(t *testing.T) {
+	// Corner circuits must simulate and give slightly different outputs.
+	c := macros.IVConverter()
+	run := func(ck Corner) float64 {
+		cc := Apply(c, ck)
+		e, err := sim.New(cc, sim.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := e.OperatingPoint()
+		if err != nil {
+			t.Fatalf("corner %s: %v", ck.Name, err)
+		}
+		return e.Voltage(x, macros.NodeVmid)
+	}
+	nom := run(Nominal)
+	for _, k := range DefaultCorners() {
+		v := run(k)
+		if math.Abs(v-nom) < 1e-9 {
+			t.Errorf("corner %s produced identical Vmid", k.Name)
+		}
+		if math.Abs(v-nom) > 1.0 {
+			t.Errorf("corner %s shifted Vmid by %g — implausibly large", k.Name, v-nom)
+		}
+	}
+}
+
+func TestConstBox(t *testing.T) {
+	b := ConstBox{0.1, 0.2}
+	hw := b.Halfwidths([]float64{1, 2, 3})
+	if hw[0] != 0.1 || hw[1] != 0.2 {
+		t.Error("ConstBox wrong")
+	}
+}
+
+func TestGridBox1DInterpolation(t *testing.T) {
+	// dev(T) = T (linear), sampled on [0, 10] with 11 points.
+	gb, err := BuildGridBox([]float64{0}, []float64{10}, 11, []float64{0.5},
+		func(T []float64) ([]float64, error) { return []float64{T[0]}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gb.Halfwidths([]float64{3.5})[0]; math.Abs(got-4.0) > 1e-9 {
+		t.Errorf("interp(3.5) = %g, want 3.5+0.5", got)
+	}
+	// Clamped outside the grid.
+	if got := gb.Halfwidths([]float64{-5})[0]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("interp(-5) = %g, want clamp to 0+acc", got)
+	}
+	if got := gb.Halfwidths([]float64{99})[0]; math.Abs(got-10.5) > 1e-9 {
+		t.Errorf("interp(99) = %g, want clamp to 10+acc", got)
+	}
+}
+
+func TestGridBox2DInterpolation(t *testing.T) {
+	// dev(x, y) = x + 10y is multilinear: interpolation must be exact.
+	gb, err := BuildGridBox([]float64{0, 0}, []float64{4, 2}, 5, []float64{0},
+		func(T []float64) ([]float64, error) { return []float64{T[0] + 10*T[1]}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]float64{{0, 0}, {4, 2}, {1.3, 0.7}, {3.9, 1.99}}
+	for _, c := range cases {
+		want := c[0] + 10*c[1]
+		got := gb.Halfwidths([]float64{c[0], c[1]})[0]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("interp(%v) = %g, want %g", c, got, want)
+		}
+	}
+}
+
+func TestGridBoxPositiveFloor(t *testing.T) {
+	gb, err := BuildGridBox([]float64{0}, []float64{1}, 2, []float64{0},
+		func(T []float64) ([]float64, error) { return []float64{0}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gb.Halfwidths([]float64{0.5})[0]; got <= 0 {
+		t.Errorf("halfwidth = %g, want positive floor", got)
+	}
+}
+
+func TestGridBoxErrors(t *testing.T) {
+	ok := func(T []float64) ([]float64, error) { return []float64{1}, nil }
+	if _, err := BuildGridBox([]float64{0, 0, 0}, []float64{1, 1, 1}, 3, nil, ok); err == nil {
+		t.Error("3-D grid accepted")
+	}
+	if _, err := BuildGridBox([]float64{0}, []float64{1, 2}, 3, nil, ok); err == nil {
+		t.Error("bounds mismatch accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := BuildGridBox([]float64{0}, []float64{1}, 3, nil,
+		func(T []float64) ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Error("eval error not propagated")
+	}
+	if _, err := BuildGridBox([]float64{0}, []float64{1}, 3, []float64{1, 2},
+		ok); err == nil {
+		t.Error("accuracy dimension mismatch accepted")
+	}
+}
+
+func TestMaxDeviation(t *testing.T) {
+	nom := []float64{1, 10}
+	corners := [][]float64{{1.2, 9.5}, {0.9, 10.4}}
+	dev := MaxDeviation(nom, corners)
+	if math.Abs(dev[0]-0.2) > 1e-12 || math.Abs(dev[1]-0.5) > 1e-12 {
+		t.Errorf("dev = %v, want [0.2 0.5]", dev)
+	}
+	if got := MaxDeviation(nil, corners); len(got) != 0 {
+		t.Error("empty nominal should give empty deviations")
+	}
+}

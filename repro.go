@@ -1,0 +1,206 @@
+// Package repro is a from-scratch reproduction of "Compact Structural
+// Test Generation for Analog Macros" (Kaal & Kerkhoff, ED&TC/DATE 1997):
+// fault-model driven test generation for analog macros, evaluated on a
+// CMOS IV-converter.
+//
+// The package is the public facade over the building blocks:
+//
+//   - a complete analog circuit simulator (MNA, Newton–Raphson DC,
+//     trapezoidal transient, small-signal AC) with level-1 MOSFETs,
+//   - structural fault models (node-pair bridges, Eckersall gate-oxide
+//     pinholes) with impact manipulation,
+//   - tolerance boxes from process corners plus equipment accuracy,
+//   - Brent/Powell test-parameter optimization,
+//   - the paper's generation algorithm (per-fault optimization, impact
+//     relax/intensify selection) and test-set compaction with the δ loss
+//     budget.
+//
+// # Quick start
+//
+//	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+//	sols, err := sys.GenerateAll(sys.Faults())
+//	compact, err := sys.Compact(sols, repro.DefaultCompactOptions())
+//	cov, err := sys.Coverage(repro.TestsOfCompact(compact), sys.Faults())
+package repro
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+// Re-exported core types. Aliases keep the one canonical implementation
+// in internal packages while giving users nameable types.
+type (
+	// Session drives sensitivity evaluation, generation and compaction.
+	Session = core.Session
+	// SessionConfig tunes a session (boxes, workers, impact loop).
+	SessionConfig = core.Config
+	// Solution is the optimal test generated for one fault.
+	Solution = core.Solution
+	// Candidate is a per-configuration optimized test for one fault.
+	Candidate = core.Candidate
+	// Test is a runnable (configuration, parameters) pair.
+	Test = core.Test
+	// CompactTest is one collapsed test of a compacted set.
+	CompactTest = core.CompactTest
+	// CompactOptions carries the δ loss budget and grouping radius.
+	CompactOptions = core.CompactOptions
+	// CoverageReport summarizes fault simulation of a test set.
+	CoverageReport = core.CoverageReport
+	// Distribution is the Table-2 style best-test histogram.
+	Distribution = core.Distribution
+	// TPSGraph is a test-parameter sensitivity graph (paper Figs. 2-4).
+	TPSGraph = core.TPSGraph
+	// Fault is a structural defect with a manipulable impact.
+	Fault = fault.Fault
+	// Bridge is a resistive node-pair short.
+	Bridge = fault.Bridge
+	// Pinhole is an Eckersall gate-oxide short.
+	Pinhole = fault.Pinhole
+	// TestConfig is a test configuration implementation (paper Fig. 1).
+	TestConfig = testcfg.Config
+	// Circuit is a device netlist.
+	Circuit = circuit.Circuit
+)
+
+// Box modes for SessionConfig.BoxMode.
+const (
+	// BoxGrid builds grid-interpolated box functions from corner runs.
+	BoxGrid = core.BoxGrid
+	// BoxSeed calibrates a constant box at the seed parameters only.
+	BoxSeed = core.BoxSeed
+	// BoxMonteCarlo calibrates a constant box from random process samples.
+	BoxMonteCarlo = core.BoxMonteCarlo
+)
+
+// Dictionary fault impacts used by the paper's experiment.
+const (
+	// BridgeImpact is the initial bridge resistance (10 kΩ).
+	BridgeImpact = 10e3
+	// PinholeImpact is the initial pinhole shunt resistance (2 kΩ).
+	PinholeImpact = 2e3
+)
+
+// DefaultSessionConfig returns the experiment-grade session settings
+// (grid box functions, the paper's impact-loop constants).
+func DefaultSessionConfig() SessionConfig { return core.DefaultConfig() }
+
+// FastSetup returns cheaper session settings (seed-calibrated boxes) for
+// interactive use and tests.
+func FastSetup() SessionConfig {
+	cfg := core.DefaultConfig()
+	cfg.BoxMode = core.BoxSeed
+	return cfg
+}
+
+// DefaultCompactOptions returns δ = 0.1 with the default grouping radius.
+func DefaultCompactOptions() CompactOptions { return core.DefaultCompactOptions() }
+
+// NewIVConverter returns the CMOS IV-converter macro netlist (10 circuit
+// nodes, 10 MOSFETs), the paper's case-study design.
+func NewIVConverter() *Circuit { return macros.IVConverter() }
+
+// IVConfigs returns the five test configuration implementations of the
+// paper's Table 1.
+func IVConfigs() []*TestConfig { return testcfg.IVConfigs() }
+
+// ExtendedIVConfigs returns the Table-1 configurations plus the SINAD
+// extension (#6), demonstrating the framework's test-configuration
+// extension point.
+func ExtendedIVConfigs() []*TestConfig { return testcfg.ExtendedIVConfigs() }
+
+// IVFaultDictionary enumerates the paper's exhaustive 55-fault list for
+// the macro: 45 node-pair bridges at 10 kΩ and 10 pinholes at 2 kΩ.
+func IVFaultDictionary(c *Circuit) []Fault {
+	return fault.Dictionary(c, BridgeImpact, PinholeImpact)
+}
+
+// TestsOf flattens generation solutions into a deduplicated test list.
+func TestsOf(sols []*Solution) []Test { return core.TestsOf(sols) }
+
+// TestsOfCompact flattens a compacted set into runnable tests.
+func TestsOfCompact(cts []CompactTest) []Test { return core.TestsOfCompact(cts) }
+
+// System bundles a golden macro, its fault dictionary, and a session —
+// the one-stop entry point for the common flow.
+type System struct {
+	session *Session
+	golden  *Circuit
+	faults  []Fault
+}
+
+// NewIVConverterSystem builds the IV-converter macro, its 55-fault
+// dictionary, the five test configurations and a session with the given
+// settings.
+func NewIVConverterSystem(cfg SessionConfig) (*System, error) {
+	golden := macros.IVConverter()
+	s, err := core.NewSession(golden, testcfg.IVConfigs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		session: s,
+		golden:  golden,
+		faults:  IVFaultDictionary(golden),
+	}, nil
+}
+
+// NewSystem builds a system for a custom macro and configurations; the
+// fault dictionary is enumerated exhaustively from the macro structure.
+func NewSystem(golden *Circuit, cfgs []*TestConfig, cfg SessionConfig) (*System, error) {
+	s, err := core.NewSession(golden, cfgs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		session: s,
+		golden:  golden,
+		faults:  fault.Dictionary(golden, BridgeImpact, PinholeImpact),
+	}, nil
+}
+
+// Session exposes the underlying session for advanced use.
+func (s *System) Session() *Session { return s.session }
+
+// Golden returns the fault-free macro.
+func (s *System) Golden() *Circuit { return s.golden }
+
+// Faults returns the fault dictionary.
+func (s *System) Faults() []Fault { return s.faults }
+
+// Configs returns the test configurations.
+func (s *System) Configs() []*TestConfig { return s.session.Configs() }
+
+// Generate produces the optimal test for one fault.
+func (s *System) Generate(f Fault) (*Solution, error) { return s.session.Generate(f) }
+
+// GenerateAll produces the optimal test for every fault.
+func (s *System) GenerateAll(faults []Fault) ([]*Solution, error) {
+	return s.session.GenerateAll(faults)
+}
+
+// Compact collapses fault-specific tests into a compact set.
+func (s *System) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, error) {
+	return s.session.Compact(sols, o)
+}
+
+// Coverage fault-simulates a test set against a fault list.
+func (s *System) Coverage(tests []Test, faults []Fault) (CoverageReport, error) {
+	return s.session.Coverage(tests, faults)
+}
+
+// Tabulate builds the Table-2 distribution from generation results.
+func (s *System) Tabulate(sols []*Solution) Distribution { return s.session.Tabulate(sols) }
+
+// TPS computes a tps-graph for a fault under configuration index ci.
+func (s *System) TPS(ci int, f Fault, n1, n2 int) (*TPSGraph, error) {
+	return s.session.TPS(ci, f, n1, n2)
+}
+
+// Sensitivity evaluates the paper's cost function S_f.
+func (s *System) Sensitivity(ci int, f Fault, T []float64) (float64, error) {
+	return s.session.Sensitivity(ci, f, T)
+}
