@@ -207,6 +207,80 @@ func BenchmarkCircuitClone(b *testing.B) {
 	}
 }
 
+// --- Engine benchmarks -----------------------------------------------
+
+// nominalBenchSession builds a cheap DC session and pre-warms nWarm
+// distinct nominal cache entries.
+func nominalBenchSession(b *testing.B, nWarm int) (*core.Session, [][]float64) {
+	b.Helper()
+	scfg := core.DefaultConfig()
+	scfg.BoxMode = core.BoxSeed
+	s, err := core.NewSession(macros.IVConverter(), testcfg.IVConfigs()[:1], scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := make([][]float64, nWarm)
+	for i := range params {
+		params[i] = []float64{5e-6 + 30e-6*float64(i)/float64(nWarm)}
+		if _, err := s.Nominal(0, params[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, params
+}
+
+// BenchmarkNominalCacheHitParallel measures the cache hit path under
+// full parallelism — the path that used to serialize every Sensitivity
+// call on one global mutex and now spreads across FNV shards.
+func BenchmarkNominalCacheHitParallel(b *testing.B) {
+	s, params := nominalBenchSession(b, 256)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Nominal(0, params[i%len(params)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkNominalCacheHitSerial is the single-goroutine baseline for
+// the parallel benchmark above.
+func BenchmarkNominalCacheHitSerial(b *testing.B) {
+	s, params := nominalBenchSession(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Nominal(0, params[i%len(params)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateAllDC runs the full generation pipeline (engine
+// work-stealing pool over (fault, config) tasks) on a small DC-only
+// workload.
+func BenchmarkGenerateAllDC(b *testing.B) {
+	scfg := core.DefaultConfig()
+	scfg.BoxMode = core.BoxSeed
+	s, err := core.NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge(macros.NodeVref, macros.NodeIin, 10e3),
+		fault.NewPinhole("M6", 2e3),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.GenerateAll(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAblationImpactSweep(b *testing.B) { benchExperiment(b, "ablation-impact") }
 
 func BenchmarkMacro2Pipeline(b *testing.B) { benchExperiment(b, "macro2") }

@@ -3,15 +3,21 @@
 // dictionary, generate the optimal test per fault, compact the test set
 // with the δ loss budget, and fault-simulate the result.
 //
+// Ctrl-C cancels the run promptly (the evaluation engine propagates the
+// context through generation, compaction and coverage).
+//
 // Usage:
 //
-//	atpg [-netlist file] [-delta d] [-workers n] [-fast] [-faults n] [-v]
+//	atpg [-netlist file] [-delta d] [-workers n] [-fast] [-faults n] [-stats] [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro"
@@ -23,18 +29,22 @@ func main() {
 	netlistPath := flag.String("netlist", "", "SPICE-like netlist of a custom macro (default: built-in IV-converter)")
 	configFile := flag.String("config-file", "", "additional test configuration description file (Fig. 1 DSL)")
 	delta := flag.Float64("delta", 0.1, "compaction loss budget δ")
-	workers := flag.Int("workers", 0, "generation parallelism (0: default)")
+	workers := flag.Int("workers", 0, "generation parallelism (0: GOMAXPROCS)")
 	fast := flag.Bool("fast", false, "seed-calibrated tolerance boxes (faster, coarser)")
 	limit := flag.Int("faults", 0, "limit the fault list to the first n faults (0: all)")
+	stats := flag.Bool("stats", false, "print per-phase engine timings and cache statistics")
 	verbose := flag.Bool("v", false, "print per-fault detail")
 	flag.Parse()
 
-	cfg := repro.DefaultSessionConfig()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []repro.Option
 	if *fast {
-		cfg = repro.FastSetup()
+		opts = append(opts, repro.WithFastBoxes())
 	}
 	if *workers > 0 {
-		cfg.Workers = *workers
+		opts = append(opts, repro.WithWorkers(*workers))
 	}
 
 	configs := repro.IVConfigs()
@@ -64,9 +74,9 @@ func main() {
 		if perr != nil {
 			fail(perr)
 		}
-		sys, err = repro.NewSystem(ckt, configs, cfg)
+		sys, err = repro.NewSystem(ckt, configs, opts...)
 	} else {
-		sys, err = repro.NewSystem(repro.NewIVConverter(), configs, cfg)
+		sys, err = repro.NewSystem(repro.NewIVConverter(), configs, opts...)
 	}
 	if err != nil {
 		fail(err)
@@ -80,7 +90,7 @@ func main() {
 		sys.Golden().Name(), len(sys.Golden().Devices()), len(faults), len(sys.Configs()))
 
 	start := time.Now()
-	sols, err := sys.GenerateAll(faults)
+	sols, err := sys.GenerateAllContext(ctx, faults)
 	if err != nil {
 		fail(err)
 	}
@@ -107,13 +117,13 @@ func main() {
 		fmt.Printf("  config #%d: %d faults\n", id, total)
 	}
 
-	opts := repro.DefaultCompactOptions()
-	opts.Delta = *delta
-	cts, err := sys.Compact(sols, opts)
+	opt := repro.DefaultCompactOptions()
+	opt.Delta = *delta
+	cts, err := sys.CompactContext(ctx, sols, opt)
 	if err != nil {
 		fail(err)
 	}
-	cov, err := sys.Coverage(repro.TestsOfCompact(cts), faults)
+	cov, err := sys.CoverageContext(ctx, repro.TestsOfCompact(cts), faults)
 	if err != nil {
 		fail(err)
 	}
@@ -137,7 +147,7 @@ func main() {
 
 	// ATE schedule: order the compacted tests by marginal yield per
 	// second and estimate the production test time.
-	sched, _, err := sys.Schedule(repro.TestsOfCompact(cts), faults)
+	sched, _, err := sys.ScheduleContext(ctx, repro.TestsOfCompact(cts), faults)
 	if err != nil {
 		fail(err)
 	}
@@ -150,12 +160,34 @@ func main() {
 	}
 	_, _ = st.WriteTo(os.Stdout)
 
-	stats := sys.Stats()
+	ss := sys.Stats()
 	fmt.Printf("\nsimulation effort: %d nominal + %d faulty runs (%d cache hits, %d non-convergent faulty circuits)\n",
-		stats.NominalRuns, stats.FaultyRuns, stats.CacheHits, stats.FaultyFailures)
+		ss.NominalRuns, ss.FaultyRuns, ss.CacheHits, ss.FaultyFailures)
+
+	if *stats {
+		printMetrics(sys.Metrics())
+	}
+}
+
+// printMetrics renders the engine's per-phase timings and cache
+// statistics (the -stats flag).
+func printMetrics(m repro.Metrics) {
+	fmt.Println("\nengine metrics:")
+	t := report.NewTable("phase", "units", "wall", "avg/unit")
+	for _, p := range m.Phases {
+		t.AddRow(p.Name, p.Count, p.Wall.Round(time.Millisecond), p.Avg().Round(time.Microsecond))
+	}
+	_, _ = t.WriteTo(os.Stdout)
+	c := m.Cache
+	fmt.Printf("\nnominal cache: %d entries, %.1f %% hit rate (%d hits, %d misses, %d shared flights, %d evictions)\n",
+		c.Entries, 100*c.HitRate(), c.Hits, c.Misses, c.Shared, c.Evictions)
 }
 
 func fail(err error) {
+	if errors.Is(err, repro.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "atpg: canceled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "atpg:", err)
 	os.Exit(1)
 }

@@ -25,7 +25,7 @@ func main() {
 	nTests := flag.Int("tests", 6, "number of DC tests in the signature database")
 	flag.Parse()
 
-	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 	if err != nil {
 		fail(err)
 	}

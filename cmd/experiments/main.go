@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -25,11 +27,15 @@ import (
 func main() {
 	only := flag.String("only", "all", "comma-separated experiment IDs, or 'all'")
 	quick := flag.Bool("quick", false, "reduced grids and fault subsets (seconds instead of minutes)")
-	workers := flag.Int("workers", 0, "generation parallelism (0: default)")
+	workers := flag.Int("workers", 0, "generation parallelism (0: GOMAXPROCS)")
 	delta := flag.Float64("delta", 0.1, "compaction loss budget δ")
 	tpsFault := flag.String("tps-fault", experiments.DefaultTPSFault, "bridge fault for the Fig. 2-4 tps-graphs")
+	stats := flag.Bool("stats", false, "print engine per-phase timings and cache statistics at the end")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -44,6 +50,7 @@ func main() {
 		Workers:    *workers,
 		Delta:      *delta,
 		TPSFaultID: *tpsFault,
+		Ctx:        ctx,
 	})
 	start := time.Now()
 	ids := strings.Split(*only, ",")
@@ -52,4 +59,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Millisecond))
+	if *stats {
+		if m, ok := r.Metrics(); ok {
+			fmt.Println("\nengine metrics:")
+			for _, p := range m.Phases {
+				fmt.Printf("  %-12s %6d units  %10v wall  %10v avg\n",
+					p.Name, p.Count, p.Wall.Round(time.Millisecond), p.Avg().Round(time.Microsecond))
+			}
+			c := m.Cache
+			fmt.Printf("  nominal cache: %d entries, %.1f %% hit rate (%d hits, %d misses, %d shared)\n",
+				c.Entries, 100*c.HitRate(), c.Hits, c.Misses, c.Shared)
+		}
+	}
 }

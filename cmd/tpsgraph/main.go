@@ -28,11 +28,11 @@ func main() {
 	listFaults := flag.Bool("list-faults", false, "list fault IDs and exit")
 	flag.Parse()
 
-	cfg := repro.DefaultSessionConfig()
+	var opts []repro.Option
 	if *fast {
-		cfg = repro.FastSetup()
+		opts = append(opts, repro.WithFastBoxes())
 	}
-	sys, err := repro.NewIVConverterSystem(cfg)
+	sys, err := repro.NewIVConverterSystem(opts...)
 	if err != nil {
 		fail(err)
 	}

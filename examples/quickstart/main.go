@@ -12,9 +12,11 @@ import (
 )
 
 func main() {
-	// FastSetup uses seed-calibrated tolerance boxes so this example runs
-	// in seconds; DefaultSessionConfig() builds the full grid boxes.
-	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	// Functional options tune the session. WithFastBoxes selects
+	// seed-calibrated tolerance boxes so this example runs in seconds;
+	// omit it for the full experiment-grade grid boxes. Workers default
+	// to GOMAXPROCS — WithWorkers(n) overrides.
+	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,4 +54,9 @@ func main() {
 	}
 	fmt.Printf("\ncompacted: %d tests for %d faults, coverage %.1f %%\n",
 		len(cts), len(faults), cov.Percent())
+
+	// The evaluation engine tracks where the simulation time went and
+	// how well the sharded nominal cache worked.
+	m := sys.Metrics()
+	fmt.Printf("nominal cache hit rate: %.1f %%\n", 100*m.Cache.HitRate())
 }

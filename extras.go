@@ -1,10 +1,12 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/macros"
 	"repro/internal/testcfg"
@@ -25,6 +27,35 @@ type Signature = core.Signature
 
 // Stats summarizes a session's simulation effort.
 type Stats = core.Stats
+
+// Metrics is a snapshot of the evaluation engine's observability
+// counters: per-phase wall-clock timings and nominal-cache
+// effectiveness. See System.Metrics.
+type Metrics = engine.Metrics
+
+// PhaseStats is the per-phase slice of a Metrics snapshot.
+type PhaseStats = engine.PhaseStats
+
+// CacheStats summarizes the sharded nominal-response cache.
+type CacheStats = engine.CacheStats
+
+// Phase names reported in Metrics.Phases.
+const (
+	// PhaseBoxBuild covers tolerance-box construction.
+	PhaseBoxBuild = core.PhaseBoxBuild
+	// PhaseOptimize covers per-(fault, configuration) optimization.
+	PhaseOptimize = core.PhaseOptimize
+	// PhaseImpact covers the impact relax/intensify selection loops.
+	PhaseImpact = core.PhaseImpact
+	// PhaseFaultSim covers fault simulation of a test set.
+	PhaseFaultSim = core.PhaseFaultSim
+	// PhaseSchedule covers the ATE schedule's detection matrix.
+	PhaseSchedule = core.PhaseSchedule
+	// PhaseTPS covers tps-graph grid sweeps.
+	PhaseTPS = core.PhaseTPS
+	// PhaseCompact covers test-set compaction.
+	PhaseCompact = core.PhaseCompact
+)
 
 // Diagnosis is one ranked candidate fault of a diagnosis run.
 type Diagnosis = core.Diagnosis
@@ -79,6 +110,11 @@ func (s *System) Schedule(tests []Test, faults []Fault) ([]ScheduleEntry, []stri
 	return s.session.Schedule(tests, faults)
 }
 
+// ScheduleContext is Schedule honoring ctx.
+func (s *System) ScheduleContext(ctx context.Context, tests []Test, faults []Fault) ([]ScheduleEntry, []string, error) {
+	return s.session.ScheduleContext(ctx, tests, faults)
+}
+
 // Prune drops tests that add no marginal dictionary-impact detection,
 // keeping the greedy-schedule order. See core.Session.Prune for the
 // sensitivity trade-off.
@@ -109,5 +145,16 @@ func (s *System) ObserveFault(tests []Test, f Fault) ([][]float64, error) {
 	return s.session.ObserveFault(tests, f)
 }
 
+// PruneContext is Prune honoring ctx.
+func (s *System) PruneContext(ctx context.Context, tests []Test, faults []Fault) ([]Test, error) {
+	return s.session.PruneContext(ctx, tests, faults)
+}
+
 // Stats returns the session's simulation counters.
 func (s *System) Stats() Stats { return s.session.Stats() }
+
+// Metrics snapshots the evaluation engine's observability counters:
+// where simulation wall time went (box build, optimization, impact
+// loops, fault simulation, tps sweeps) and how well the sharded nominal
+// cache worked.
+func (s *System) Metrics() Metrics { return s.session.Metrics() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -43,7 +44,13 @@ func DefaultCompactOptions() CompactOptions {
 }
 
 // Compact collapses the fault-specific optimal tests onto a much smaller
-// test set (paper §4.1):
+// test set. It is CompactContext with context.Background().
+func (s *Session) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, error) {
+	return s.CompactContext(context.Background(), sols, o)
+}
+
+// CompactContext collapses the fault-specific optimal tests onto a much
+// smaller test set (paper §4.1):
 //
 //  1. Per configuration, the optimal parameter vectors are grouped in
 //     normalized parameter space (greedy nearest-centroid clustering
@@ -55,8 +62,11 @@ func DefaultCompactOptions() CompactOptions {
 //     evicted into their own groups, and the remainder is re-averaged
 //     until the screen passes.
 //
-// Undetectable faults are skipped (no test covers them).
-func (s *Session) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, error) {
+// Undetectable faults are skipped (no test covers them). Cancellation of
+// ctx aborts the δ screening promptly with an error wrapping
+// ErrCanceled.
+func (s *Session) CompactContext(ctx context.Context, sols []*Solution, o CompactOptions) ([]CompactTest, error) {
+	defer s.eng.Time(PhaseCompact)()
 	if o.Delta < 0 || o.Delta >= 1 {
 		return nil, fmt.Errorf("core: delta %g outside [0, 1)", o.Delta)
 	}
@@ -79,7 +89,7 @@ func (s *Session) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, er
 		for len(groups) > 0 {
 			g := groups[0]
 			groups = groups[1:]
-			ct, rejected, err := s.screenGroup(ci, g, o.Delta)
+			ct, rejected, err := s.screenGroup(ctx, ci, g, o.Delta)
 			if err != nil {
 				return nil, err
 			}
@@ -145,7 +155,7 @@ func (s *Session) group(ci int, sols []*Solution, radius float64) [][]*Solution 
 // screenGroup averages a group and applies the δ screen at the
 // dictionary impact. It returns the accepted collapsed test (possibly
 // covering only part of the group) and the rejected members.
-func (s *Session) screenGroup(ci int, g []*Solution, delta float64) (*CompactTest, []*Solution, error) {
+func (s *Session) screenGroup(ctx context.Context, ci int, g []*Solution, delta float64) (*CompactTest, []*Solution, error) {
 	if len(g) == 0 {
 		return nil, nil, nil
 	}
@@ -159,6 +169,9 @@ func (s *Session) screenGroup(ci int, g []*Solution, delta float64) (*CompactTes
 	var accepted []*Solution
 	var rejected []*Solution
 	for _, sol := range g {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: compaction screen: %w", ErrCanceled, err)
+		}
 		fd := sol.Fault.WithImpact(sol.Fault.InitialImpact())
 		sc, err := s.Sensitivity(ci, fd, avg)
 		if err != nil {
@@ -188,7 +201,7 @@ func (s *Session) screenGroup(ci int, g []*Solution, delta float64) (*CompactTes
 	}
 	if len(rejected) > 0 && len(accepted) > 0 {
 		// Re-average over the accepted members only.
-		ct, moreRejected, err := s.screenGroup(ci, accepted, delta)
+		ct, moreRejected, err := s.screenGroup(ctx, ci, accepted, delta)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+func TestGenerateAllContextCanceledReturnsPromptly(t *testing.T) {
+	s := dcSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := s.GenerateAllContext(ctx, fault.Dictionary(macros.IVConverter(), 10e3, 2e3))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("canceled generation still took %v", d)
+	}
+}
+
+func TestCoverageContextCanceled(t *testing.T) {
+	s := dcSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tests := []Test{{ConfigIdx: 0, Params: []float64{20e-6}}}
+	_, err := s.CoverageContext(ctx, tests, fault.Dictionary(macros.IVConverter(), 10e3, 2e3))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestTPSContextCanceled(t *testing.T) {
+	s := dcSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	if _, err := s.TPSContext(ctx, 0, f, 9, 0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestNewSessionContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.BoxMode = BoxSeed
+	_, err := NewSessionContext(ctx, macros.IVConverter(), testcfg.IVConfigs()[:2], cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestNoConfigsSentinel(t *testing.T) {
+	_, err := NewSession(macros.IVConverter(), nil, DefaultConfig())
+	if !errors.Is(err, ErrNoConfigs) {
+		t.Fatalf("err = %v, want ErrNoConfigs", err)
+	}
+}
+
+// TestParallelDeterminism: the generated solutions must be bit-identical
+// for any worker count — parallelism may only change scheduling, never
+// results.
+func TestParallelDeterminism(t *testing.T) {
+	sessionWith := func(workers int) *Session {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.BoxMode = BoxSeed
+		cfg.Workers = workers
+		s, err := NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	faults := []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge(macros.NodeVref, macros.NodeIin, 10e3),
+		fault.NewPinhole("M6", 2e3),
+		fault.NewPinhole("M2", 2e3),
+	}
+	serial, err := sessionWith(1).GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sessionWith(8).GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("solution counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.ConfigIdx != b.ConfigIdx {
+			t.Errorf("%s: winning config %d vs %d", a.Fault.ID(), a.ConfigIdx, b.ConfigIdx)
+		}
+		if a.Sensitivity != b.Sensitivity {
+			t.Errorf("%s: sensitivity %g vs %g", a.Fault.ID(), a.Sensitivity, b.Sensitivity)
+		}
+		if a.CriticalImpact != b.CriticalImpact {
+			t.Errorf("%s: critical impact %g vs %g", a.Fault.ID(), a.CriticalImpact, b.CriticalImpact)
+		}
+		if len(a.Params) != len(b.Params) {
+			t.Fatalf("%s: param dims differ", a.Fault.ID())
+		}
+		for d := range a.Params {
+			if a.Params[d] != b.Params[d] {
+				t.Errorf("%s: param %d: %g vs %g", a.Fault.ID(), d, a.Params[d], b.Params[d])
+			}
+		}
+	}
+}
+
+// TestSessionMetricsPhases: a generation run must populate the optimize
+// and impact-loop phases and show cache activity.
+func TestSessionMetricsPhases(t *testing.T) {
+	s := dcSession(t)
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	if _, err := s.Generate(f); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if p := m.Phase(PhaseBoxBuild); p.Count != 2 {
+		t.Errorf("box-build units = %d, want 2 (one per config)", p.Count)
+	}
+	if p := m.Phase(PhaseOptimize); p.Count != 2 || p.Wall <= 0 {
+		t.Errorf("optimize phase = %+v, want 2 timed units", p)
+	}
+	if p := m.Phase(PhaseImpact); p.Count != 1 {
+		t.Errorf("impact-loop units = %d, want 1", p.Count)
+	}
+	if m.Cache.Misses == 0 {
+		t.Error("no nominal-cache misses recorded after a generation")
+	}
+}

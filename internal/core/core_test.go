@@ -102,8 +102,8 @@ func TestNominalCacheHits(t *testing.T) {
 	if &r1[0] != &r2[0] {
 		t.Error("second Nominal call did not hit the cache")
 	}
-	if len(s.nomCache) != 1 {
-		t.Errorf("cache size = %d, want 1", len(s.nomCache))
+	if n := s.eng.Cache().Len(); n != 1 {
+		t.Errorf("cache size = %d, want 1", n)
 	}
 }
 

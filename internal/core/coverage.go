@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/fault"
@@ -30,52 +30,51 @@ func (r CoverageReport) Percent() float64 {
 	return 100 * float64(r.Detected) / float64(r.Total)
 }
 
-// Coverage fault-simulates the test set against the dictionary: a fault
-// counts as detected when at least one test's sensitivity at the fault's
-// dictionary impact is negative. Tests are tried in order, so placing
-// high-yield tests first minimizes simulation count. Faults are
-// evaluated concurrently up to the session's worker limit.
+// Coverage fault-simulates a test set against the dictionary. It is
+// CoverageContext with context.Background().
 func (s *Session) Coverage(tests []Test, faults []fault.Fault) (CoverageReport, error) {
+	return s.CoverageContext(context.Background(), tests, faults)
+}
+
+// CoverageContext fault-simulates the test set against the dictionary: a
+// fault counts as detected when at least one test's sensitivity at the
+// fault's dictionary impact is negative. Tests are tried in order, so
+// placing high-yield tests first minimizes simulation count. Faults are
+// evaluated on the engine's work-stealing pool; cancellation of ctx
+// aborts the run promptly with an error wrapping ErrCanceled.
+func (s *Session) CoverageContext(ctx context.Context, tests []Test, faults []fault.Fault) (CoverageReport, error) {
 	rep := CoverageReport{Total: len(faults), DetectedBy: make(map[string]int)}
-	type result struct {
-		detectedBy int // -1: undetected
-		err        error
-	}
-	results := make([]result, len(faults))
+	detectedBy := make([]int, len(faults)) // -1: undetected
 	var sims atomic.Int64
-	sem := make(chan struct{}, s.cfg.Workers)
-	var wg sync.WaitGroup
-	for fi, f := range faults {
-		wg.Add(1)
-		go func(fi int, f fault.Fault) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fd := f.WithImpact(f.InitialImpact())
-			results[fi].detectedBy = -1
-			for ti, t := range tests {
-				sims.Add(1)
-				sf, err := s.Sensitivity(t.ConfigIdx, fd, t.Params)
-				if err != nil {
-					results[fi].err = fmt.Errorf("core: coverage of %s: %w", f.ID(), err)
-					return
-				}
-				if sf < 0 {
-					results[fi].detectedBy = ti
-					return
-				}
+	err := s.eng.ForEach(ctx, len(faults), func(ctx context.Context, fi int) error {
+		defer s.eng.Time(PhaseFaultSim)()
+		f := faults[fi]
+		fd := f.WithImpact(f.InitialImpact())
+		detectedBy[fi] = -1
+		for ti, t := range tests {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w: coverage of %s: %w", ErrCanceled, f.ID(), err)
 			}
-		}(fi, f)
-	}
-	wg.Wait()
-	rep.Sims = int(sims.Load())
-	for fi, r := range results {
-		if r.err != nil {
-			return rep, r.err
+			sims.Add(1)
+			sf, err := s.Sensitivity(t.ConfigIdx, fd, t.Params)
+			if err != nil {
+				return fmt.Errorf("core: coverage of %s: %w", f.ID(), err)
+			}
+			if sf < 0 {
+				detectedBy[fi] = ti
+				return nil
+			}
 		}
-		if r.detectedBy >= 0 {
+		return nil
+	})
+	rep.Sims = int(sims.Load())
+	if err != nil {
+		return rep, err
+	}
+	for fi, ti := range detectedBy {
+		if ti >= 0 {
 			rep.Detected++
-			rep.DetectedBy[faults[fi].ID()] = r.detectedBy
+			rep.DetectedBy[faults[fi].ID()] = ti
 		} else {
 			rep.Undetected = append(rep.Undetected, faults[fi].ID())
 		}

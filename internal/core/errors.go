@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+)
+
+// Sentinel errors of the generation core. The public facade re-exports
+// them (repro.ErrCanceled, repro.ErrNoConfigs) so callers can use
+// errors.Is instead of matching message strings.
+var (
+	// ErrCanceled is wrapped into every error returned because a
+	// context was canceled or its deadline expired mid-evaluation.
+	ErrCanceled = engine.ErrCanceled
+	// ErrNoConfigs is returned by NewSession when no test
+	// configurations are supplied.
+	ErrNoConfigs = errors.New("core: no test configurations")
+)
+
+// Phase names used for engine observability. Session.Metrics reports
+// wall time and unit counts under these keys.
+const (
+	// PhaseBoxBuild covers tolerance-box construction (corner or Monte
+	// Carlo simulations), one unit per configuration.
+	PhaseBoxBuild = "box-build"
+	// PhaseOptimize covers per-(fault, configuration) test-parameter
+	// optimization, one unit per candidate.
+	PhaseOptimize = "optimize"
+	// PhaseImpact covers the impact relax/intensify selection loop, one
+	// unit per fault.
+	PhaseImpact = "impact-loop"
+	// PhaseFaultSim covers fault simulation of a test set (coverage),
+	// one unit per fault.
+	PhaseFaultSim = "fault-sim"
+	// PhaseSchedule covers the detection matrix behind ATE scheduling,
+	// one unit per (test, fault) pair.
+	PhaseSchedule = "schedule"
+	// PhaseTPS covers tps-graph grid sweeps, one unit per grid cell.
+	PhaseTPS = "tps-sweep"
+	// PhaseCompact covers test-set compaction (δ screening), one unit
+	// per Compact call.
+	PhaseCompact = "compact"
+)

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/opt"
@@ -59,7 +59,13 @@ type ImpactStep struct {
 // ConfigID resolves the paper numbering of the winning configuration.
 func (sol *Solution) ConfigID(s *Session) int { return s.configs[sol.ConfigIdx].ID }
 
-// Generate produces the optimal test for one fault:
+// Generate produces the optimal test for one fault. It is
+// GenerateContext with context.Background().
+func (s *Session) Generate(f fault.Fault) (*Solution, error) {
+	return s.GenerateContext(context.Background(), f)
+}
+
+// GenerateContext produces the optimal test for one fault:
 //
 //  1. For every test configuration, the fault is weakened by the
 //     SoftImpactFactor (into its soft-fault tps region) and the test
@@ -69,11 +75,59 @@ func (sol *Solution) ConfigID(s *Session) int { return s.configs[sol.ConfigIdx].
 //     intensified while none does, with damped factors after a reversal,
 //     until a unique most-sensitive test survives (the critical impact
 //     level).
-func (s *Session) Generate(f fault.Fault) (*Solution, error) {
-	cands, err := s.optimizeCandidates(f)
+//
+// Cancellation of ctx aborts both steps promptly with an error wrapping
+// ErrCanceled.
+func (s *Session) GenerateContext(ctx context.Context, f fault.Fault) (*Solution, error) {
+	cands := make([]Candidate, len(s.configs))
+	err := s.eng.ForEach(ctx, len(s.configs), func(ctx context.Context, ci int) error {
+		c, err := s.optimizeCandidate(ctx, f, ci)
+		if err != nil {
+			return err
+		}
+		cands[ci] = c
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return s.selectTest(ctx, f, cands)
+}
+
+// optimizeCandidate runs step 1 for one (fault, configuration) pair.
+func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) (Candidate, error) {
+	defer s.eng.Time(PhaseOptimize)()
+	soft := fault.Weaken(f.WithImpact(f.InitialImpact()), s.cfg.SoftImpactFactor)
+	c := s.configs[ci]
+	box := c.Bounds()
+	evals := 0
+	obj := func(T []float64) float64 {
+		if ctx.Err() != nil {
+			// Poison every point so the optimizer retreats and returns
+			// quickly; the cancellation error is reported below.
+			return 10
+		}
+		evals++
+		sf, err := s.Sensitivity(ci, soft, T)
+		if err != nil {
+			// An unreachable parameter point: poison it so the
+			// optimizer retreats.
+			return 10
+		}
+		return sf
+	}
+	res := opt.Minimize(obj, box, c.Seeds(), s.cfg.OptTol)
+	if err := ctx.Err(); err != nil {
+		return Candidate{}, fmt.Errorf("%w: optimization of %s under config #%d: %w",
+			ErrCanceled, f.ID(), c.ID, err)
+	}
+	return Candidate{ConfigIdx: ci, Params: res.X, SoftS: res.F, Evals: evals}, nil
+}
+
+// selectTest runs step 2 (the impact relax/intensify selection loop of
+// Fig. 6) over the per-configuration candidates.
+func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candidate) (*Solution, error) {
+	defer s.eng.Time(PhaseImpact)()
 	sol := &Solution{Fault: f, Candidates: cands}
 	for _, c := range cands {
 		sol.Evals += c.Evals
@@ -88,6 +142,9 @@ func (s *Session) Generate(f fault.Fault) (*Solution, error) {
 	winner := -1
 	sens := make([]float64, len(cands))
 	for iter := 0; iter < 60; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: selection for %s: %w", ErrCanceled, f.ID(), err)
+		}
 		sol.ImpactIters++
 		detects := 0
 		best := -1
@@ -181,65 +238,47 @@ func (s *Session) Generate(f fault.Fault) (*Solution, error) {
 	return sol, nil
 }
 
-// optimizeCandidates runs the per-configuration optimizations of step 1
-// in parallel.
-func (s *Session) optimizeCandidates(f fault.Fault) ([]Candidate, error) {
-	soft := fault.Weaken(f.WithImpact(f.InitialImpact()), s.cfg.SoftImpactFactor)
-	cands := make([]Candidate, len(s.configs))
-	errs := make([]error, len(s.configs))
-	var wg sync.WaitGroup
-	for ci := range s.configs {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			c := s.configs[ci]
-			box := c.Bounds()
-			evals := 0
-			obj := func(T []float64) float64 {
-				evals++
-				sf, err := s.Sensitivity(ci, soft, T)
-				if err != nil {
-					// An unreachable parameter point: poison it so the
-					// optimizer retreats.
-					return 10
-				}
-				return sf
-			}
-			res := opt.Minimize(obj, box, c.Seeds(), s.cfg.OptTol)
-			cands[ci] = Candidate{ConfigIdx: ci, Params: res.X, SoftS: res.F, Evals: evals}
-		}(ci)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return cands, nil
+// GenerateAll generates the best test for every fault in the dictionary.
+// It is GenerateAllContext with context.Background().
+func (s *Session) GenerateAll(faults []fault.Fault) ([]*Solution, error) {
+	return s.GenerateAllContext(context.Background(), faults)
 }
 
-// GenerateAll generates the best test for every fault in the dictionary
-// using the session's worker pool. Results keep the input order.
-func (s *Session) GenerateAll(faults []fault.Fault) ([]*Solution, error) {
-	sols := make([]*Solution, len(faults))
-	errs := make([]error, len(faults))
-	sem := make(chan struct{}, s.cfg.Workers)
-	var wg sync.WaitGroup
-	for i, f := range faults {
-		wg.Add(1)
-		go func(i int, f fault.Fault) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sol, err := s.Generate(f)
-			sols[i], errs[i] = sol, err
-		}(i, f)
-	}
-	wg.Wait()
-	for i, err := range errs {
+// GenerateAllContext generates the best test for every fault on the
+// engine's work-stealing pool. The optimization step is scheduled as a
+// flat list of (fault, configuration) tasks — the unit of work the pool
+// balances across cores — followed by the per-fault selection loops.
+// Results keep the input order and are identical for any worker count.
+// Cancellation of ctx aborts the run promptly with an error wrapping
+// ErrCanceled.
+func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) ([]*Solution, error) {
+	nc := len(s.configs)
+	// Step 1: one optimization task per (fault, configuration) pair.
+	cands := make([]Candidate, len(faults)*nc)
+	err := s.eng.ForEach(ctx, len(faults)*nc, func(ctx context.Context, k int) error {
+		fi, ci := k/nc, k%nc
+		c, err := s.optimizeCandidate(ctx, faults[fi], ci)
 		if err != nil {
-			return nil, fmt.Errorf("core: fault %s: %w", faults[i].ID(), err)
+			return fmt.Errorf("core: fault %s: %w", faults[fi].ID(), err)
 		}
+		cands[k] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Step 2: the impact selection loop per fault.
+	sols := make([]*Solution, len(faults))
+	err = s.eng.ForEach(ctx, len(faults), func(ctx context.Context, fi int) error {
+		sol, err := s.selectTest(ctx, faults[fi], cands[fi*nc:(fi+1)*nc])
+		if err != nil {
+			return fmt.Errorf("core: fault %s: %w", faults[fi].ID(), err)
+		}
+		sols[fi] = sol
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sols, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/fault"
@@ -56,23 +58,40 @@ type ScheduleEntry struct {
 }
 
 // Schedule orders a test set greedily by marginal fault yield per unit
-// ATE time: at each step the test covering the most not-yet-detected
+// ATE time. It is ScheduleContext with context.Background().
+func (s *Session) Schedule(tests []Test, faults []fault.Fault) ([]ScheduleEntry, []string, error) {
+	return s.ScheduleContext(context.Background(), tests, faults)
+}
+
+// ScheduleContext orders a test set greedily by marginal fault yield per
+// unit ATE time: at each step the test covering the most not-yet-detected
 // faults per second goes next. Tests that add no coverage are appended
 // at the end (they still consume tester time but catch nothing new).
-// It also returns the fault IDs no test in the set detects.
-func (s *Session) Schedule(tests []Test, faults []fault.Fault) ([]ScheduleEntry, []string, error) {
-	// Detection matrix.
+// It also returns the fault IDs no test in the set detects. The
+// underlying (test, fault) detection matrix is filled on the engine's
+// work-stealing pool; cancellation of ctx aborts the run promptly with
+// an error wrapping ErrCanceled.
+func (s *Session) ScheduleContext(ctx context.Context, tests []Test, faults []fault.Fault) ([]ScheduleEntry, []string, error) {
+	// Detection matrix, one pool task per (test, fault) pair.
 	detects := make([][]bool, len(tests))
-	for ti, t := range tests {
+	for ti := range tests {
 		detects[ti] = make([]bool, len(faults))
-		for fi, f := range faults {
-			fd := f.WithImpact(f.InitialImpact())
-			sf, err := s.Sensitivity(t.ConfigIdx, fd, t.Params)
-			if err != nil {
-				return nil, nil, err
-			}
-			detects[ti][fi] = sf < 0
+	}
+	nf := len(faults)
+	err := s.eng.ForEach(ctx, len(tests)*nf, func(ctx context.Context, k int) error {
+		defer s.eng.Time(PhaseSchedule)()
+		ti, fi := k/nf, k%nf
+		t, f := tests[ti], faults[fi]
+		fd := f.WithImpact(f.InitialImpact())
+		sf, err := s.Sensitivity(t.ConfigIdx, fd, t.Params)
+		if err != nil {
+			return fmt.Errorf("core: schedule matrix for %s: %w", f.ID(), err)
 		}
+		detects[ti][fi] = sf < 0
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	covered := make([]bool, len(faults))
@@ -126,9 +145,16 @@ func (s *Session) Schedule(tests []Test, faults []fault.Fault) ([]ScheduleEntry,
 // Pruning trades away the compaction algorithm's sensitivity guarantee:
 // a kept test detects the reassigned faults, but not necessarily within
 // the δ budget of their per-fault optima. Use it when raw dictionary
-// coverage per tester-second is the objective.
+// coverage per tester-second is the objective. It is PruneContext with
+// context.Background().
 func (s *Session) Prune(tests []Test, faults []fault.Fault) ([]Test, error) {
-	order, _, err := s.Schedule(tests, faults)
+	return s.PruneContext(context.Background(), tests, faults)
+}
+
+// PruneContext is Prune honoring ctx during the schedule's detection
+// matrix fill.
+func (s *Session) PruneContext(ctx context.Context, tests []Test, faults []fault.Fault) ([]Test, error) {
+	order, _, err := s.ScheduleContext(ctx, tests, faults)
 	if err != nil {
 		return nil, err
 	}

@@ -3,17 +3,23 @@
 // tolerance boxes, tps-graphs, fault-specific test generation with
 // impact manipulation (Fig. 6), test-set compaction with the δ loss
 // budget (§4.1), and fault-coverage evaluation of a test set.
+//
+// All parallel evaluation flows through internal/engine: a work-stealing
+// worker pool with context cancellation, a sharded single-flight nominal
+// cache, and per-phase metrics (see Session.Metrics).
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/testcfg"
 	"repro/internal/tolerance"
@@ -49,8 +55,12 @@ type Config struct {
 	BoxGridN int
 	// Corners are the process corners for box construction.
 	Corners []tolerance.Corner
-	// Workers bounds the parallelism of generation (default: 8).
+	// Workers bounds the parallelism of evaluation (default:
+	// runtime.GOMAXPROCS(0)).
 	Workers int
+	// CacheEntries bounds the nominal-response cache size (total entries
+	// across shards; default 65536).
+	CacheEntries int
 	// OptTol is the optimizer tolerance (default 1e-3).
 	OptTol float64
 	// SoftImpactFactor is the impact-weakening factor applied before
@@ -74,7 +84,7 @@ func DefaultConfig() Config {
 		BoxMode:          BoxGrid,
 		BoxGridN:         5,
 		Corners:          tolerance.DefaultCorners(),
-		Workers:          8,
+		Workers:          0, // GOMAXPROCS
 		OptTol:           1e-3,
 		SoftImpactFactor: 4,
 		MinImpact:        1,
@@ -83,16 +93,14 @@ func DefaultConfig() Config {
 }
 
 // Session binds a golden macro netlist to its test configurations and
-// tolerance-box functions, and memoizes nominal responses. A Session is
-// safe for concurrent use.
+// tolerance-box functions, and memoizes nominal responses in a sharded
+// single-flight cache. A Session is safe for concurrent use.
 type Session struct {
 	golden  *circuit.Circuit
 	configs []*testcfg.Config
 	boxes   []tolerance.BoxFunc
 	cfg     Config
-
-	mu       sync.Mutex
-	nomCache map[string][]float64
+	eng     *engine.Engine
 
 	nominalRuns atomic.Int64
 	cacheHits   atomic.Int64
@@ -106,7 +114,8 @@ type Session struct {
 type Stats struct {
 	// NominalRuns counts fault-free measurement simulations.
 	NominalRuns int64
-	// CacheHits counts nominal evaluations served from the memo.
+	// CacheHits counts nominal evaluations served from the memo
+	// (including callers that joined an in-flight simulation).
 	CacheHits int64
 	// FaultyRuns counts faulty-circuit measurement simulations.
 	FaultyRuns int64
@@ -125,14 +134,28 @@ func (s *Session) Stats() Stats {
 	}
 }
 
+// Metrics snapshots the evaluation engine's observability counters:
+// per-phase wall-clock timings (box build, per-config optimization,
+// impact loops, fault simulation, tps sweeps) and nominal-cache
+// effectiveness.
+func (s *Session) Metrics() engine.Metrics { return s.eng.Metrics() }
+
 // NewSession builds the box functions (corner simulations) and returns a
-// ready session.
+// ready session. It is NewSessionContext with context.Background().
 func NewSession(golden *circuit.Circuit, configs []*testcfg.Config, cfg Config) (*Session, error) {
+	return NewSessionContext(context.Background(), golden, configs, cfg)
+}
+
+// NewSessionContext builds a session, honoring ctx during the (possibly
+// expensive) tolerance-box construction. Returns an error wrapping
+// ErrNoConfigs when configs is empty, and one wrapping ErrCanceled when
+// ctx ends before the boxes are built.
+func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*testcfg.Config, cfg Config) (*Session, error) {
 	if len(configs) == 0 {
-		return nil, fmt.Errorf("core: no test configurations")
+		return nil, fmt.Errorf("%w (macro %q)", ErrNoConfigs, golden.Name())
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = 8
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.BoxGridN < 2 {
 		cfg.BoxGridN = 5
@@ -153,12 +176,15 @@ func NewSession(golden *circuit.Circuit, configs []*testcfg.Config, cfg Config) 
 		cfg.Corners = tolerance.DefaultCorners()
 	}
 	s := &Session{
-		golden:   golden,
-		configs:  configs,
-		cfg:      cfg,
-		nomCache: make(map[string][]float64),
+		golden:  golden,
+		configs: configs,
+		cfg:     cfg,
+		eng: engine.New(engine.Options{
+			Workers:      cfg.Workers,
+			CacheEntries: cfg.CacheEntries,
+		}),
 	}
-	boxes, err := s.buildBoxes()
+	boxes, err := s.buildBoxes(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +200,11 @@ func (s *Session) Configs() []*testcfg.Config { return s.configs }
 
 // Box returns the tolerance-box function for configuration index ci.
 func (s *Session) Box(ci int) tolerance.BoxFunc { return s.boxes[ci] }
+
+// engineForEach exposes the session's pool to the other core files.
+func (s *Session) engineForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return s.eng.ForEach(ctx, n, fn)
+}
 
 // cornerDeviation runs the fault-free circuit at every corner and
 // returns the max deviation per return value at parameters T.
@@ -194,65 +225,57 @@ func (s *Session) cornerDeviation(c *testcfg.Config, T []float64) ([]float64, er
 	return tolerance.MaxDeviation(nom, corners), nil
 }
 
-// buildBoxes constructs one box function per configuration, in parallel.
-func (s *Session) buildBoxes() ([]tolerance.BoxFunc, error) {
+// buildBoxes constructs one box function per configuration on the
+// engine pool.
+func (s *Session) buildBoxes(ctx context.Context) ([]tolerance.BoxFunc, error) {
 	boxes := make([]tolerance.BoxFunc, len(s.configs))
-	errs := make([]error, len(s.configs))
-	var wg sync.WaitGroup
-	for i, c := range s.configs {
-		wg.Add(1)
-		go func(i int, c *testcfg.Config) {
-			defer wg.Done()
-			switch s.cfg.BoxMode {
-			case BoxSeed:
-				dev, err := s.cornerDeviation(c, c.Seeds())
-				if err != nil {
-					errs[i] = fmt.Errorf("core: box for config #%d: %w", c.ID, err)
-					return
-				}
-				acc := c.Accuracies()
-				hw := make(tolerance.ConstBox, len(dev))
-				for r := range dev {
-					hw[r] = dev[r] + acc[r]
-				}
-				boxes[i] = hw
-			case BoxMonteCarlo:
-				n := s.cfg.MCSamples
-				if n <= 0 {
-					n = 32
-				}
-				seeds := c.Seeds()
-				dev, err := tolerance.MonteCarloDeviation(s.golden, tolerance.DefaultSpread(), n,
-					s.cfg.MCSeed+int64(i), func(ck *circuit.Circuit) ([]float64, error) {
-						return c.Run(ck, seeds)
-					})
-				if err != nil {
-					errs[i] = fmt.Errorf("core: MC box for config #%d: %w", c.ID, err)
-					return
-				}
-				acc := c.Accuracies()
-				hw := make(tolerance.ConstBox, len(dev))
-				for r := range dev {
-					hw[r] = dev[r] + acc[r]
-				}
-				boxes[i] = hw
-			default: // BoxGrid
-				b := c.Bounds()
-				gb, err := tolerance.BuildGridBox(b.Lo, b.Hi, s.cfg.BoxGridN, c.Accuracies(),
-					func(T []float64) ([]float64, error) { return s.cornerDeviation(c, T) })
-				if err != nil {
-					errs[i] = fmt.Errorf("core: box for config #%d: %w", c.ID, err)
-					return
-				}
-				boxes[i] = gb
+	err := s.eng.ForEach(ctx, len(s.configs), func(ctx context.Context, i int) error {
+		defer s.eng.Time(PhaseBoxBuild)()
+		c := s.configs[i]
+		switch s.cfg.BoxMode {
+		case BoxSeed:
+			dev, err := s.cornerDeviation(c, c.Seeds())
+			if err != nil {
+				return fmt.Errorf("core: box for config #%d: %w", c.ID, err)
 			}
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			acc := c.Accuracies()
+			hw := make(tolerance.ConstBox, len(dev))
+			for r := range dev {
+				hw[r] = dev[r] + acc[r]
+			}
+			boxes[i] = hw
+		case BoxMonteCarlo:
+			n := s.cfg.MCSamples
+			if n <= 0 {
+				n = 32
+			}
+			seeds := c.Seeds()
+			dev, err := tolerance.MonteCarloDeviation(s.golden, tolerance.DefaultSpread(), n,
+				s.cfg.MCSeed+int64(i), func(ck *circuit.Circuit) ([]float64, error) {
+					return c.Run(ck, seeds)
+				})
+			if err != nil {
+				return fmt.Errorf("core: MC box for config #%d: %w", c.ID, err)
+			}
+			acc := c.Accuracies()
+			hw := make(tolerance.ConstBox, len(dev))
+			for r := range dev {
+				hw[r] = dev[r] + acc[r]
+			}
+			boxes[i] = hw
+		default: // BoxGrid
+			b := c.Bounds()
+			gb, err := tolerance.BuildGridBox(b.Lo, b.Hi, s.cfg.BoxGridN, c.Accuracies(),
+				func(T []float64) ([]float64, error) { return s.cornerDeviation(c, T) })
+			if err != nil {
+				return fmt.Errorf("core: box for config #%d: %w", c.ID, err)
+			}
+			boxes[i] = gb
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return boxes, nil
 }
@@ -269,25 +292,17 @@ func nomKey(ci int, T []float64) string {
 }
 
 // Nominal returns the fault-free return values of configuration ci at
-// parameters T, memoized.
+// parameters T, memoized in the sharded single-flight cache: concurrent
+// misses on the same parameter point run one simulation and share it.
 func (s *Session) Nominal(ci int, T []float64) ([]float64, error) {
-	key := nomKey(ci, T)
-	s.mu.Lock()
-	if r, ok := s.nomCache[key]; ok {
-		s.mu.Unlock()
+	r, hit, err := s.eng.Cache().GetOrCompute(nomKey(ci, T), func() ([]float64, error) {
+		s.nominalRuns.Add(1)
+		return s.configs[ci].Run(s.golden, T)
+	})
+	if hit {
 		s.cacheHits.Add(1)
-		return r, nil
 	}
-	s.mu.Unlock()
-	s.nominalRuns.Add(1)
-	r, err := s.configs[ci].Run(s.golden, T)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.nomCache[key] = r
-	s.mu.Unlock()
-	return r, nil
+	return r, err
 }
 
 // Sensitivity evaluates the paper's cost function for fault f under

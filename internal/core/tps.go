@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -69,8 +70,16 @@ func (g *TPSGraph) DetectableFraction() float64 {
 
 // TPS computes the tps-graph of fault f (at its CURRENT impact) under
 // configuration index ci on an n1 × n2 uniform grid (n2 ignored for
-// one-parameter configurations).
+// one-parameter configurations). It is TPSContext with
+// context.Background().
 func (s *Session) TPS(ci int, f fault.Fault, n1, n2 int) (*TPSGraph, error) {
+	return s.TPSContext(context.Background(), ci, f, n1, n2)
+}
+
+// TPSContext computes the tps-graph, sweeping the grid cells on the
+// engine's work-stealing pool. Cancellation of ctx aborts the sweep
+// promptly with an error wrapping ErrCanceled.
+func (s *Session) TPSContext(ctx context.Context, ci int, f fault.Fault, n1, n2 int) (*TPSGraph, error) {
 	c := s.configs[ci]
 	if n1 < 2 {
 		n1 = 2
@@ -95,17 +104,26 @@ func (s *Session) TPS(ci int, f fault.Fault, n1, n2 int) (*TPSGraph, error) {
 	g.S = make([][]float64, rows)
 	for j := 0; j < rows; j++ {
 		g.S[j] = make([]float64, n1)
-		for i := 0; i < n1; i++ {
-			T := []float64{g.Axis1[i]}
-			if b.Dim() == 2 {
-				T = append(T, g.Axis2[j])
-			}
-			sf, err := s.Sensitivity(ci, f, T)
-			if err != nil {
-				return nil, fmt.Errorf("core: tps at %v: %w", T, err)
-			}
-			g.S[j][i] = sf
+	}
+	// One pool task per grid cell: tps cells vary wildly in cost (a
+	// non-convergent faulty circuit retries its source stepping), which
+	// is exactly what work stealing smooths out.
+	err := s.eng.ForEach(ctx, rows*n1, func(ctx context.Context, k int) error {
+		defer s.eng.Time(PhaseTPS)()
+		j, i := k/n1, k%n1
+		T := []float64{g.Axis1[i]}
+		if b.Dim() == 2 {
+			T = append(T, g.Axis2[j])
 		}
+		sf, err := s.Sensitivity(ci, f, T)
+		if err != nil {
+			return fmt.Errorf("core: tps at %v: %w", T, err)
+		}
+		g.S[j][i] = sf
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a sharded, size-bounded, single-flight memo for simulation
+// responses. Keys are quantized parameter strings; values are response
+// vectors. Sharding by FNV-1a hash replaces the single global mutex the
+// nominal cache used to serialize on; single-flight guarantees that
+// concurrent misses on the same key run the underlying simulation once,
+// with every waiter sharing the result.
+type Cache struct {
+	shards []cacheShard
+	mask   uint32
+	// perShard bounds the entry count of each shard; a full shard evicts
+	// an arbitrary entry before inserting.
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string][]float64
+	flights map[string]*flight
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  []float64
+	err  error
+}
+
+// newCache builds a cache with the given total entry bound and shard
+// count (both defaulted when <= 0; shards rounds up to a power of two).
+func newCache(entries, shards int) *Cache {
+	if entries <= 0 {
+		entries = 65536
+	}
+	if shards <= 0 {
+		shards = 32
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := entries / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint32(n - 1), perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string][]float64)
+		c.shards[i].flights = make(map[string]*flight)
+	}
+	return c
+}
+
+// fnv32a is FNV-1a over the key, inlined to keep the shard lookup
+// allocation-free (hash/fnv would heap-allocate a hasher per call).
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv32a(key)&c.mask]
+}
+
+// GetOrCompute returns the cached value for key, or runs compute exactly
+// once (across all concurrent callers of the same key) to produce it.
+// hit reports whether the value was served without this caller invoking
+// compute — either straight from the memo or by joining another caller's
+// in-flight computation. Errors are not cached: a failed computation is
+// retried by the next caller.
+func (c *Cache) GetOrCompute(key string, compute func() ([]float64, error)) (val []float64, hit bool, err error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if v, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if fl, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
+		c.shared.Add(1)
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		return fl.val, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flights[key] = fl
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	fl.val, fl.err = compute()
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	if fl.err == nil {
+		if len(sh.entries) >= c.perShard {
+			for k := range sh.entries {
+				delete(sh.entries, k)
+				c.evictions.Add(1)
+				break
+			}
+		}
+		sh.entries[key] = fl.val
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// Len returns the current number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts lookups served from the memo.
+	Hits int64
+	// Misses counts lookups that ran the computation.
+	Misses int64
+	// Shared counts lookups that joined another caller's in-flight
+	// computation instead of duplicating it.
+	Shared int64
+	// Evictions counts entries dropped by the size bound.
+	Evictions int64
+	// Entries is the current cached entry count.
+	Entries int
+}
+
+// HitRate returns the fraction of lookups served without a fresh
+// computation (hits plus shared flights over all lookups).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Shared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/macros"
 	"repro/internal/testcfg"
@@ -35,6 +37,9 @@ type Options struct {
 	TPSFaultID string
 	// Delta is the compaction loss budget (default 0.1).
 	Delta float64
+	// Ctx cancels long-running experiment phases (generation) when it
+	// ends; nil means context.Background().
+	Ctx context.Context
 }
 
 // Runner executes experiments, sharing one session and memoizing the
@@ -60,6 +65,9 @@ func New(opts Options) *Runner {
 	}
 	if opts.Delta == 0 {
 		opts.Delta = 0.1
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
 	}
 	golden := macros.IVConverter()
 	return &Runner{
@@ -127,7 +135,7 @@ func (r *Runner) Solutions() ([]*core.Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	sols, err := s.GenerateAll(r.Faults())
+	sols, err := s.GenerateAllContext(r.opts.Ctx, r.Faults())
 	if err != nil {
 		return nil, err
 	}
@@ -197,12 +205,27 @@ func (r *Runner) Run(ids ...string) error {
 		}
 	}
 	for _, e := range list {
+		if err := r.opts.Ctx.Err(); err != nil {
+			return fmt.Errorf("experiments: canceled before %s: %w", e.ID, err)
+		}
 		fmt.Fprintf(r.opts.Out, "\n==== %s — %s ====\n\n", e.ID, e.Title)
 		if err := e.Run(r); err != nil {
 			return fmt.Errorf("experiments: %s: %w", e.ID, err)
 		}
 	}
 	return nil
+}
+
+// Metrics snapshots the shared session's engine metrics; ok is false
+// when no session has been built yet.
+func (r *Runner) Metrics() (m engine.Metrics, ok bool) {
+	r.mu.Lock()
+	s := r.session
+	r.mu.Unlock()
+	if s == nil {
+		return engine.Metrics{}, false
+	}
+	return s.Metrics(), true
 }
 
 // faultsByKind splits the runner's fault list per kind for reporting.

@@ -13,22 +13,64 @@
 //   - Brent/Powell test-parameter optimization,
 //   - the paper's generation algorithm (per-fault optimization, impact
 //     relax/intensify selection) and test-set compaction with the δ loss
-//     budget.
+//     budget,
+//   - a concurrent evaluation engine (internal/engine): work-stealing
+//     worker pool, sharded single-flight nominal cache, per-phase
+//     metrics (System.Metrics).
 //
 // # Quick start
 //
-//	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+//	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 //	sols, err := sys.GenerateAll(sys.Faults())
 //	compact, err := sys.Compact(sols, repro.DefaultCompactOptions())
 //	cov, err := sys.Coverage(repro.TestsOfCompact(compact), sys.Faults())
+//
+// Constructors take functional options (WithWorkers, WithBoxMode,
+// WithCorners, ...); a full SessionConfig still works as a single
+// option, so pre-options call sites compile unchanged.
+//
+// # Cancellation
+//
+// Long-running entry points have context-accepting variants
+// (GenerateAllContext, CoverageContext, CompactContext, ...) that stop
+// promptly when the context is canceled or its deadline expires,
+// returning an error wrapping ErrCanceled. The context-free methods
+// delegate with context.Background().
+//
+// # Errors
+//
+// The facade exposes typed sentinel errors for errors.Is:
+//
+//   - ErrNoConvergence — the circuit simulator's Newton iteration failed
+//     (wrapped by simulation-backed calls);
+//   - ErrCanceled — a context was canceled mid-evaluation;
+//   - ErrNoConfigs — a System was constructed without test
+//     configurations.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/macros"
+	"repro/internal/sim"
 	"repro/internal/testcfg"
+)
+
+// Sentinel errors, re-exported from the internal packages that produce
+// them so callers can errors.Is instead of string-matching.
+var (
+	// ErrNoConvergence is wrapped into errors from simulations whose
+	// Newton iteration failed to converge.
+	ErrNoConvergence = sim.ErrNoConvergence
+	// ErrCanceled is wrapped into errors returned because a context was
+	// canceled or its deadline expired mid-evaluation.
+	ErrCanceled = core.ErrCanceled
+	// ErrNoConfigs is wrapped into the error returned when a System or
+	// Session is built without test configurations.
+	ErrNoConfigs = core.ErrNoConfigs
 )
 
 // Re-exported core types. Aliases keep the one canonical implementation
@@ -36,8 +78,6 @@ import (
 type (
 	// Session drives sensitivity evaluation, generation and compaction.
 	Session = core.Session
-	// SessionConfig tunes a session (boxes, workers, impact loop).
-	SessionConfig = core.Config
 	// Solution is the optimal test generated for one fault.
 	Solution = core.Solution
 	// Candidate is a per-configuration optimized test for one fault.
@@ -54,6 +94,8 @@ type (
 	Distribution = core.Distribution
 	// TPSGraph is a test-parameter sensitivity graph (paper Figs. 2-4).
 	TPSGraph = core.TPSGraph
+	// BoxMode selects the tolerance-box construction for a session.
+	BoxMode = core.BoxMode
 	// Fault is a structural defect with a manipulable impact.
 	Fault = fault.Fault
 	// Bridge is a resistive node-pair short.
@@ -66,7 +108,14 @@ type (
 	Circuit = circuit.Circuit
 )
 
-// Box modes for SessionConfig.BoxMode.
+// SessionConfig tunes a session (boxes, workers, impact loop). It is a
+// positional bundle kept for compatibility: it implements Option, so the
+// pre-options call shape NewIVConverterSystem(cfg) still works.
+//
+// Deprecated: prefer functional options (WithWorkers, WithBoxMode, ...).
+type SessionConfig core.Config
+
+// Box modes for WithBoxMode / SessionConfig.BoxMode.
 const (
 	// BoxGrid builds grid-interpolated box functions from corner runs.
 	BoxGrid = core.BoxGrid
@@ -86,14 +135,19 @@ const (
 
 // DefaultSessionConfig returns the experiment-grade session settings
 // (grid box functions, the paper's impact-loop constants).
-func DefaultSessionConfig() SessionConfig { return core.DefaultConfig() }
+//
+// Deprecated: constructors apply these defaults automatically; prefer
+// functional options for deviations.
+func DefaultSessionConfig() SessionConfig { return SessionConfig(core.DefaultConfig()) }
 
 // FastSetup returns cheaper session settings (seed-calibrated boxes) for
 // interactive use and tests.
+//
+// Deprecated: use WithFastBoxes (or WithBoxMode(BoxSeed)) instead.
 func FastSetup() SessionConfig {
 	cfg := core.DefaultConfig()
 	cfg.BoxMode = core.BoxSeed
-	return cfg
+	return SessionConfig(cfg)
 }
 
 // DefaultCompactOptions returns δ = 0.1 with the default grouping radius.
@@ -133,25 +187,22 @@ type System struct {
 }
 
 // NewIVConverterSystem builds the IV-converter macro, its 55-fault
-// dictionary, the five test configurations and a session with the given
-// settings.
-func NewIVConverterSystem(cfg SessionConfig) (*System, error) {
-	golden := macros.IVConverter()
-	s, err := core.NewSession(golden, testcfg.IVConfigs(), cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &System{
-		session: s,
-		golden:  golden,
-		faults:  IVFaultDictionary(golden),
-	}, nil
+// dictionary, the five test configurations and a session. Options are
+// applied over the experiment-grade defaults:
+//
+//	sys, err := repro.NewIVConverterSystem(
+//		repro.WithWorkers(16), repro.WithBoxMode(repro.BoxSeed))
+//
+// The pre-options shape NewIVConverterSystem(cfg) keeps working because
+// SessionConfig implements Option.
+func NewIVConverterSystem(opts ...Option) (*System, error) {
+	return NewSystem(macros.IVConverter(), testcfg.IVConfigs(), opts...)
 }
 
 // NewSystem builds a system for a custom macro and configurations; the
 // fault dictionary is enumerated exhaustively from the macro structure.
-func NewSystem(golden *Circuit, cfgs []*TestConfig, cfg SessionConfig) (*System, error) {
-	s, err := core.NewSession(golden, cfgs, cfg)
+func NewSystem(golden *Circuit, cfgs []*TestConfig, opts ...Option) (*System, error) {
+	s, err := core.NewSession(golden, cfgs, resolveConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -177,9 +228,20 @@ func (s *System) Configs() []*TestConfig { return s.session.Configs() }
 // Generate produces the optimal test for one fault.
 func (s *System) Generate(f Fault) (*Solution, error) { return s.session.Generate(f) }
 
+// GenerateContext is Generate honoring ctx.
+func (s *System) GenerateContext(ctx context.Context, f Fault) (*Solution, error) {
+	return s.session.GenerateContext(ctx, f)
+}
+
 // GenerateAll produces the optimal test for every fault.
 func (s *System) GenerateAll(faults []Fault) ([]*Solution, error) {
 	return s.session.GenerateAll(faults)
+}
+
+// GenerateAllContext is GenerateAll honoring ctx: it returns promptly
+// with an error wrapping ErrCanceled when ctx ends.
+func (s *System) GenerateAllContext(ctx context.Context, faults []Fault) ([]*Solution, error) {
+	return s.session.GenerateAllContext(ctx, faults)
 }
 
 // Compact collapses fault-specific tests into a compact set.
@@ -187,9 +249,19 @@ func (s *System) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, err
 	return s.session.Compact(sols, o)
 }
 
+// CompactContext is Compact honoring ctx.
+func (s *System) CompactContext(ctx context.Context, sols []*Solution, o CompactOptions) ([]CompactTest, error) {
+	return s.session.CompactContext(ctx, sols, o)
+}
+
 // Coverage fault-simulates a test set against a fault list.
 func (s *System) Coverage(tests []Test, faults []Fault) (CoverageReport, error) {
 	return s.session.Coverage(tests, faults)
+}
+
+// CoverageContext is Coverage honoring ctx.
+func (s *System) CoverageContext(ctx context.Context, tests []Test, faults []Fault) (CoverageReport, error) {
+	return s.session.CoverageContext(ctx, tests, faults)
 }
 
 // Tabulate builds the Table-2 distribution from generation results.
@@ -198,6 +270,11 @@ func (s *System) Tabulate(sols []*Solution) Distribution { return s.session.Tabu
 // TPS computes a tps-graph for a fault under configuration index ci.
 func (s *System) TPS(ci int, f Fault, n1, n2 int) (*TPSGraph, error) {
 	return s.session.TPS(ci, f, n1, n2)
+}
+
+// TPSContext is TPS honoring ctx.
+func (s *System) TPSContext(ctx context.Context, ci int, f Fault, n1, n2 int) (*TPSGraph, error) {
+	return s.session.TPSContext(ctx, ci, f, n1, n2)
 }
 
 // Sensitivity evaluates the paper's cost function S_f.
