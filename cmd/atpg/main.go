@@ -181,6 +181,9 @@ func printMetrics(m repro.Metrics) {
 	c := m.Cache
 	fmt.Printf("\nnominal cache: %d entries, %.1f %% hit rate (%d hits, %d misses, %d shared flights, %d evictions)\n",
 		c.Entries, 100*c.HitRate(), c.Hits, c.Misses, c.Shared, c.Evictions)
+	sv := m.Solver
+	fmt.Printf("solver kernel: %d solves, %d Newton iterations, %d factorizations (%d reused), %d device stamps, %d base snapshots (%d hits)\n",
+		sv.Solves, sv.NewtonIterations, sv.Factorizations, sv.FactorReuses, sv.Stamps, sv.BaseBuilds, sv.BaseHits)
 }
 
 func fail(err error) {

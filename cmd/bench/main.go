@@ -1,0 +1,381 @@
+// Command bench runs the fixed simulation benchmark suite and writes
+// BENCH_sim.json: one entry per kernel or end-to-end workload, with the
+// measured numbers, the checked-in pre-split-engine baseline, and the
+// solver-kernel counters each workload consumed.
+//
+//	go run ./cmd/bench            # writes BENCH_sim.json
+//	go run ./cmd/bench -readme    # also refresh the README table
+//
+// The baselines were measured at commit 3ccd4fa (the stamp-everything
+// engine, before the split-stamp/linear-snapshot rewrite) on the same
+// machine that produced the checked-in numbers, by running this suite's
+// workload definitions against that tree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/mna"
+	"repro/internal/sim"
+	"repro/internal/testcfg"
+	"repro/internal/wave"
+)
+
+// baseline is the pre-split-engine measurement of a workload.
+type baseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// solverWork is the per-op delta of the simulation kernel counters.
+type solverWork struct {
+	Stamps           float64 `json:"stamps"`
+	Factorizations   float64 `json:"factorizations"`
+	FactorReuses     float64 `json:"factor_reuses"`
+	NewtonIterations float64 `json:"newton_iterations"`
+	BaseHits         float64 `json:"base_hits"`
+}
+
+// result is one emitted workload row.
+type result struct {
+	Name        string     `json:"name"`
+	Desc        string     `json:"desc"`
+	NsPerOp     float64    `json:"ns_per_op"`
+	BytesPerOp  int64      `json:"bytes_per_op"`
+	AllocsPerOp int64      `json:"allocs_per_op"`
+	Baseline    baseline   `json:"baseline_pre_split"`
+	Speedup     float64    `json:"speedup"`
+	Solver      solverWork `json:"solver_per_op"`
+}
+
+// report is the BENCH_sim.json document.
+type report struct {
+	BaselineCommit string   `json:"baseline_commit"`
+	GoVersion      string   `json:"go_version"`
+	GOARCH         string   `json:"goarch"`
+	Workloads      []result `json:"workloads"`
+}
+
+// workload pairs a benchmark body with its checked-in baseline.
+type workload struct {
+	name string
+	desc string
+	base baseline
+	fn   func(b *testing.B)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output path for the JSON report")
+	readme := flag.Bool("readme", false, "also refresh the benchmark table in README.md between the bench-table markers")
+	flag.Parse()
+
+	rep := report{
+		BaselineCommit: "3ccd4fa",
+		GoVersion:      runtime.Version(),
+		GOARCH:         runtime.GOARCH,
+	}
+	for _, w := range workloads() {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			w.fn(b)
+		})
+		t := sim.Totals()
+		n := float64(res.N)
+		r := result{
+			Name:        w.name,
+			Desc:        w.desc,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Baseline:    w.base,
+			Solver: solverWork{
+				Stamps:           float64(t.Stamps) / n,
+				Factorizations:   float64(t.Factorizations) / n,
+				FactorReuses:     float64(t.FactorReuses) / n,
+				NewtonIterations: float64(t.NewtonIterations) / n,
+				BaseHits:         float64(t.BaseHits) / n,
+			},
+		}
+		if r.NsPerOp > 0 {
+			r.Speedup = w.base.NsPerOp / r.NsPerOp
+		}
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op   %.2fx vs baseline\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
+		rep.Workloads = append(rep.Workloads, r)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *readme {
+		if err := refreshReadme("README.md", rep); err != nil {
+			fail(err)
+		}
+		fmt.Println("refreshed README.md bench table")
+	}
+}
+
+// refreshReadme rewrites the benchmark table between the bench-table
+// markers from the freshly measured report.
+func refreshReadme(path string, rep report) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	const startMark = "<!-- bench-table-start"
+	const endMark = "<!-- bench-table-end -->"
+	s := string(src)
+	i := strings.Index(s, startMark)
+	j := strings.Index(s, endMark)
+	if i < 0 || j < 0 || j < i {
+		return fmt.Errorf("bench-table markers not found in %s", path)
+	}
+	// Preserve the start-marker line itself (it carries the howto).
+	nl := strings.Index(s[i:], "\n")
+	if nl < 0 {
+		return fmt.Errorf("malformed start marker in %s", path)
+	}
+	var t strings.Builder
+	t.WriteString("| workload | description | before | after | allocs/op | speedup |\n")
+	t.WriteString("|---|---|---|---|---|---|\n")
+	fmtNs := func(ns float64) string {
+		if ns >= 1e3 {
+			return fmt.Sprintf("%.1f µs", ns/1e3)
+		}
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+	for _, w := range rep.Workloads {
+		fmt.Fprintf(&t, "| `%s` | %s | %s | %s | %d → %d | %.2f× |\n",
+			w.Name, w.Desc, fmtNs(w.Baseline.NsPerOp), fmtNs(w.NsPerOp),
+			w.Baseline.AllocsPerOp, w.AllocsPerOp, w.Speedup)
+	}
+	out := s[:i+nl+1] + t.String() + s[j:]
+	return os.WriteFile(path, []byte(out), 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// ladderCircuit is the linear-network kernel workload: a 16-node
+// resistive ladder with cross-bridge resistors, mirroring what the
+// bridging-fault dictionary does to a macro netlist (resistors between
+// arbitrary node pairs densify the MNA matrix). On a linear circuit the
+// stamped matrix is identical across iterations and sweep points, so
+// the sweep isolates the split-stamp engine's snapshot restore and
+// same-pattern factorization reuse.
+func ladderCircuit() *circuit.Circuit {
+	const nodes = 16
+	c := circuit.New("bridged-ladder")
+	node := func(i int) string { return fmt.Sprintf("n%d", (i-1)%nodes+1) }
+	c.Add(device.NewISource("Iin", node(1), "0", wave.DC(0)))
+	for i := 1; i < nodes; i++ {
+		c.Add(device.NewResistor(fmt.Sprintf("Rs%d", i), node(i), node(i+1), 1e3))
+	}
+	for i := 1; i <= nodes; i++ {
+		c.Add(device.NewResistor(fmt.Sprintf("Rp%d", i), node(i), "0", 10e3))
+	}
+	for _, stride := range []int{2, 3, 5, 7, 11} {
+		for i := 1; i <= nodes; i += 2 {
+			c.Add(device.NewResistor(fmt.Sprintf("Rb%d_%d", stride, i), node(i), node(i+stride), 25e3))
+		}
+	}
+	return c
+}
+
+// workloads returns the fixed suite. Baseline numbers were measured at
+// the baseline commit with the same workload bodies (2 s benchtime).
+func workloads() []workload {
+	return []workload{
+		{
+			name: "lu_factor_solve_12",
+			desc: "dense real LU factor+solve, n=12 (mna kernel)",
+			base: baseline{NsPerOp: 1138, BytesPerOp: 96, AllocsPerOp: 1},
+			fn: func(b *testing.B) {
+				n := 12
+				s := mna.NewSystem(n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						v := 1.0 / float64(1+i+j)
+						if i == j {
+							v += float64(n)
+						}
+						s.Add(i, j, v)
+					}
+					s.AddRHS(i, float64(i))
+				}
+				dst := make([]float64, n)
+				save := make([]float64, n*n)
+				s.SaveMatrix(save)
+				// Dither one diagonal entry so the same-pattern reuse
+				// cannot fire: this row measures a full factorization
+				// plus substitution, like the pre-split FactorSolve.
+				jitter := [2]float64{0, 1e-9}
+				b.ResetTimer()
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					s.SetMatrix(save)
+					s.Add(0, 0, jitter[i&1])
+					if _, err := s.FactorSolveInto(dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "op_cold",
+			desc: "cold DC operating point of the IV-converter macro",
+			base: baseline{NsPerOp: 20390, BytesPerOp: 1968, AllocsPerOp: 21},
+			fn: func(b *testing.B) {
+				eng, err := sim.New(macros.IVConverter(), sim.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.OperatingPoint(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "newton_warm_sweep16",
+			desc: "16-point warm DC sweep of the IV-converter (steady-state Newton)",
+			base: baseline{NsPerOp: 55084, BytesPerOp: 6992, AllocsPerOp: 87},
+			fn: func(b *testing.B) {
+				eng, err := sim.New(macros.IVConverter(), sim.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				vals := make([]float64, 16)
+				for i := range vals {
+					vals[i] = 20e-6
+				}
+				if _, err := eng.SweepDC(macros.InputSourceName, vals); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.SweepDC(macros.InputSourceName, vals); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "newton_linear_sweep32",
+			desc: "32-point DC sweep of a bridged resistive ladder (linear Newton kernel)",
+			base: baseline{NsPerOp: 163877, BytesPerOp: 13704, AllocsPerOp: 133},
+			fn: func(b *testing.B) {
+				eng, err := sim.New(ladderCircuit(), sim.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				vals := make([]float64, 32)
+				for i := range vals {
+					vals[i] = float64(i) * 1e-6
+				}
+				if _, err := eng.SweepDC("Iin", vals); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.SweepDC("Iin", vals); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "ac_sweep_64",
+			desc: "64-point AC Bode sweep of the IV-converter",
+			base: baseline{NsPerOp: 149230, BytesPerOp: 30696, AllocsPerOp: 142},
+			fn: func(b *testing.B) {
+				eng, err := sim.New(macros.IVConverter(), sim.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				xop, err := eng.OperatingPoint()
+				if err != nil {
+					b.Fatal(err)
+				}
+				freqs := sim.LogSpace(1e3, 1e9, 64)
+				b.ResetTimer()
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.AC(xop, macros.InputSourceName, freqs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "transient_step",
+			desc: "7.5 µs step response of the IV-converter (fixed 10 ns steps)",
+			base: baseline{NsPerOp: 2020944, BytesPerOp: 299857, AllocsPerOp: 3203},
+			fn: func(b *testing.B) {
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					ckt := macros.IVConverter()
+					macros.SetInputWave(ckt, wave.Step{Base: 5e-6, Elev: 20e-6, Delay: 10e-9, Rise: 10e-9})
+					eng, err := sim.New(ckt, sim.DefaultOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.Transient(7.5e-6, 10e-9, []string{macros.NodeVout}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "coverage_dc",
+			desc: "DC fault-dictionary generation: 3 faults x 2 configs end to end",
+			base: baseline{NsPerOp: 9793904, BytesPerOp: 4176768, AllocsPerOp: 43896},
+			fn: func(b *testing.B) {
+				scfg := core.DefaultConfig()
+				scfg.BoxMode = core.BoxSeed
+				s, err := core.NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], scfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				faults := []fault.Fault{
+					fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+					fault.NewBridge(macros.NodeVref, macros.NodeIin, 10e3),
+					fault.NewPinhole("M6", 2e3),
+				}
+				b.ResetTimer()
+				sim.ResetTotals()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.GenerateAll(faults); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}

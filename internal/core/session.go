@@ -21,6 +21,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/testcfg"
 	"repro/internal/tolerance"
 )
@@ -184,6 +185,22 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 			CacheEntries: cfg.CacheEntries,
 		}),
 	}
+	// Surface the simulation kernel's counters in engine metrics.
+	// Engines are built deep inside test-configuration closures, so the
+	// kernel's process-wide totals are the observation point; with one
+	// active session at a time (the CLI case) they attribute cleanly.
+	s.eng.SetSolverSource(func() engine.SolverStats {
+		t := sim.Totals()
+		return engine.SolverStats{
+			Stamps:           t.Stamps,
+			Factorizations:   t.Factorizations,
+			FactorReuses:     t.FactorReuses,
+			NewtonIterations: t.NewtonIterations,
+			Solves:           t.Solves,
+			BaseBuilds:       t.BaseBuilds,
+			BaseHits:         t.BaseHits,
+		}
+	})
 	boxes, err := s.buildBoxes(ctx)
 	if err != nil {
 		return nil, err

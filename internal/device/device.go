@@ -76,6 +76,28 @@ type Stamper interface {
 	Stamp(s *mna.System, x []float64, ctx *Context)
 }
 
+// LinearStamper is implemented by devices whose static stamps do not
+// depend on the Newton estimate x: resistors, independent and controlled
+// sources, the inductor's OP short. The engine assembles these once and
+// restores the result by copy instead of re-stamping every Newton
+// iteration, so the split must uphold the linear-snapshot invariant:
+//
+//   - StampLinearMatrix may depend only on ctx.Mode (with Dt/Integ fixed
+//     by the analysis) — never on Time, SrcScale, or any mutable device
+//     parameter, so the matrix snapshot stays valid for a whole analysis;
+//   - StampLinearRHS may additionally depend on Time and SrcScale; it is
+//     re-assembled once per solve (not per iteration).
+//
+// The embedded Stamp must remain equivalent to StampLinearMatrix followed
+// by StampLinearRHS; engines without the fast path still call it.
+type LinearStamper interface {
+	Stamper
+	// StampLinearMatrix adds the x-independent matrix entries.
+	StampLinearMatrix(s *mna.System, ctx *Context)
+	// StampLinearRHS adds the x-independent right-hand-side entries.
+	StampLinearRHS(s *mna.System, ctx *Context)
+}
+
 // Dynamic is implemented by energy-storage devices. The engine allocates
 // NumStates float64 slots per device and threads them through the three
 // phase methods.
@@ -90,6 +112,26 @@ type Dynamic interface {
 	// Commit updates state from the accepted solution x of the step that
 	// ctx describes.
 	Commit(x []float64, state []float64, ctx *Context)
+}
+
+// SplitDynamic refines Dynamic for companion models whose conductance
+// pattern depends only on the step configuration (Dt, Integ), never on
+// the committed state or the Newton estimate — true for every linear
+// reactance. The engine folds StampCompanionMatrix into the cached linear
+// matrix snapshot (rebuilt only when Dt or the method changes, fixing the
+// stepper's restamp-on-every-step behaviour) and re-assembles only the
+// state-dependent StampCompanionRHS once per step.
+//
+// StampDynamic must remain equivalent to StampCompanionMatrix followed by
+// StampCompanionRHS.
+type SplitDynamic interface {
+	Dynamic
+	// StampCompanionMatrix adds the companion conductances, a function of
+	// ctx.Dt and ctx.Integ only.
+	StampCompanionMatrix(s *mna.System, ctx *Context)
+	// StampCompanionRHS adds the companion sources computed from the
+	// committed state of the previous time point.
+	StampCompanionRHS(s *mna.System, state []float64, ctx *Context)
 }
 
 // Brancher is implemented by devices that need extra MNA branch-current
@@ -109,6 +151,24 @@ type Brancher interface {
 // and omega the angular frequency.
 type ACStamper interface {
 	StampAC(s *mna.ComplexSystem, xop []float64, omega float64)
+}
+
+// ACSplitStamper refines ACStamper by separating the frequency-
+// independent small-signal stamps (conductances, transconductances,
+// source patterns — assembled once per sweep and restored by copy) from
+// the reactive jω terms added at each frequency point. Because the base
+// contributes only real parts and the reactive stamps only imaginary
+// parts of any shared entry, the split is bit-identical to StampAC.
+//
+// StampAC must remain equivalent to StampACBase followed by
+// StampACReactive.
+type ACSplitStamper interface {
+	ACStamper
+	// StampACBase adds the frequency-independent small-signal stamps at
+	// the operating point xop.
+	StampACBase(s *mna.ComplexSystem, xop []float64)
+	// StampACReactive adds the jω-dependent stamps.
+	StampACReactive(s *mna.ComplexSystem, xop []float64, omega float64)
 }
 
 // Scalable is implemented by devices whose primary parameter can be

@@ -75,10 +75,19 @@ func (d *Diode) Stamp(s *mna.System, x []float64, ctx *Context) {
 // StampAC implements ACStamper with the small-signal conductance at the
 // operating point.
 func (d *Diode) StampAC(s *mna.ComplexSystem, xop []float64, _ float64) {
+	d.StampACBase(s, xop)
+}
+
+// StampACBase implements ACSplitStamper.
+func (d *Diode) StampACBase(s *mna.ComplexSystem, xop []float64) {
 	v := volt(xop, d.idx[0]) - volt(xop, d.idx[1])
 	_, gd := d.current(v)
 	s.StampAdmittance(d.idx[0], d.idx[1], complex(gd, 0))
 }
+
+// StampACReactive implements ACSplitStamper: the junction is modelled
+// without capacitance.
+func (d *Diode) StampACReactive(*mna.ComplexSystem, []float64, float64) {}
 
 // Current returns the diode current at the given solution.
 func (d *Diode) Current(x []float64) float64 {

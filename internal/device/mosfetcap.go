@@ -70,18 +70,40 @@ func capCompanion(c float64, vPrev, iPrev float64, ctx *Context) (geq, ieq float
 // StampDynamic implements Dynamic: the two gate capacitors' companion
 // models between (gate, source) and (gate, drain).
 func (m *MOSFET) StampDynamic(s *mna.System, _ []float64, state []float64, ctx *Context) {
+	m.StampCompanionMatrix(s, ctx)
+	m.StampCompanionRHS(s, state, ctx)
+}
+
+// StampCompanionMatrix implements SplitDynamic. The simplified Meyer
+// capacitances are region-independent constants, so geq depends only on
+// the step configuration.
+func (m *MOSFET) StampCompanionMatrix(s *mna.System, ctx *Context) {
 	if !m.hasCaps() {
 		return
 	}
 	d, g, src := m.idx[0], m.idx[1], m.idx[2]
 	if cgs := m.Cgs(); cgs > 0 {
-		geq, ieq := capCompanion(cgs, state[0], state[1], ctx)
+		geq, _ := capCompanion(cgs, 0, 0, ctx)
 		s.StampConductance(g, src, geq)
+	}
+	if cgd := m.Cgd(); cgd > 0 {
+		geq, _ := capCompanion(cgd, 0, 0, ctx)
+		s.StampConductance(g, d, geq)
+	}
+}
+
+// StampCompanionRHS implements SplitDynamic.
+func (m *MOSFET) StampCompanionRHS(s *mna.System, state []float64, ctx *Context) {
+	if !m.hasCaps() {
+		return
+	}
+	d, g, src := m.idx[0], m.idx[1], m.idx[2]
+	if cgs := m.Cgs(); cgs > 0 {
+		_, ieq := capCompanion(cgs, state[0], state[1], ctx)
 		s.StampCurrent(src, g, ieq)
 	}
 	if cgd := m.Cgd(); cgd > 0 {
-		geq, ieq := capCompanion(cgd, state[2], state[3], ctx)
-		s.StampConductance(g, d, geq)
+		_, ieq := capCompanion(cgd, state[2], state[3], ctx)
 		s.StampCurrent(d, g, ieq)
 	}
 }

@@ -27,14 +27,30 @@ func (r *Resistor) Clone() Device { return &Resistor{base: r.cloneBase(), R: r.R
 func (r *Resistor) ScaleValue(k float64) { r.R *= k }
 
 // Stamp implements Stamper.
-func (r *Resistor) Stamp(s *mna.System, _ []float64, _ *Context) {
+func (r *Resistor) Stamp(s *mna.System, _ []float64, ctx *Context) {
+	r.StampLinearMatrix(s, ctx)
+}
+
+// StampLinearMatrix implements LinearStamper.
+func (r *Resistor) StampLinearMatrix(s *mna.System, _ *Context) {
 	s.StampConductance(r.idx[0], r.idx[1], 1/r.R)
 }
 
+// StampLinearRHS implements LinearStamper: a resistor has no sources.
+func (r *Resistor) StampLinearRHS(*mna.System, *Context) {}
+
 // StampAC implements ACStamper.
-func (r *Resistor) StampAC(s *mna.ComplexSystem, _ []float64, _ float64) {
+func (r *Resistor) StampAC(s *mna.ComplexSystem, xop []float64, _ float64) {
+	r.StampACBase(s, xop)
+}
+
+// StampACBase implements ACSplitStamper.
+func (r *Resistor) StampACBase(s *mna.ComplexSystem, _ []float64) {
 	s.StampAdmittance(r.idx[0], r.idx[1], complex(1/r.R, 0))
 }
+
+// StampACReactive implements ACSplitStamper: a resistor is purely real.
+func (r *Resistor) StampACReactive(*mna.ComplexSystem, []float64, float64) {}
 
 // Current returns the current flowing from terminal a to terminal b for a
 // given solution.
@@ -78,8 +94,23 @@ func (c *Capacitor) InitState(x []float64, state []float64) {
 // The companion current Ieq flows from terminal b to a (source into the
 // + node).
 func (c *Capacitor) StampDynamic(s *mna.System, _ []float64, state []float64, ctx *Context) {
-	geq, ieq := c.companion(state, ctx)
+	c.StampCompanionMatrix(s, ctx)
+	c.StampCompanionRHS(s, state, ctx)
+}
+
+// StampCompanionMatrix implements SplitDynamic: geq depends only on the
+// step size and method.
+func (c *Capacitor) StampCompanionMatrix(s *mna.System, ctx *Context) {
+	geq := c.C / ctx.Dt
+	if ctx.Integ == Trapezoidal {
+		geq = 2 * c.C / ctx.Dt
+	}
 	s.StampConductance(c.idx[0], c.idx[1], geq)
+}
+
+// StampCompanionRHS implements SplitDynamic.
+func (c *Capacitor) StampCompanionRHS(s *mna.System, state []float64, ctx *Context) {
+	_, ieq := c.companion(state, ctx)
 	s.StampCurrent(c.idx[1], c.idx[0], ieq)
 }
 
@@ -104,7 +135,15 @@ func (c *Capacitor) Commit(x []float64, state []float64, ctx *Context) {
 }
 
 // StampAC implements ACStamper with admittance jωC.
-func (c *Capacitor) StampAC(s *mna.ComplexSystem, _ []float64, omega float64) {
+func (c *Capacitor) StampAC(s *mna.ComplexSystem, xop []float64, omega float64) {
+	c.StampACReactive(s, xop, omega)
+}
+
+// StampACBase implements ACSplitStamper: a capacitor is purely reactive.
+func (c *Capacitor) StampACBase(*mna.ComplexSystem, []float64) {}
+
+// StampACReactive implements ACSplitStamper.
+func (c *Capacitor) StampACReactive(s *mna.ComplexSystem, _ []float64, omega float64) {
 	s.StampAdmittance(c.idx[0], c.idx[1], complex(0, omega*c.C))
 }
 
@@ -144,11 +183,25 @@ func (l *Inductor) BranchBase() int { return l.branch }
 // V(a) − V(b) = 0 with the branch current as unknown. Transient stamping
 // happens in StampDynamic.
 func (l *Inductor) Stamp(s *mna.System, _ []float64, ctx *Context) {
+	l.StampLinearMatrix(s, ctx)
+}
+
+// StampLinearMatrix implements LinearStamper: the OP short-circuit
+// constraint pattern (the RHS entry is zero, so the matrix part is all
+// there is).
+func (l *Inductor) StampLinearMatrix(s *mna.System, ctx *Context) {
 	if ctx.Mode != OP {
 		return
 	}
-	s.StampVoltageSource(l.branch, l.idx[0], l.idx[1], 0)
+	br := l.branch
+	s.Add(l.idx[0], br, 1)
+	s.Add(l.idx[1], br, -1)
+	s.Add(br, l.idx[0], 1)
+	s.Add(br, l.idx[1], -1)
 }
+
+// StampLinearRHS implements LinearStamper.
+func (l *Inductor) StampLinearRHS(*mna.System, *Context) {}
 
 // NumStates implements Dynamic: state = [i(t_n), v(t_n)].
 func (l *Inductor) NumStates() int { return 2 }
@@ -164,14 +217,29 @@ func (l *Inductor) InitState(x []float64, state []float64) {
 // req = 2L/dt (TR) and veq = req·i_n + v_n, or req = L/dt (BE) and
 // veq = req·i_n.
 func (l *Inductor) StampDynamic(s *mna.System, _ []float64, state []float64, ctx *Context) {
-	req, veq := l.companion(state, ctx)
+	l.StampCompanionMatrix(s, ctx)
+	l.StampCompanionRHS(s, state, ctx)
+}
+
+// StampCompanionMatrix implements SplitDynamic: the branch pattern and
+// req depend only on the step size and method.
+func (l *Inductor) StampCompanionMatrix(s *mna.System, ctx *Context) {
+	req := l.L / ctx.Dt
+	if ctx.Integ == Trapezoidal {
+		req = 2 * l.L / ctx.Dt
+	}
 	br := l.branch
 	s.Add(l.idx[0], br, 1)
 	s.Add(l.idx[1], br, -1)
 	s.Add(br, l.idx[0], 1)
 	s.Add(br, l.idx[1], -1)
 	s.Add(br, br, -req)
-	s.AddRHS(br, -veq)
+}
+
+// StampCompanionRHS implements SplitDynamic.
+func (l *Inductor) StampCompanionRHS(s *mna.System, state []float64, ctx *Context) {
+	_, veq := l.companion(state, ctx)
+	s.AddRHS(l.branch, -veq)
 }
 
 func (l *Inductor) companion(state []float64, ctx *Context) (req, veq float64) {
@@ -195,11 +263,21 @@ func (l *Inductor) Commit(x []float64, state []float64, ctx *Context) {
 }
 
 // StampAC implements ACStamper: branch equation V(a) − V(b) = jωL·i.
-func (l *Inductor) StampAC(s *mna.ComplexSystem, _ []float64, omega float64) {
+func (l *Inductor) StampAC(s *mna.ComplexSystem, xop []float64, omega float64) {
+	l.StampACBase(s, xop)
+	l.StampACReactive(s, xop, omega)
+}
+
+// StampACBase implements ACSplitStamper: the branch constraint pattern.
+func (l *Inductor) StampACBase(s *mna.ComplexSystem, _ []float64) {
 	br := l.branch
 	s.Add(l.idx[0], br, 1)
 	s.Add(l.idx[1], br, -1)
 	s.Add(br, l.idx[0], 1)
 	s.Add(br, l.idx[1], -1)
-	s.Add(br, br, complex(0, -omega*l.L))
+}
+
+// StampACReactive implements ACSplitStamper: the −jωL branch impedance.
+func (l *Inductor) StampACReactive(s *mna.ComplexSystem, _ []float64, omega float64) {
+	s.Add(l.branch, l.branch, complex(0, -omega*l.L))
 }

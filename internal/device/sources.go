@@ -41,20 +41,51 @@ func (v *VSource) BranchBase() int { return v.branch }
 
 // Stamp implements Stamper.
 func (v *VSource) Stamp(s *mna.System, _ []float64, ctx *Context) {
+	v.StampLinearMatrix(s, ctx)
+	v.StampLinearRHS(s, ctx)
+}
+
+// StampLinearMatrix implements LinearStamper: the branch constraint
+// pattern, independent of the waveform.
+func (v *VSource) StampLinearMatrix(s *mna.System, _ *Context) {
+	br := v.branch
+	s.Add(v.idx[0], br, 1)
+	s.Add(v.idx[1], br, -1)
+	s.Add(br, v.idx[0], 1)
+	s.Add(br, v.idx[1], -1)
+}
+
+// StampLinearRHS implements LinearStamper: the source value at the
+// assembly time, scaled for source stepping.
+func (v *VSource) StampLinearRHS(s *mna.System, ctx *Context) {
 	val := v.W.DC()
 	if ctx.Mode == Transient {
 		val = v.W.Value(ctx.Time)
 	}
-	s.StampVoltageSource(v.branch, v.idx[0], v.idx[1], val*ctx.SrcScale)
+	s.AddRHS(v.branch, val*ctx.SrcScale)
 }
 
 // StampAC implements ACStamper. Independent sources are AC-quiet unless
 // designated as the AC input via ACMagnitude on the analysis, so the
 // branch enforces ΔV = 0 here; the engine overrides the RHS for the
 // excitation source.
-func (v *VSource) StampAC(s *mna.ComplexSystem, _ []float64, _ float64) {
-	s.StampVoltageSource(v.branch, v.idx[0], v.idx[1], 0)
+func (v *VSource) StampAC(s *mna.ComplexSystem, xop []float64, _ float64) {
+	v.StampACBase(s, xop)
 }
+
+// StampACBase implements ACSplitStamper. The RHS entry is zero, so only
+// the matrix pattern is stamped; the engine drives the excitation
+// through the RHS separately.
+func (v *VSource) StampACBase(s *mna.ComplexSystem, _ []float64) {
+	br := v.branch
+	s.Add(v.idx[0], br, 1)
+	s.Add(v.idx[1], br, -1)
+	s.Add(br, v.idx[0], 1)
+	s.Add(br, v.idx[1], -1)
+}
+
+// StampACReactive implements ACSplitStamper.
+func (v *VSource) StampACReactive(*mna.ComplexSystem, []float64, float64) {}
 
 // Current returns the MNA branch variable: the current flowing into the
 // plus terminal from the external circuit. For a supply that delivers
@@ -85,6 +116,14 @@ func (i *ISource) Clone() Device { return &ISource{base: i.cloneBase(), W: i.W} 
 
 // Stamp implements Stamper.
 func (i *ISource) Stamp(s *mna.System, _ []float64, ctx *Context) {
+	i.StampLinearRHS(s, ctx)
+}
+
+// StampLinearMatrix implements LinearStamper: a current source is pure RHS.
+func (i *ISource) StampLinearMatrix(*mna.System, *Context) {}
+
+// StampLinearRHS implements LinearStamper.
+func (i *ISource) StampLinearRHS(s *mna.System, ctx *Context) {
 	val := i.W.DC()
 	if ctx.Mode == Transient {
 		val = i.W.Value(ctx.Time)
@@ -94,6 +133,12 @@ func (i *ISource) Stamp(s *mna.System, _ []float64, ctx *Context) {
 
 // StampAC implements ACStamper: quiet in AC analysis.
 func (i *ISource) StampAC(_ *mna.ComplexSystem, _ []float64, _ float64) {}
+
+// StampACBase implements ACSplitStamper.
+func (i *ISource) StampACBase(*mna.ComplexSystem, []float64) {}
+
+// StampACReactive implements ACSplitStamper.
+func (i *ISource) StampACReactive(*mna.ComplexSystem, []float64, float64) {}
 
 // VCVS is a linear voltage-controlled voltage source:
 // V(p) − V(m) = Gain · (V(cp) − V(cm)). Terminal order: p, m, cp, cm.
@@ -125,6 +170,14 @@ func (e *VCVS) Stamp(s *mna.System, _ []float64, _ *Context) {
 	e.stampReal(s)
 }
 
+// StampLinearMatrix implements LinearStamper.
+func (e *VCVS) StampLinearMatrix(s *mna.System, _ *Context) {
+	e.stampReal(s)
+}
+
+// StampLinearRHS implements LinearStamper.
+func (e *VCVS) StampLinearRHS(*mna.System, *Context) {}
+
 func (e *VCVS) stampReal(s *mna.System) {
 	br := e.branch
 	p, m, cp, cm := e.idx[0], e.idx[1], e.idx[2], e.idx[3]
@@ -137,7 +190,12 @@ func (e *VCVS) stampReal(s *mna.System) {
 }
 
 // StampAC implements ACStamper.
-func (e *VCVS) StampAC(s *mna.ComplexSystem, _ []float64, _ float64) {
+func (e *VCVS) StampAC(s *mna.ComplexSystem, xop []float64, _ float64) {
+	e.StampACBase(s, xop)
+}
+
+// StampACBase implements ACSplitStamper.
+func (e *VCVS) StampACBase(s *mna.ComplexSystem, _ []float64) {
 	br := e.branch
 	p, m, cp, cm := e.idx[0], e.idx[1], e.idx[2], e.idx[3]
 	s.Add(p, br, 1)
@@ -147,6 +205,9 @@ func (e *VCVS) StampAC(s *mna.ComplexSystem, _ []float64, _ float64) {
 	s.Add(br, cp, complex(-e.Gain, 0))
 	s.Add(br, cm, complex(e.Gain, 0))
 }
+
+// StampACReactive implements ACSplitStamper.
+func (e *VCVS) StampACReactive(*mna.ComplexSystem, []float64, float64) {}
 
 // VCCS is a linear voltage-controlled current source: a current
 // Gm · (V(cp) − V(cm)) flows from p to m through the external circuit
@@ -165,11 +226,27 @@ func NewVCCS(name, p, m, cp, cm string, gm float64) *VCCS {
 func (g *VCCS) Clone() Device { return &VCCS{base: g.cloneBase(), Gm: g.Gm} }
 
 // Stamp implements Stamper.
-func (g *VCCS) Stamp(s *mna.System, _ []float64, _ *Context) {
+func (g *VCCS) Stamp(s *mna.System, _ []float64, ctx *Context) {
+	g.StampLinearMatrix(s, ctx)
+}
+
+// StampLinearMatrix implements LinearStamper.
+func (g *VCCS) StampLinearMatrix(s *mna.System, _ *Context) {
 	s.StampVCCS(g.idx[0], g.idx[1], g.idx[2], g.idx[3], g.Gm)
 }
 
+// StampLinearRHS implements LinearStamper.
+func (g *VCCS) StampLinearRHS(*mna.System, *Context) {}
+
 // StampAC implements ACStamper.
-func (g *VCCS) StampAC(s *mna.ComplexSystem, _ []float64, _ float64) {
+func (g *VCCS) StampAC(s *mna.ComplexSystem, xop []float64, _ float64) {
+	g.StampACBase(s, xop)
+}
+
+// StampACBase implements ACSplitStamper.
+func (g *VCCS) StampACBase(s *mna.ComplexSystem, _ []float64) {
 	s.StampVCCS(g.idx[0], g.idx[1], g.idx[2], g.idx[3], complex(g.Gm, 0))
 }
+
+// StampACReactive implements ACSplitStamper.
+func (g *VCCS) StampACReactive(*mna.ComplexSystem, []float64, float64) {}

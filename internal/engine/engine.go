@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrCanceled is returned (wrapped) by ForEach when the caller's context
@@ -43,9 +44,10 @@ type Options struct {
 // Engine is a reusable evaluation substrate: a worker pool, a response
 // cache and a metrics registry. An Engine is safe for concurrent use.
 type Engine struct {
-	workers int
-	cache   *Cache
-	phases  sync.Map // string -> *phase
+	workers   int
+	cache     *Cache
+	phases    sync.Map // string -> *phase
+	solverSrc atomic.Pointer[func() SolverStats]
 }
 
 // New returns an engine with the given options.

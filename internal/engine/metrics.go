@@ -54,15 +54,43 @@ func (p PhaseStats) Avg() time.Duration {
 	return p.Wall / time.Duration(p.Count)
 }
 
+// SolverStats is a snapshot of the simulation kernel's work counters.
+// The engine does not produce these itself — the simulation layer
+// registers a source via SetSolverSource — but they belong in the same
+// snapshot because "how many stamps and factorizations did the budget
+// buy" is the kernel-level refinement of the paper's simulation-count
+// cost metric.
+type SolverStats struct {
+	// Stamps counts device stamp calls (linear assemblies plus
+	// per-iteration nonlinear re-stamps).
+	Stamps uint64
+	// Factorizations counts LU factorizations, real and complex.
+	Factorizations uint64
+	// FactorReuses counts solves served by the same-pattern
+	// factorization reuse instead of a fresh factorization.
+	FactorReuses uint64
+	// NewtonIterations counts Newton iterations across all solves.
+	NewtonIterations uint64
+	// Solves counts completed Newton solves.
+	Solves uint64
+	// BaseBuilds counts linear-snapshot assemblies (cache misses).
+	BaseBuilds uint64
+	// BaseHits counts solves served from a cached linear snapshot.
+	BaseHits uint64
+}
+
 // Metrics is a point-in-time snapshot of an engine's observability
-// counters: where simulation time went, and how well the response cache
-// is working.
+// counters: where simulation time went, how well the response cache is
+// working, and what the simulation kernel did for it.
 type Metrics struct {
 	// Phases holds one entry per observed phase, sorted by descending
 	// wall time.
 	Phases []PhaseStats
 	// Cache summarizes the sharded response cache.
 	Cache CacheStats
+	// Solver carries the simulation kernel's counters (zero when no
+	// source is registered).
+	Solver SolverStats
 }
 
 // Phase returns the stats of the named phase (zero value when the phase
@@ -76,9 +104,24 @@ func (m Metrics) Phase(name string) PhaseStats {
 	return PhaseStats{Name: name}
 }
 
+// SetSolverSource registers fn as the provider of kernel counters for
+// Metrics snapshots. The simulation layer calls this once at session
+// construction; passing nil clears the source. Safe for concurrent use
+// with Metrics.
+func (e *Engine) SetSolverSource(fn func() SolverStats) {
+	if fn == nil {
+		e.solverSrc.Store((*func() SolverStats)(nil))
+		return
+	}
+	e.solverSrc.Store(&fn)
+}
+
 // Metrics snapshots the engine's phase and cache counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{Cache: e.cache.Stats()}
+	if p := e.solverSrc.Load(); p != nil && *p != nil {
+		m.Solver = (*p)()
+	}
 	e.phases.Range(func(k, v any) bool {
 		ph := v.(*phase)
 		m.Phases = append(m.Phases, PhaseStats{

@@ -2,7 +2,6 @@ package mna
 
 import (
 	"fmt"
-	"math/cmplx"
 )
 
 // ComplexSystem is the complex-valued analogue of System, used by the AC
@@ -14,6 +13,7 @@ type ComplexSystem struct {
 	lu   []complex128
 	perm []int
 	x    []complex128
+	dinv []complex128 // reciprocal pivots of the factorization
 }
 
 // NewComplexSystem returns a zeroed n-dimensional complex system.
@@ -28,6 +28,7 @@ func NewComplexSystem(n int) *ComplexSystem {
 		lu:   make([]complex128, n*n),
 		perm: make([]int, n),
 		x:    make([]complex128, n),
+		dinv: make([]complex128, n),
 	}
 }
 
@@ -36,13 +37,38 @@ func (s *ComplexSystem) Dim() int { return s.n }
 
 // Clear zeroes the matrix and right-hand side.
 func (s *ComplexSystem) Clear() {
+	s.ClearMatrix()
+	s.ClearRHS()
+}
+
+// ClearMatrix zeroes the matrix only.
+func (s *ComplexSystem) ClearMatrix() {
 	for i := range s.a {
 		s.a[i] = 0
 	}
+}
+
+// ClearRHS zeroes the right-hand side only.
+func (s *ComplexSystem) ClearRHS() {
 	for i := range s.b {
 		s.b[i] = 0
 	}
 }
+
+// SaveMatrix copies the stamped matrix into dst (length Dim()·Dim()).
+// With SetMatrix it implements the cached-base fast path of AC sweeps:
+// the frequency-independent stamps are assembled once and restored by
+// copy at every frequency point, which then only adds the jω terms.
+func (s *ComplexSystem) SaveMatrix(dst []complex128) { copy(dst, s.a) }
+
+// SetMatrix overwrites the matrix from src (length Dim()·Dim()).
+func (s *ComplexSystem) SetMatrix(src []complex128) { copy(s.a, src) }
+
+// SaveRHS copies the right-hand side into dst (length Dim()).
+func (s *ComplexSystem) SaveRHS(dst []complex128) { copy(dst, s.b) }
+
+// SetRHS overwrites the right-hand side from src (length Dim()).
+func (s *ComplexSystem) SetRHS(src []complex128) { copy(s.b, src) }
 
 // At returns matrix entry (i, j); ground indices (-1) read as 0.
 func (s *ComplexSystem) At(i, j int) complex128 {
@@ -101,9 +127,32 @@ func (s *ComplexSystem) StampVCCS(p, m, cp, cm int, g complex128) {
 	s.Add(m, cm, g)
 }
 
-// Factor computes the LU factorization with partial pivoting.
+// abs2 is the squared magnitude |z|². The pivot search maximizes it
+// instead of cmplx.Abs: squaring is monotonic, so the selected pivot is
+// identical while avoiding a hypot call per candidate. (Entries beyond
+// ±1e154, whose squares would overflow, do not occur in circuit
+// matrices.)
+func abs2(z complex128) float64 {
+	re, im := real(z), imag(z)
+	return re*re + im*im
+}
+
+// Factor computes the LU factorization with partial pivoting. The stamped
+// matrix is preserved in a, the factorization lives in the lu workspace.
 func (s *ComplexSystem) Factor() error {
 	copy(s.lu, s.a)
+	return s.factor()
+}
+
+// FactorInPlace factors destructively: the matrix buffer becomes the LU
+// workspace without the defensive copy. The stamps are lost; callers
+// restore from a snapshot (or re-stamp) before the next solve.
+func (s *ComplexSystem) FactorInPlace() error {
+	s.a, s.lu = s.lu, s.a
+	return s.factor()
+}
+
+func (s *ComplexSystem) factor() error {
 	n := s.n
 	m := s.lu
 	for i := range s.perm {
@@ -111,31 +160,43 @@ func (s *ComplexSystem) Factor() error {
 	}
 	for k := 0; k < n; k++ {
 		p := k
-		max := cmplx.Abs(m[k*n+k])
+		max := abs2(m[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if v := cmplx.Abs(m[i*n+k]); v > max {
+			if v := abs2(m[i*n+k]); v > max {
 				max = v
 				p = i
 			}
 		}
-		if max == 0 {
+		if max == 0 || max != max {
 			return fmt.Errorf("%w: zero pivot in column %d", ErrSingular, k)
 		}
 		if p != k {
+			rowK := m[k*n : k*n+n]
+			rowP := m[p*n : p*n+n]
 			for j := 0; j < n; j++ {
-				m[k*n+j], m[p*n+j] = m[p*n+j], m[k*n+j]
+				rowK[j], rowP[j] = rowP[j], rowK[j]
 			}
 			s.perm[k], s.perm[p] = s.perm[p], s.perm[k]
 		}
+		// Complex division is a (slow) runtime call; divide once per pivot
+		// and multiply through the column, as LAPACK's zgetrf does. The
+		// reciprocal itself is conj(z)/|z|² with one real division — the
+		// naive formula is safe here for the same reason abs2 is: circuit
+		// matrix entries are nowhere near the ±1e154 overflow range.
 		piv := m[k*n+k]
+		pd := 1 / (real(piv)*real(piv) + imag(piv)*imag(piv))
+		pivInv := complex(real(piv)*pd, -imag(piv)*pd)
+		s.dinv[k] = pivInv
+		rowK := m[k*n+k+1 : k*n+n]
 		for i := k + 1; i < n; i++ {
-			l := m[i*n+k] / piv
+			l := m[i*n+k] * pivInv
 			m[i*n+k] = l
 			if l == 0 {
 				continue
 			}
-			for j := k + 1; j < n; j++ {
-				m[i*n+j] -= l * m[k*n+j]
+			rowI := m[i*n+k+1 : i*n+n][:len(rowK)]
+			for j := range rowK {
+				rowI[j] -= l * rowK[j]
 			}
 		}
 	}
@@ -145,27 +206,43 @@ func (s *ComplexSystem) Factor() error {
 // Solve solves the factored system for the stamped right-hand side. The
 // returned slice is reused by subsequent calls.
 func (s *ComplexSystem) Solve() []complex128 {
+	s.SolveInto(s.x)
+	return s.x
+}
+
+// SolveInto solves the factored system into dst (length Dim()) without
+// allocating; the permutation is applied while copying the RHS. dst must
+// not alias the system's RHS buffer.
+func (s *ComplexSystem) SolveInto(dst []complex128) {
 	n := s.n
 	m := s.lu
-	x := s.x
-	tmp := make([]complex128, n)
 	for i := 0; i < n; i++ {
-		tmp[i] = s.b[s.perm[i]]
+		dst[i] = s.b[s.perm[i]]
 	}
-	copy(x, tmp)
 	for i := 1; i < n; i++ {
-		sum := x[i]
-		for j := 0; j < i; j++ {
-			sum -= m[i*n+j] * x[j]
+		row := m[i*n : i*n+i]
+		sum := dst[i]
+		for j, l := range row {
+			sum -= l * dst[j]
 		}
-		x[i] = sum
+		dst[i] = sum
 	}
 	for i := n - 1; i >= 0; i-- {
-		sum := x[i]
-		for j := i + 1; j < n; j++ {
-			sum -= m[i*n+j] * x[j]
+		row := m[i*n+i : i*n+n]
+		sum := dst[i]
+		for j := 1; j < len(row); j++ {
+			sum -= row[j] * dst[i+j]
 		}
-		x[i] = sum / m[i*n+i]
+		dst[i] = sum * s.dinv[i]
 	}
-	return x
+}
+
+// FactorSolveInto factors destructively (see FactorInPlace) and solves
+// into dst without allocating.
+func (s *ComplexSystem) FactorSolveInto(dst []complex128) error {
+	if err := s.FactorInPlace(); err != nil {
+		return err
+	}
+	s.SolveInto(dst)
+	return nil
 }

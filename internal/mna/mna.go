@@ -5,6 +5,12 @@
 //
 // Analog macros are small (tens of unknowns), so a dense solver with
 // partial pivoting is both simpler and faster than a sparse one.
+//
+// The hot-path API is allocation-free: SolveInto/FactorSolveInto reuse
+// the system's permutation and scratch buffers, and SaveMatrix/SetMatrix
+// (plus the RHS variants) let an engine snapshot the linear part of a
+// stamped system once and restore it by copy instead of clearing and
+// re-stamping every Newton iteration.
 package mna
 
 import (
@@ -31,6 +37,9 @@ type System struct {
 	lu   []float64 // factorization workspace
 	perm []int     // row permutation from partial pivoting
 	x    []float64
+	prev []float64 // matrix bits behind the current factorization
+	dinv []float64 // reciprocal pivots of the factorization
+	luOK bool      // lu/perm correspond to prev
 }
 
 // NewSystem returns a zeroed n-dimensional system.
@@ -45,6 +54,8 @@ func NewSystem(n int) *System {
 		lu:   make([]float64, n*n),
 		perm: make([]int, n),
 		x:    make([]float64, n),
+		prev: make([]float64, n*n),
+		dinv: make([]float64, n),
 	}
 }
 
@@ -54,13 +65,38 @@ func (s *System) Dim() int { return s.n }
 // Clear zeroes the matrix and right-hand side so the system can be
 // re-stamped for the next Newton iteration or time step.
 func (s *System) Clear() {
+	s.ClearMatrix()
+	s.ClearRHS()
+}
+
+// ClearMatrix zeroes the matrix only.
+func (s *System) ClearMatrix() {
 	for i := range s.a {
 		s.a[i] = 0
 	}
+}
+
+// ClearRHS zeroes the right-hand side only.
+func (s *System) ClearRHS() {
 	for i := range s.b {
 		s.b[i] = 0
 	}
 }
+
+// SaveMatrix copies the stamped matrix into dst, which must have length
+// Dim()·Dim(). Together with SetMatrix it implements the linear-snapshot
+// fast path: stamp the x-independent part once, save it, and restore it
+// by copy before each Newton iteration's nonlinear delta.
+func (s *System) SaveMatrix(dst []float64) { copy(dst, s.a) }
+
+// SetMatrix overwrites the matrix from src (length Dim()·Dim()).
+func (s *System) SetMatrix(src []float64) { copy(s.a, src) }
+
+// SaveRHS copies the stamped right-hand side into dst (length Dim()).
+func (s *System) SaveRHS(dst []float64) { copy(dst, s.b) }
+
+// SetRHS overwrites the right-hand side from src (length Dim()).
+func (s *System) SetRHS(src []float64) { copy(s.b, src) }
 
 // At returns matrix entry (i, j). Ground indices (-1) read as 0.
 func (s *System) At(i, j int) float64 {
@@ -140,8 +176,22 @@ func (s *System) StampVCCS(p, m, cp, cm int, g float64) {
 // matrix is preserved; the factorization lives in a private workspace so
 // the same stamps can be inspected after solving.
 func (s *System) Factor() error {
+	s.luOK = false
 	copy(s.lu, s.a)
-	return luFactor(s.lu, s.perm, s.n)
+	return luFactor(s.lu, s.perm, s.dinv, s.n)
+}
+
+// FactorInPlace factors the stamped matrix destructively: the matrix
+// buffer itself becomes the LU workspace, skipping the defensive copy of
+// Factor. The stamps are lost; use it when the matrix will be restored
+// from a snapshot (or re-stamped) before the next solve anyway — the
+// Newton hot path.
+func (s *System) FactorInPlace() error {
+	// Swap the roles of a and lu so the factorization writes into what
+	// used to be the stamp buffer; the next SetMatrix/Clear overwrites it.
+	s.luOK = false
+	s.a, s.lu = s.lu, s.a
+	return luFactor(s.lu, s.perm, s.dinv, s.n)
 }
 
 // Solve solves the factored system for the stamped right-hand side and
@@ -149,9 +199,15 @@ func (s *System) Factor() error {
 // callers that retain it must copy. Factor must have been called since the
 // last Clear/stamp cycle.
 func (s *System) Solve() []float64 {
-	copy(s.x, s.b)
-	luSolve(s.lu, s.perm, s.n, s.x)
+	s.SolveInto(s.x)
 	return s.x
+}
+
+// SolveInto solves the factored system for the stamped right-hand side
+// into dst (length Dim()), without allocating. dst must not alias the
+// system's RHS buffer.
+func (s *System) SolveInto(dst []float64) {
+	luSolve(s.lu, s.perm, s.dinv, s.n, s.b, dst)
 }
 
 // FactorSolve clears nothing, factors, and solves in one call.
@@ -162,9 +218,51 @@ func (s *System) FactorSolve() ([]float64, error) {
 	return s.Solve(), nil
 }
 
+// FactorSolveInto factors and solves into dst without allocating — the
+// zero-allocation Newton kernel. It carries the same-pattern fast path:
+// when the stamped matrix is bit-identical to the one behind the current
+// factorization (common once Newton has settled onto a fixed point), the
+// LU and permutation are reused and only the substitution runs. A reused
+// factorization yields bit-identical results by construction. Returns
+// whether the factorization was reused.
+//
+// Like FactorInPlace, the call is destructive: the stamp buffer is
+// recycled, so re-stamp (or SetMatrix) before the next solve.
+func (s *System) FactorSolveInto(dst []float64) (reused bool, err error) {
+	if s.luOK && equalBits(s.a, s.prev) {
+		s.SolveInto(dst)
+		return true, nil
+	}
+	// Keep the pristine stamped bits in prev for the next comparison and
+	// factor a copy.
+	s.a, s.prev = s.prev, s.a
+	copy(s.lu, s.prev)
+	s.luOK = false
+	if err := luFactor(s.lu, s.perm, s.dinv, s.n); err != nil {
+		return false, err
+	}
+	s.luOK = true
+	s.SolveInto(dst)
+	return false, nil
+}
+
+// equalBits reports whether a and b hold identical values. The compare
+// uses != so any NaN forces a refactor; ±0 compare equal, which is safe
+// because the sign of a zero never changes pivot selection.
+func equalBits(a, b []float64) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // luFactor performs in-place Doolittle LU with partial pivoting on the
-// row-major n×n matrix m, recording the pivot rows in perm.
-func luFactor(m []float64, perm []int, n int) error {
+// row-major n×n matrix m, recording the pivot rows in perm and the
+// reciprocal pivots in dinv. The inner elimination runs on row slices so
+// the compiler can drop bounds checks.
+func luFactor(m []float64, perm []int, dinv []float64, n int) error {
 	for i := range perm {
 		perm[i] = i
 	}
@@ -182,49 +280,58 @@ func luFactor(m []float64, perm []int, n int) error {
 			return fmt.Errorf("%w: zero pivot in column %d", ErrSingular, k)
 		}
 		if p != k {
+			rowK := m[k*n : k*n+n]
+			rowP := m[p*n : p*n+n]
 			for j := 0; j < n; j++ {
-				m[k*n+j], m[p*n+j] = m[p*n+j], m[k*n+j]
+				rowK[j], rowP[j] = rowP[j], rowK[j]
 			}
 			perm[k], perm[p] = perm[p], perm[k]
 		}
-		piv := m[k*n+k]
+		// One division per pivot, multiplied through the column: at the
+		// small dimensions of analog macros the n²/2 scalar divisions are
+		// a sizable slice of the factorization, and a divide is an order
+		// of magnitude slower than a multiply.
+		pivInv := 1 / m[k*n+k]
+		dinv[k] = pivInv
+		rowK := m[k*n+k+1 : k*n+n]
 		for i := k + 1; i < n; i++ {
-			l := m[i*n+k] / piv
+			l := m[i*n+k] * pivInv
 			m[i*n+k] = l
 			if l == 0 {
 				continue
 			}
-			for j := k + 1; j < n; j++ {
-				m[i*n+j] -= l * m[k*n+j]
+			rowI := m[i*n+k+1 : i*n+n][:len(rowK)]
+			for j := range rowK {
+				rowI[j] -= l * rowK[j]
 			}
 		}
 	}
 	return nil
 }
 
-// luSolve solves LU·x = P·b in place: x carries b on entry and the
-// solution on return.
-func luSolve(m []float64, perm []int, n int, x []float64) {
-	// Apply permutation.
-	tmp := make([]float64, n)
+// luSolve solves LU·x = P·b: the permutation is applied while copying b
+// into x, so no scratch buffer is needed. x and b must not alias.
+func luSolve(m []float64, perm []int, dinv []float64, n int, b, x []float64) {
+	// Apply permutation during the copy.
 	for i := 0; i < n; i++ {
-		tmp[i] = x[perm[i]]
+		x[i] = b[perm[i]]
 	}
-	copy(x, tmp)
 	// Forward substitution (unit lower triangle).
 	for i := 1; i < n; i++ {
+		row := m[i*n : i*n+i]
 		sum := x[i]
-		for j := 0; j < i; j++ {
-			sum -= m[i*n+j] * x[j]
+		for j, l := range row {
+			sum -= l * x[j]
 		}
 		x[i] = sum
 	}
-	// Back substitution.
+	// Back substitution, dividing by reciprocal multiplication.
 	for i := n - 1; i >= 0; i-- {
+		row := m[i*n+i : i*n+n]
 		sum := x[i]
-		for j := i + 1; j < n; j++ {
-			sum -= m[i*n+j] * x[j]
+		for j := 1; j < len(row); j++ {
+			sum -= row[j] * x[i+j]
 		}
-		x[i] = sum / m[i*n+i]
+		x[i] = sum * dinv[i]
 	}
 }

@@ -47,43 +47,130 @@ func circuitIsGround(node string) bool {
 	return false
 }
 
-// AC performs small-signal analysis linearized around a DC operating
-// point. The named independent source is driven with a unit AC magnitude
-// (1 V or 1 A); everything else is quiet.
-func (e *Engine) AC(xop []float64, input string, freqs []float64) (*ACResult, error) {
-	src := e.ckt.Device(input)
-	if src == nil {
-		return nil, fmt.Errorf("sim: AC input %q not found", input)
-	}
-	res := &ACResult{Freqs: freqs, eng: e}
-	n := e.layout.Dim()
-	sys := mna.NewComplexSystem(n)
-	for _, f := range freqs {
-		omega := 2 * math.Pi * f
-		sys.Clear()
-		for _, d := range e.ckt.Devices() {
-			if ac, ok := d.(device.ACStamper); ok {
-				ac.StampAC(sys, xop, omega)
-			}
+// ACSweep holds the frequency-independent base of a small-signal
+// analysis: the resistive linearization at the operating point plus the
+// excitation drive, assembled once. Each frequency point restores the
+// base by copy, adds only the jω terms, and factor-solves in place —
+// allocation-free after construction.
+//
+// An ACSweep borrows the engine's operating-point linearization; it
+// stays valid as long as the engine's devices are unchanged (the same
+// linear-snapshot invariant the DC kernel relies on).
+type ACSweep struct {
+	eng   *Engine
+	sys   *mna.ComplexSystem
+	baseA []complex128
+	baseB []complex128
+	xop   []float64
+
+	// split devices contribute to the base once and reactive terms per
+	// point; legacy ACStampers are conservatively re-stamped per point.
+	split  []device.ACSplitStamper
+	legacy []device.ACStamper
+}
+
+// PrepareAC assembles the reusable base for a small-signal sweep driven
+// by the named independent source with unit magnitude (1 V or 1 A).
+// A nil input prepares an undriven base (zero RHS), used by the noise
+// analysis which injects its own unit currents.
+func (e *Engine) PrepareAC(xop []float64, input string) (*ACSweep, error) {
+	var src device.Device
+	if input != "" {
+		src = e.ckt.Device(input)
+		if src == nil {
+			return nil, fmt.Errorf("sim: AC input %q not found", input)
 		}
-		// Drive the excitation source with unit magnitude.
+	}
+	n := e.layout.Dim()
+	sw := &ACSweep{
+		eng:   e,
+		sys:   mna.NewComplexSystem(n),
+		baseA: make([]complex128, n*n),
+		baseB: make([]complex128, n),
+		xop:   append([]float64(nil), xop...),
+	}
+	for _, d := range e.ckt.Devices() {
+		if sp, ok := d.(device.ACSplitStamper); ok {
+			sw.split = append(sw.split, sp)
+		} else if ac, ok := d.(device.ACStamper); ok {
+			sw.legacy = append(sw.legacy, ac)
+		}
+	}
+
+	sw.sys.Clear()
+	for _, d := range sw.split {
+		d.StampACBase(sw.sys, sw.xop)
+	}
+	if src != nil {
 		switch s := src.(type) {
 		case *device.VSource:
-			sys.AddRHS(s.BranchBase(), 1)
+			sw.sys.AddRHS(s.BranchBase(), 1)
 		case *device.ISource:
 			terms := s.Terminals()
-			sys.StampCurrent(terms[1], terms[0], 1)
+			sw.sys.StampCurrent(terms[1], terms[0], 1)
 		default:
 			return nil, fmt.Errorf("sim: AC input %q is not an independent source", input)
 		}
-		if err := sys.Factor(); err != nil {
+	}
+	sw.sys.SaveMatrix(sw.baseA)
+	sw.sys.SaveRHS(sw.baseB)
+	e.stats.Stamps += uint64(len(sw.split))
+	e.flushStats()
+	return sw, nil
+}
+
+// assembleAt restores the base matrix and adds the jω terms for omega.
+// The base stamps only touch real parts and the reactive stamps only
+// imaginary parts of any shared entry, so the result is bit-identical to
+// a full per-point restamp.
+func (sw *ACSweep) assembleAt(omega float64) {
+	e := sw.eng
+	sw.sys.SetMatrix(sw.baseA)
+	for _, d := range sw.split {
+		d.StampACReactive(sw.sys, sw.xop, omega)
+	}
+	for _, d := range sw.legacy {
+		d.StampAC(sw.sys, sw.xop, omega)
+	}
+	e.stats.Stamps += uint64(len(sw.split) + len(sw.legacy))
+}
+
+// SolveAt solves the driven system at angular frequency omega into dst
+// (length Dim()), allocating nothing.
+func (sw *ACSweep) SolveAt(omega float64, dst []complex128) error {
+	sw.assembleAt(omega)
+	sw.sys.SetRHS(sw.baseB)
+	sw.eng.stats.Factorizations++
+	if err := sw.sys.FactorSolveInto(dst); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AC performs small-signal analysis linearized around a DC operating
+// point. The named independent source is driven with a unit AC magnitude
+// (1 V or 1 A); everything else is quiet. The frequency-independent part
+// of the system is assembled and the drive stamped exactly once; each
+// sweep point only adds the reactive terms.
+func (e *Engine) AC(xop []float64, input string, freqs []float64) (*ACResult, error) {
+	if input == "" {
+		return nil, fmt.Errorf("sim: AC analysis needs an input source")
+	}
+	sw, err := e.PrepareAC(xop, input)
+	if err != nil {
+		return nil, err
+	}
+	n := e.layout.Dim()
+	res := &ACResult{Freqs: freqs, eng: e}
+	backing := make([]complex128, n*len(freqs))
+	for i, f := range freqs {
+		sol := backing[i*n : (i+1)*n : (i+1)*n]
+		if err := sw.SolveAt(2*math.Pi*f, sol); err != nil {
 			return nil, fmt.Errorf("sim: AC at %g Hz: %w", f, err)
 		}
-		sol := sys.Solve()
-		snap := make([]complex128, n)
-		copy(snap, sol)
-		res.solutions = append(res.solutions, snap)
+		res.solutions = append(res.solutions, sol)
 	}
+	e.flushStats()
 	return res, nil
 }
 

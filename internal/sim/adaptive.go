@@ -131,9 +131,12 @@ func (e *Engine) TransientAdaptive(spec AdaptiveSpec, probes []string) (*Trace, 
 }
 
 // stepOnce advances exactly one implicit step without subdivision,
-// updating x and state on success.
+// updating x and state on success. The step-doubling pairs alternate
+// between dt and dt/2, which the engine's two linear-snapshot slots
+// absorb without restamping.
 func (e *Engine) stepOnce(x, state []float64, t, target float64, integ device.Integration) error {
-	ctx := &device.Context{
+	ctx := &e.ctx
+	*ctx = device.Context{
 		Mode:     device.Transient,
 		Time:     target,
 		Dt:       target - t,
@@ -141,7 +144,7 @@ func (e *Engine) stepOnce(x, state []float64, t, target float64, integ device.In
 		SrcScale: 1,
 		Integ:    integ,
 	}
-	if err := e.newtonDynamic(x, state, ctx); err != nil {
+	if err := e.solveNewton(x, state, ctx, 0); err != nil {
 		return err
 	}
 	for i, dy := range e.dynamics {

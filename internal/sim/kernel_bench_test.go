@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/macros"
+)
+
+// Steady-state allocation regression tests: the split-stamp kernel must
+// run warm Newton solves and AC frequency points without allocating.
+
+func TestOperatingPointIntoZeroAllocs(t *testing.T) {
+	eng, err := New(macros.IVConverter(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := eng.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm solves from the converged point: the base snapshot is cached
+	// and every scratch buffer is preallocated.
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := eng.OperatingPointInto(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Newton solve allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestACSolveAtZeroAllocs(t *testing.T) {
+	eng, err := New(macros.IVConverter(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xop, err := eng.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := eng.PrepareAC(xop, macros.InputSourceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, eng.Layout().Dim())
+	omegas := LogSpace(1e3, 1e8, 16)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sw.SolveAt(2*math.Pi*omegas[i%len(omegas)], dst); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("AC frequency point allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTransientStepZeroAllocs(t *testing.T) {
+	ckt := macros.IVConverter()
+	eng, err := New(ckt, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := eng.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]float64, eng.stateLen)
+	for i, dy := range eng.dynamics {
+		dy.InitState(x, state[eng.stateOff[i]:eng.stateOff[i]+dy.NumStates()])
+	}
+	// Warm one step so both base slots (BE warm-up + TR steady state) and
+	// scratch are primed, then measure the steady-state stepper.
+	dt := 10e-9
+	tnow := 0.0
+	if err := eng.advance(x, state, tnow, tnow+dt, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	tnow += dt
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := eng.advance(x, state, tnow, tnow+dt, false, 0); err != nil {
+			t.Fatal(err)
+		}
+		tnow += dt
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state transient step allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// Kernel benchmarks for the perf-trajectory harness. The warm Newton
+// re-solve and the AC sweep are the two workloads the compaction
+// optimizers hammer; both carry checked-in pre-split baselines in
+// BENCH_sim.json.
+
+// BenchmarkNewtonWarmSweep16 re-solves 16 identical DC sweep points from
+// a warm start — the steady-state Newton workload.
+func BenchmarkNewtonWarmSweep16(b *testing.B) {
+	eng, err := New(macros.IVConverter(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = 20e-6
+	}
+	if _, err := eng.SweepDC(macros.InputSourceName, vals); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SweepDC(macros.InputSourceName, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewtonWarmResolve measures a single warm operating-point
+// re-solve from the converged solution.
+func BenchmarkNewtonWarmResolve(b *testing.B) {
+	eng, err := New(macros.IVConverter(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := eng.OperatingPoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.OperatingPointInto(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACSweep64 runs a 64-point Bode sweep per op.
+func BenchmarkACSweep64(b *testing.B) {
+	eng, err := New(macros.IVConverter(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	xop, err := eng.OperatingPoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := LogSpace(1e3, 1e9, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AC(xop, macros.InputSourceName, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

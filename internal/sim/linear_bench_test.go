@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/wave"
+)
+
+// ladderCircuit builds a 16-node resistive ladder with cross-bridge
+// resistors — the linear-network Newton kernel workload. The bridges
+// mirror what the bridging-fault dictionary does to a macro netlist
+// (resistors between arbitrary node pairs), which densifies the MNA
+// matrix so the factorization carries its full dense cost rather than
+// the near-tridiagonal cost of a plain ladder.
+//
+// On a linear circuit the stamped matrix is identical across iterations
+// and sweep points, so the steady-state sweep isolates the solver
+// infrastructure: the split-stamp engine serves every point from the
+// cached linear snapshot and the same-pattern factorization reuse,
+// while a stamp-everything engine rebuilds and refactors the system for
+// each iteration.
+func ladderCircuit() *circuit.Circuit {
+	const nodes = 16
+	c := circuit.New("bridged-ladder")
+	node := func(i int) string { return fmt.Sprintf("n%d", (i-1)%nodes+1) }
+	c.Add(device.NewISource("Iin", node(1), "0", wave.DC(0)))
+	for i := 1; i < nodes; i++ {
+		c.Add(device.NewResistor(fmt.Sprintf("Rs%d", i), node(i), node(i+1), 1e3))
+	}
+	for i := 1; i <= nodes; i++ {
+		c.Add(device.NewResistor(fmt.Sprintf("Rp%d", i), node(i), "0", 10e3))
+	}
+	// Cross bridges at several strides, wrapping around the ladder.
+	for _, stride := range []int{2, 3, 5, 7, 11} {
+		for i := 1; i <= nodes; i += 2 {
+			c.Add(device.NewResistor(fmt.Sprintf("Rb%d_%d", stride, i), node(i), node(i+stride), 25e3))
+		}
+	}
+	return c
+}
+
+// BenchmarkNewtonLinearSweep32 sweeps the bridged ladder's input over
+// 32 distinct currents per op. Uses only the engine API common to the
+// pre- and post-split engines so the same file benchmarks both sides.
+func BenchmarkNewtonLinearSweep32(b *testing.B) {
+	eng, err := New(ladderCircuit(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]float64, 32)
+	for i := range vals {
+		vals[i] = float64(i) * 1e-6
+	}
+	if _, err := eng.SweepDC("Iin", vals); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SweepDC("Iin", vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"math/cmplx"
 
 	"repro/internal/device"
-	"repro/internal/mna"
 )
 
 // Small-signal noise analysis: every resistor contributes thermal noise
@@ -96,22 +95,27 @@ func (e *Engine) Noise(xop []float64, output string, freqs []float64) (*NoiseRes
 
 	res := &NoiseResult{}
 	n := e.layout.Dim()
-	sys := mna.NewComplexSystem(n)
+	// The system matrix at one frequency is identical for every noise
+	// source — only the unit-current excitation differs. Assemble (from
+	// the cached frequency-independent base) and factor once per
+	// frequency, then solve one right-hand side per source.
+	sw, err := e.PrepareAC(xop, "")
+	if err != nil {
+		return nil, err
+	}
+	sol := make([]complex128, n)
 	for _, f := range freqs {
 		omega := 2 * math.Pi * f
 		pt := NoisePoint{Freq: f, Contributions: make(map[string]float64, len(sources))}
+		sw.assembleAt(omega)
+		e.stats.Factorizations++
+		if err := sw.sys.FactorInPlace(); err != nil {
+			return nil, fmt.Errorf("sim: noise at %g Hz: %w", f, err)
+		}
 		for _, src := range sources {
-			sys.Clear()
-			for _, d := range e.ckt.Devices() {
-				if ac, ok := d.(device.ACStamper); ok {
-					ac.StampAC(sys, xop, omega)
-				}
-			}
-			sys.StampCurrent(src.m, src.p, 1)
-			if err := sys.Factor(); err != nil {
-				return nil, fmt.Errorf("sim: noise at %g Hz: %w", f, err)
-			}
-			sol := sys.Solve()
+			sw.sys.ClearRHS()
+			sw.sys.StampCurrent(src.m, src.p, 1)
+			sw.sys.SolveInto(sol)
 			var vout complex128
 			if outIdx >= 0 {
 				vout = sol[outIdx]
@@ -126,5 +130,6 @@ func (e *Engine) Noise(xop []float64, output string, freqs []float64) (*NoiseRes
 		pt.Density = math.Sqrt(power)
 		res.Points = append(res.Points, pt)
 	}
+	e.flushStats()
 	return res, nil
 }

@@ -3,6 +3,12 @@
 // simulation with trapezoidal/backward-Euler companion models, and
 // small-signal AC. It is the in-repo replacement for the HSPICE runs the
 // paper relied on.
+//
+// The analyses share a split-stamp kernel: device stamps are separated
+// into a linear part assembled once per analysis configuration and
+// restored by copy, and a nonlinear delta re-stamped every Newton
+// iteration. Together with the in-place factor/solve APIs of
+// internal/mna, the steady-state Newton iteration allocates nothing.
 package sim
 
 import (
@@ -50,9 +56,32 @@ func DefaultOptions() Options {
 	}
 }
 
+// baseKey identifies one cached linear-matrix snapshot. The linear
+// stamps may depend on the analysis mode, and the companion conductances
+// on the step size and integration method — never on time, source scale,
+// state, or the Newton estimate, which is exactly what makes the
+// snapshot reusable across iterations and steps.
+type baseKey struct {
+	mode  device.Mode
+	dt    float64
+	integ device.Integration
+}
+
+// numBaseSlots is how many linear snapshots an engine keeps. Two covers
+// the adaptive stepper's step-doubling pattern, which alternates between
+// dt and dt/2 on every trial step.
+const numBaseSlots = 2
+
 // Engine owns the scratch state for analyses on one compiled circuit.
 // An Engine is not safe for concurrent use; clone the circuit and build
 // one engine per goroutine.
+//
+// The engine caches snapshots of the linear part of the MNA matrix. The
+// snapshots assume the linear-snapshot invariant: linear device
+// parameters (R, C, L, gains, branch wiring) must not change between
+// solves on one engine. Structural edits or value scaling require a new
+// engine; swapping source waveforms (as SweepDC does) only affects the
+// right-hand side and is safe.
 type Engine struct {
 	ckt    *circuit.Circuit
 	layout *circuit.Layout
@@ -63,6 +92,31 @@ type Engine struct {
 	dynamics []device.Dynamic
 	stateOff []int // parallel to dynamics
 	stateLen int
+
+	// Split-stamp classification. A device may appear in several lists
+	// (the MOSFET is a nonlinear static stamper and a split dynamic).
+	linears    []device.LinearStamper // x-independent static stamps
+	nonlinears []device.Stamper       // re-stamped every iteration
+	splitDyn   []device.SplitDynamic  // companion G into the base
+	splitOff   []int                  // state offsets parallel to splitDyn
+	legacyDyn  []device.Dynamic       // conservatively per-iteration
+	legacyOff  []int
+
+	// Linear matrix snapshots, keyed and evicted round-robin.
+	baseA    [numBaseSlots][]float64
+	baseKeys [numBaseSlots]baseKey
+	baseOK   [numBaseSlots]bool
+	baseNext int
+
+	// Per-solve scratch, reused so the steady state allocates nothing.
+	baseB  []float64 // linear + companion RHS, rebuilt once per solve
+	xs     []float64 // Newton solution
+	prevX  []float64 // source-stepping rollback
+	trialX []float64 // transient trial vector
+	ctx    device.Context
+
+	stats   Counters
+	flushed Counters // portion of stats already pushed to the totals
 }
 
 // New compiles the circuit (if needed) and returns an engine.
@@ -71,19 +125,42 @@ func New(ckt *circuit.Circuit, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	n := layout.Dim()
 	e := &Engine{
 		ckt:    ckt,
 		layout: layout,
-		sys:    mna.NewSystem(layout.Dim()),
+		sys:    mna.NewSystem(n),
 		opts:   opts,
+		baseB:  make([]float64, n),
+		xs:     make([]float64, n),
+		prevX:  make([]float64, n),
+		trialX: make([]float64, n),
+	}
+	for i := range e.baseA {
+		e.baseA[i] = make([]float64, n*n)
 	}
 	for _, d := range ckt.Devices() {
 		if st, ok := d.(device.Stamper); ok {
 			e.stampers = append(e.stampers, st)
+			if ls, ok := d.(device.LinearStamper); ok {
+				e.linears = append(e.linears, ls)
+			} else {
+				e.nonlinears = append(e.nonlinears, st)
+			}
 		}
 		if dy, ok := d.(device.Dynamic); ok {
 			e.dynamics = append(e.dynamics, dy)
 			e.stateOff = append(e.stateOff, e.stateLen)
+			if sd, ok := d.(device.SplitDynamic); ok {
+				e.splitDyn = append(e.splitDyn, sd)
+				e.splitOff = append(e.splitOff, e.stateLen)
+			} else {
+				// A Dynamic without the split refinement might compute
+				// state- or x-dependent conductances, so it is re-stamped
+				// every iteration like a nonlinear device.
+				e.legacyDyn = append(e.legacyDyn, dy)
+				e.legacyOff = append(e.legacyOff, e.stateLen)
+			}
 			e.stateLen += dy.NumStates()
 		}
 	}
@@ -101,91 +178,109 @@ func (e *Engine) Voltage(x []float64, node string) float64 {
 	return e.ckt.NodeVoltage(x, node)
 }
 
-// OperatingPoint solves the DC operating point. The strategy is the
-// SPICE classic: plain Newton from a zero (or provided) initial guess,
-// then gmin stepping, then source stepping.
-func (e *Engine) OperatingPoint() ([]float64, error) {
-	x := make([]float64, e.layout.Dim())
+// Stats returns the engine's accumulated solver counters.
+func (e *Engine) Stats() Counters { return e.stats }
 
-	ctx := &device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
-	if err := e.newton(x, ctx, 0); err == nil {
-		return x, nil
-	}
-
-	// Gmin stepping: solve with a strong shunt from every node to ground,
-	// then relax it geometrically, reusing the previous solution.
-	for i := range x {
-		x[i] = 0
-	}
-	gshunt := e.opts.GshuntStart
-	ok := true
-	for gshunt >= e.opts.GminFloor {
-		ctx.Gmin = math.Max(gshunt, e.opts.GminFloor)
-		if err := e.newton(x, ctx, gshunt); err != nil {
-			ok = false
-			break
-		}
-		gshunt /= 10
-	}
-	if ok {
-		ctx.Gmin = e.opts.GminFloor
-		if err := e.newton(x, ctx, 0); err == nil {
-			return x, nil
+// linearBase returns the cached linear-matrix snapshot for the analysis
+// configuration in ctx, assembling it on a cache miss.
+func (e *Engine) linearBase(ctx *device.Context) []float64 {
+	key := baseKey{mode: ctx.Mode, dt: ctx.Dt, integ: ctx.Integ}
+	for i := range e.baseA {
+		if e.baseOK[i] && e.baseKeys[i] == key {
+			e.stats.BaseHits++
+			return e.baseA[i]
 		}
 	}
+	slot := e.baseNext
+	e.baseNext = (e.baseNext + 1) % numBaseSlots
 
-	// Source stepping: ramp all independent sources from 0 to full value.
-	for i := range x {
-		x[i] = 0
+	e.sys.ClearMatrix()
+	for _, ls := range e.linears {
+		ls.StampLinearMatrix(e.sys, ctx)
 	}
-	ctx.Gmin = e.opts.GminFloor
-	scale := 0.0
-	step := 0.1
-	for scale < 1 {
-		next := math.Min(1, scale+step)
-		ctx.SrcScale = next
-		prev := make([]float64, len(x))
-		copy(prev, x)
-		if err := e.newton(x, ctx, 0); err != nil {
-			copy(x, prev)
-			step /= 2
-			if step < 1e-4 {
-				return nil, fmt.Errorf("%w: source stepping stalled at scale %.4g", ErrNoConvergence, scale)
-			}
-			continue
+	if ctx.Mode == device.Transient {
+		for _, dy := range e.splitDyn {
+			dy.StampCompanionMatrix(e.sys, ctx)
 		}
-		scale = next
-		step = math.Min(step*1.5, 0.25)
 	}
-	ctx.SrcScale = 1
-	if err := e.newton(x, ctx, 0); err != nil {
-		return nil, err
-	}
-	return x, nil
+	e.sys.SaveMatrix(e.baseA[slot])
+	e.baseKeys[slot] = key
+	e.baseOK[slot] = true
+	e.stats.BaseBuilds++
+	e.stats.Stamps += uint64(len(e.linears) + len(e.splitDyn))
+	return e.baseA[slot]
 }
 
-// newton iterates the static system to convergence, updating x in place.
+// buildRHSBase assembles the x-independent right-hand side (source
+// values at the assembly time plus companion currents from the committed
+// state) into e.baseB. Rebuilt once per solve: within one Newton solve,
+// time, source scale, and state are all frozen.
+func (e *Engine) buildRHSBase(state []float64, ctx *device.Context) {
+	e.sys.ClearRHS()
+	for _, ls := range e.linears {
+		ls.StampLinearRHS(e.sys, ctx)
+	}
+	if ctx.Mode == device.Transient {
+		for i, dy := range e.splitDyn {
+			off := e.splitOff[i]
+			dy.StampCompanionRHS(e.sys, state[off:off+dy.NumStates()], ctx)
+		}
+	}
+	e.sys.SaveRHS(e.baseB)
+	e.stats.Stamps += uint64(len(e.linears) + len(e.splitDyn))
+}
+
+// solveNewton iterates the system to convergence, updating x in place.
+// It is the single Newton loop behind the operating point, DC sweeps,
+// and the transient steppers: state is nil for static (OP) solves.
 // gshunt, when positive, adds a conductance from every node unknown to
 // ground (the gmin-stepping shunt).
-func (e *Engine) newton(x []float64, ctx *device.Context, gshunt float64) error {
+//
+// Per iteration the linear base is restored by copy and only the
+// nonlinear devices re-stamp; the factor/solve runs in place. Nothing on
+// this path allocates once the engine is warm.
+func (e *Engine) solveNewton(x, state []float64, ctx *device.Context, gshunt float64) error {
+	err := e.newtonLoop(x, state, ctx, gshunt)
+	e.stats.Solves++
+	e.flushStats()
+	return err
+}
+
+func (e *Engine) newtonLoop(x, state []float64, ctx *device.Context, gshunt float64) error {
 	n := e.layout.Dim()
+	a := e.linearBase(ctx)
+	e.buildRHSBase(state, ctx)
+	perIter := uint64(len(e.nonlinears) + len(e.legacyDyn))
+
 	for it := 0; it < e.opts.MaxIter; it++ {
-		e.sys.Clear()
-		for _, st := range e.stampers {
+		e.stats.NewtonIterations++
+		e.stats.Stamps += perIter
+		e.sys.SetMatrix(a)
+		e.sys.SetRHS(e.baseB)
+		for _, st := range e.nonlinears {
 			st.Stamp(e.sys, x, ctx)
+		}
+		for i, dy := range e.legacyDyn {
+			off := e.legacyOff[i]
+			dy.StampDynamic(e.sys, x, state[off:off+dy.NumStates()], ctx)
 		}
 		if gshunt > 0 {
 			for i := 0; i < e.layout.NumNodes; i++ {
 				e.sys.Add(i, i, gshunt)
 			}
 		}
-		xs, err := e.sys.FactorSolve()
+		reused, err := e.sys.FactorSolveInto(e.xs)
 		if err != nil {
 			return err
 		}
+		if reused {
+			e.stats.FactorReuses++
+		} else {
+			e.stats.Factorizations++
+		}
 		conv := true
 		for i := 0; i < n; i++ {
-			dx := xs[i] - x[i]
+			dx := e.xs[i] - x[i]
 			limit := e.opts.MaxStep
 			if i >= e.layout.NumNodes {
 				// Branch currents are not voltage-limited: clamping them
@@ -194,8 +289,15 @@ func (e *Engine) newton(x []float64, ctx *device.Context, gshunt float64) error 
 			}
 			if limit > 0 && math.Abs(dx) > limit {
 				dx = math.Copysign(limit, dx)
+				x[i] += dx
+			} else {
+				// Accept the solver output exactly rather than x+(xs−x),
+				// whose rounding keeps x dithering by ulps around the
+				// solution. Landing bitwise on the fixed point lets the
+				// same-pattern factorization reuse in FactorSolveInto fire
+				// on steady-state re-solves.
+				x[i] = e.xs[i]
 			}
-			x[i] += dx
 			if math.Abs(dx) > e.opts.AbsTol+e.opts.RelTol*math.Abs(x[i]) {
 				conv = false
 			}
@@ -210,11 +312,84 @@ func (e *Engine) newton(x []float64, ctx *device.Context, gshunt float64) error 
 	return fmt.Errorf("%w: %d Newton iterations exhausted", ErrNoConvergence, e.opts.MaxIter)
 }
 
+// OperatingPoint solves the DC operating point from a cold start and
+// returns a freshly allocated solution. The strategy is the SPICE
+// classic: plain Newton from a zero guess, then gmin stepping, then
+// source stepping.
+func (e *Engine) OperatingPoint() ([]float64, error) {
+	x := make([]float64, e.layout.Dim())
+	if err := e.OperatingPointInto(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// OperatingPointInto solves the DC operating point into x (length
+// Dim()), allocating nothing. x doubles as the initial Newton guess: a
+// zeroed x reproduces OperatingPoint's cold start, while a previous
+// solution gives the warm re-solve the optimizers' repeated evaluations
+// want. The gmin/source-stepping fallbacks restart from zero as before.
+func (e *Engine) OperatingPointInto(x []float64) error {
+	ctx := &e.ctx
+	*ctx = device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
+	if err := e.solveNewton(x, nil, ctx, 0); err == nil {
+		return nil
+	}
+
+	// Gmin stepping: solve with a strong shunt from every node to ground,
+	// then relax it geometrically, reusing the previous solution.
+	for i := range x {
+		x[i] = 0
+	}
+	gshunt := e.opts.GshuntStart
+	ok := true
+	for gshunt >= e.opts.GminFloor {
+		ctx.Gmin = math.Max(gshunt, e.opts.GminFloor)
+		if err := e.solveNewton(x, nil, ctx, gshunt); err != nil {
+			ok = false
+			break
+		}
+		gshunt /= 10
+	}
+	if ok {
+		ctx.Gmin = e.opts.GminFloor
+		if err := e.solveNewton(x, nil, ctx, 0); err == nil {
+			return nil
+		}
+	}
+
+	// Source stepping: ramp all independent sources from 0 to full value.
+	for i := range x {
+		x[i] = 0
+	}
+	ctx.Gmin = e.opts.GminFloor
+	scale := 0.0
+	step := 0.1
+	for scale < 1 {
+		next := math.Min(1, scale+step)
+		ctx.SrcScale = next
+		copy(e.prevX, x)
+		if err := e.solveNewton(x, nil, ctx, 0); err != nil {
+			copy(x, e.prevX)
+			step /= 2
+			if step < 1e-4 {
+				return fmt.Errorf("%w: source stepping stalled at scale %.4g", ErrNoConvergence, scale)
+			}
+			continue
+		}
+		scale = next
+		step = math.Min(step*1.5, 0.25)
+	}
+	ctx.SrcScale = 1
+	return e.solveNewton(x, nil, ctx, 0)
+}
+
 // SweepDC solves operating points while overriding the DC level of the
 // named source device (a *device.ISource or *device.VSource whose
 // waveform is replaced by a DC value per point). It returns one solution
 // per value; consecutive points reuse the previous solution as the
-// Newton seed.
+// Newton seed. Swapping the waveform only changes the right-hand side,
+// so the cached linear matrix survives the whole sweep.
 func (e *Engine) SweepDC(source string, values []float64) ([][]float64, error) {
 	d := e.ckt.Device(source)
 	if d == nil {
@@ -228,7 +403,6 @@ func (e *Engine) SweepDC(source string, values []float64) ([][]float64, error) {
 
 	out := make([][]float64, 0, len(values))
 	var x []float64
-	ctx := &device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
 	for i, v := range values {
 		set(v)
 		if i == 0 {
@@ -238,7 +412,9 @@ func (e *Engine) SweepDC(source string, values []float64) ([][]float64, error) {
 			}
 			x = first
 		} else {
-			if err := e.newton(x, ctx, 0); err != nil {
+			ctx := &e.ctx
+			*ctx = device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
+			if err := e.solveNewton(x, nil, ctx, 0); err != nil {
 				// Fall back to a cold start for hard points.
 				cold, cerr := e.OperatingPoint()
 				if cerr != nil {

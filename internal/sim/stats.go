@@ -1,0 +1,108 @@
+package sim
+
+import "sync/atomic"
+
+// Counters tallies the work the simulation kernel performs. Engines
+// accumulate them locally (an Engine is single-goroutine by contract)
+// and flush deltas into the package-wide atomic totals at solve
+// boundaries, so the hot loop pays no synchronization.
+type Counters struct {
+	// Stamps counts device stamp calls (linear assemblies plus
+	// per-iteration nonlinear re-stamps).
+	Stamps uint64
+	// Factorizations counts LU factorizations, real and complex.
+	Factorizations uint64
+	// FactorReuses counts solves served by the same-pattern fast path,
+	// which reuses the previous factorization when the stamped matrix is
+	// bit-identical.
+	FactorReuses uint64
+	// NewtonIterations counts Newton iterations across all solves.
+	NewtonIterations uint64
+	// Solves counts completed Newton solves (converged or not).
+	Solves uint64
+	// BaseBuilds counts linear-snapshot assemblies (cache misses).
+	BaseBuilds uint64
+	// BaseHits counts solves served from a cached linear snapshot.
+	BaseHits uint64
+}
+
+// Add accumulates d into c.
+func (c *Counters) Add(d Counters) {
+	c.Stamps += d.Stamps
+	c.Factorizations += d.Factorizations
+	c.FactorReuses += d.FactorReuses
+	c.NewtonIterations += d.NewtonIterations
+	c.Solves += d.Solves
+	c.BaseBuilds += d.BaseBuilds
+	c.BaseHits += d.BaseHits
+}
+
+// sub returns c − d (no underflow checking; d is always a prefix of c).
+func (c Counters) sub(d Counters) Counters {
+	return Counters{
+		Stamps:           c.Stamps - d.Stamps,
+		Factorizations:   c.Factorizations - d.Factorizations,
+		FactorReuses:     c.FactorReuses - d.FactorReuses,
+		NewtonIterations: c.NewtonIterations - d.NewtonIterations,
+		Solves:           c.Solves - d.Solves,
+		BaseBuilds:       c.BaseBuilds - d.BaseBuilds,
+		BaseHits:         c.BaseHits - d.BaseHits,
+	}
+}
+
+// totals is the process-wide tally. Engines are created deep inside
+// test-configuration closures, so a package-level accumulator is the
+// only place the evaluation engine's metrics can observe solver work
+// without threading a sink through every constructor.
+var totals struct {
+	stamps           atomic.Uint64
+	factorizations   atomic.Uint64
+	factorReuses     atomic.Uint64
+	newtonIterations atomic.Uint64
+	solves           atomic.Uint64
+	baseBuilds       atomic.Uint64
+	baseHits         atomic.Uint64
+}
+
+// Totals returns the process-wide solver counters, summed over every
+// engine since the last ResetTotals.
+func Totals() Counters {
+	return Counters{
+		Stamps:           totals.stamps.Load(),
+		Factorizations:   totals.factorizations.Load(),
+		FactorReuses:     totals.factorReuses.Load(),
+		NewtonIterations: totals.newtonIterations.Load(),
+		Solves:           totals.solves.Load(),
+		BaseBuilds:       totals.baseBuilds.Load(),
+		BaseHits:         totals.baseHits.Load(),
+	}
+}
+
+// ResetTotals zeroes the process-wide counters (benchmarks, tests).
+func ResetTotals() {
+	totals.stamps.Store(0)
+	totals.factorizations.Store(0)
+	totals.factorReuses.Store(0)
+	totals.newtonIterations.Store(0)
+	totals.solves.Store(0)
+	totals.baseBuilds.Store(0)
+	totals.baseHits.Store(0)
+}
+
+// flushStats pushes the engine's counter delta since the previous flush
+// into the package totals. Called at solve boundaries, not per
+// iteration.
+func (e *Engine) flushStats() {
+	d := e.stats.sub(e.flushed)
+	if d == (Counters{}) {
+		return
+	}
+	e.flushed = e.stats
+	totals.stamps.Add(d.Stamps)
+	totals.factorizations.Add(d.Factorizations)
+	totals.factorReuses.Add(d.FactorReuses)
+	totals.newtonIterations.Add(d.NewtonIterations)
+	totals.solves.Add(d.Solves)
+	totals.baseBuilds.Add(d.BaseBuilds)
+	totals.baseHits.Add(d.BaseHits)
+}

@@ -72,8 +72,16 @@ func (e *Engine) Transient(stop, dt float64, probes []string) (*Trace, error) {
 
 // advance integrates from t to target (one nominal step), recursively
 // splitting the interval when Newton fails. depth bounds the recursion.
+//
+// The trial vector and context are engine scratch: they are only live
+// between the copy-in and the Newton return, never across a recursive
+// call, so reuse is safe and the steady-state step allocates nothing.
+// As long as consecutive steps keep the same dt and method, the
+// companion conductances are served from the cached linear snapshot
+// instead of being rebuilt.
 func (e *Engine) advance(x, state []float64, t, target float64, useBE bool, depth int) error {
-	ctx := &device.Context{
+	ctx := &e.ctx
+	*ctx = device.Context{
 		Mode:     device.Transient,
 		Time:     target,
 		Dt:       target - t,
@@ -84,11 +92,10 @@ func (e *Engine) advance(x, state []float64, t, target float64, useBE bool, dept
 	if useBE {
 		ctx.Integ = device.BackwardEuler
 	}
-	trial := make([]float64, len(x))
-	copy(trial, x)
-	err := e.newtonDynamic(trial, state, ctx)
+	copy(e.trialX, x)
+	err := e.solveNewton(e.trialX, state, ctx, 0)
 	if err == nil {
-		copy(x, trial)
+		copy(x, e.trialX)
 		for i, dy := range e.dynamics {
 			dy.Commit(x, state[e.stateOff[i]:e.stateOff[i]+dy.NumStates()], ctx)
 		}
@@ -103,47 +110,6 @@ func (e *Engine) advance(x, state []float64, t, target float64, useBE bool, dept
 		return err
 	}
 	return e.advance(x, state, mid, target, true, depth+1)
-}
-
-// newtonDynamic is the transient Newton loop: static stamps plus dynamic
-// companion models with frozen state.
-func (e *Engine) newtonDynamic(x, state []float64, ctx *device.Context) error {
-	n := e.layout.Dim()
-	for it := 0; it < e.opts.MaxIter; it++ {
-		e.sys.Clear()
-		for _, st := range e.stampers {
-			st.Stamp(e.sys, x, ctx)
-		}
-		for i, dy := range e.dynamics {
-			dy.StampDynamic(e.sys, x, state[e.stateOff[i]:e.stateOff[i]+dy.NumStates()], ctx)
-		}
-		xs, err := e.sys.FactorSolve()
-		if err != nil {
-			return err
-		}
-		conv := true
-		for i := 0; i < n; i++ {
-			dx := xs[i] - x[i]
-			limit := e.opts.MaxStep
-			if i >= e.layout.NumNodes {
-				limit = 0
-			}
-			if limit > 0 && math.Abs(dx) > limit {
-				dx = math.Copysign(limit, dx)
-			}
-			x[i] += dx
-			if math.Abs(dx) > e.opts.AbsTol+e.opts.RelTol*math.Abs(x[i]) {
-				conv = false
-			}
-			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-				return fmt.Errorf("%w: transient solution diverged", ErrNoConvergence)
-			}
-		}
-		if conv && it > 0 {
-			return nil
-		}
-	}
-	return fmt.Errorf("%w: transient Newton exhausted", ErrNoConvergence)
 }
 
 // sourceOverride returns a setter that replaces the DC/waveform drive of
