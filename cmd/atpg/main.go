@@ -4,11 +4,15 @@
 // with the δ loss budget, and fault-simulate the result.
 //
 // Ctrl-C cancels the run promptly (the evaluation engine propagates the
-// context through generation, compaction and coverage).
+// context through generation, compaction and coverage); a -journal file
+// is still flushed as a truncated-but-valid record ending in
+// run_canceled.
 //
 // Usage:
 //
-//	atpg [-netlist file] [-delta d] [-workers n] [-fast] [-faults n] [-stats] [-v]
+//	atpg [-netlist file] [-delta d] [-workers n] [-fast] [-faults n]
+//	     [-journal run.jsonl] [-trace-sample n] [-listen :6060]
+//	     [-stats] [-v]
 package main
 
 import (
@@ -22,69 +26,148 @@ import (
 
 	"repro"
 	"repro/internal/netlist"
+	"repro/internal/obs/export"
 	"repro/internal/report"
 )
 
+// options collects the parsed flags so run stays testable.
+type options struct {
+	netlistPath string
+	configFile  string
+	delta       float64
+	workers     int
+	fast        bool
+	limit       int
+	stats       bool
+	verbose     bool
+	journalPath string
+	traceSample int
+	listenAddr  string
+}
+
 func main() {
-	netlistPath := flag.String("netlist", "", "SPICE-like netlist of a custom macro (default: built-in IV-converter)")
-	configFile := flag.String("config-file", "", "additional test configuration description file (Fig. 1 DSL)")
-	delta := flag.Float64("delta", 0.1, "compaction loss budget δ")
-	workers := flag.Int("workers", 0, "generation parallelism (0: GOMAXPROCS)")
-	fast := flag.Bool("fast", false, "seed-calibrated tolerance boxes (faster, coarser)")
-	limit := flag.Int("faults", 0, "limit the fault list to the first n faults (0: all)")
-	stats := flag.Bool("stats", false, "print per-phase engine timings and cache statistics")
-	verbose := flag.Bool("v", false, "print per-fault detail")
+	var o options
+	flag.StringVar(&o.netlistPath, "netlist", "", "SPICE-like netlist of a custom macro (default: built-in IV-converter)")
+	flag.StringVar(&o.configFile, "config-file", "", "additional test configuration description file (Fig. 1 DSL)")
+	flag.Float64Var(&o.delta, "delta", 0.1, "compaction loss budget δ")
+	flag.IntVar(&o.workers, "workers", 0, "generation parallelism (0: GOMAXPROCS)")
+	flag.BoolVar(&o.fast, "fast", false, "seed-calibrated tolerance boxes (faster, coarser)")
+	flag.IntVar(&o.limit, "faults", 0, "limit the fault list to the first n faults (0: all)")
+	flag.BoolVar(&o.stats, "stats", false, "print per-phase engine timings and cache statistics")
+	flag.BoolVar(&o.verbose, "v", false, "print per-fault detail")
+	flag.StringVar(&o.journalPath, "journal", "", "write a JSONL run journal (spans, events, fault verdicts) to this file")
+	flag.IntVar(&o.traceSample, "trace-sample", 1, "journal one in every n spans (1: all; events are never sampled)")
+	flag.StringVar(&o.listenAddr, "listen", "", "serve live /metrics, /progress and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if err := run(ctx, o); err != nil {
+		if errors.Is(err, repro.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "atpg: canceled")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the full flow. It returns instead of exiting so the
+// journal is sealed (run_end / run_canceled plus flush) on every path.
+func run(ctx context.Context, o options) (err error) {
 	var opts []repro.Option
-	if *fast {
+	if o.fast {
 		opts = append(opts, repro.WithFastBoxes())
 	}
-	if *workers > 0 {
-		opts = append(opts, repro.WithWorkers(*workers))
+	if o.workers > 0 {
+		opts = append(opts, repro.WithWorkers(o.workers))
 	}
 
-	configs := repro.IVConfigs()
-	if *configFile != "" {
-		f, ferr := os.Open(*configFile)
+	var tracer *repro.Tracer
+	var sys *repro.System
+	if o.journalPath != "" {
+		jf, ferr := os.Create(o.journalPath)
 		if ferr != nil {
-			fail(ferr)
+			return ferr
+		}
+		journal := repro.NewJournal(jf)
+		tracer = repro.NewTracerWith(journal,
+			[]repro.TraceAttr{
+				repro.TraceString("cmd", "atpg"),
+				repro.TraceF64("delta", o.delta),
+			},
+			repro.TraceSampleEvery(o.traceSample))
+		opts = append(opts, repro.WithTracer(tracer))
+		defer func() {
+			journal.Close()
+			if cerr := jf.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	prog := repro.NewProgress()
+	opts = append(opts, repro.WithProgress(prog))
+	// Seal the journal on every exit: run_canceled when the error wraps a
+	// context cancellation, run_end (with the final metrics snapshot)
+	// otherwise. Runs before the journal-closing defer above.
+	defer func() {
+		if sys != nil {
+			tracer.Finish(err, repro.TraceAny("metrics", sys.Metrics()))
+		} else {
+			tracer.Finish(err)
+		}
+	}()
+
+	configs := repro.IVConfigs()
+	if o.configFile != "" {
+		f, ferr := os.Open(o.configFile)
+		if ferr != nil {
+			return ferr
 		}
 		extra, perr := repro.ParseTestConfig(f)
 		f.Close()
 		if perr != nil {
-			fail(perr)
+			return perr
 		}
 		configs = append(configs, extra)
-		fmt.Printf("loaded configuration #%d (%s) from %s\n", extra.ID, extra.Name, *configFile)
+		fmt.Printf("loaded configuration #%d (%s) from %s\n", extra.ID, extra.Name, o.configFile)
 	}
 
-	var sys *repro.System
-	var err error
-	if *netlistPath != "" {
-		f, ferr := os.Open(*netlistPath)
+	if o.netlistPath != "" {
+		f, ferr := os.Open(o.netlistPath)
 		if ferr != nil {
-			fail(ferr)
+			return ferr
 		}
-		ckt, perr := netlist.Parse(f, *netlistPath)
+		ckt, perr := netlist.Parse(f, o.netlistPath)
 		f.Close()
 		if perr != nil {
-			fail(perr)
+			return perr
 		}
 		sys, err = repro.NewSystem(ckt, configs, opts...)
 	} else {
 		sys, err = repro.NewSystem(repro.NewIVConverter(), configs, opts...)
 	}
 	if err != nil {
-		fail(err)
+		return err
+	}
+
+	if o.listenAddr != "" {
+		srv, serr := export.Serve(export.Options{
+			Addr:     o.listenAddr,
+			Metrics:  func() any { return sys.Metrics() },
+			Progress: prog.Snapshot,
+		})
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Printf("serving http://%s/ (/metrics, /progress, /debug/pprof/)\n", srv.Addr())
 	}
 
 	faults := sys.Faults()
-	if *limit > 0 && *limit < len(faults) {
-		faults = faults[:*limit]
+	if o.limit > 0 && o.limit < len(faults) {
+		faults = faults[:o.limit]
 	}
 	fmt.Printf("macro %q: %d devices, %d faults, %d test configurations\n",
 		sys.Golden().Name(), len(sys.Golden().Devices()), len(faults), len(sys.Configs()))
@@ -92,11 +175,11 @@ func main() {
 	start := time.Now()
 	sols, err := sys.GenerateAllContext(ctx, faults)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("generation: %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	if *verbose {
+	if o.verbose {
 		t := report.NewTable("fault", "config", "params", "S_f", "critical impact")
 		for _, sol := range sols {
 			c := sys.Configs()[sol.ConfigIdx]
@@ -117,17 +200,17 @@ func main() {
 		fmt.Printf("  config #%d: %d faults\n", id, total)
 	}
 
-	opt := repro.DefaultCompactOptions()
-	opt.Delta = *delta
-	cts, err := sys.CompactContext(ctx, sols, opt)
+	copt := repro.DefaultCompactOptions()
+	copt.Delta = o.delta
+	cts, err := sys.CompactContext(ctx, sols, copt)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	cov, err := sys.CoverageContext(ctx, repro.TestsOfCompact(cts), faults)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("\ncompacted test set (δ=%.2g): %d tests for %d faults\n", *delta, len(cts), len(faults))
+	fmt.Printf("\ncompacted test set (δ=%.2g): %d tests for %d faults\n", o.delta, len(cts), len(faults))
 	t := report.NewTable("test", "config", "params", "covers")
 	for i, ct := range cts {
 		t.AddRow(i+1, sys.Configs()[ct.ConfigIdx].Name, fmt.Sprintf("%v", ct.Params), len(ct.Members))
@@ -135,7 +218,7 @@ func main() {
 	_, _ = t.WriteTo(os.Stdout)
 	fmt.Printf("\nfault coverage of the compacted set: %.1f %% (%d/%d)\n",
 		cov.Percent(), cov.Detected, cov.Total)
-	if wcov, err := repro.WeightedCoverage(repro.HeuristicIFAWeights(faults), cov); err == nil {
+	if wcov, werr := repro.WeightedCoverage(repro.HeuristicIFAWeights(faults), cov); werr == nil {
 		fmt.Printf("IFA-weighted coverage: %.1f %%\n", wcov)
 	}
 	if len(cov.Undetected) > 0 {
@@ -149,7 +232,7 @@ func main() {
 	// second and estimate the production test time.
 	sched, _, err := sys.ScheduleContext(ctx, repro.TestsOfCompact(cts), faults)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("\nATE schedule (total application time %v):\n",
 		sys.SetTime(repro.TestsOfCompact(cts)).Round(time.Microsecond))
@@ -164,33 +247,11 @@ func main() {
 	fmt.Printf("\nsimulation effort: %d nominal + %d faulty runs (%d cache hits, %d non-convergent faulty circuits)\n",
 		ss.NominalRuns, ss.FaultyRuns, ss.CacheHits, ss.FaultyFailures)
 
-	if *stats {
-		printMetrics(sys.Metrics())
+	if o.stats {
+		fmt.Println("\nengine metrics:")
+		if err := report.WriteMetrics(os.Stdout, sys.Metrics()); err != nil {
+			return err
+		}
 	}
-}
-
-// printMetrics renders the engine's per-phase timings and cache
-// statistics (the -stats flag).
-func printMetrics(m repro.Metrics) {
-	fmt.Println("\nengine metrics:")
-	t := report.NewTable("phase", "units", "wall", "avg/unit")
-	for _, p := range m.Phases {
-		t.AddRow(p.Name, p.Count, p.Wall.Round(time.Millisecond), p.Avg().Round(time.Microsecond))
-	}
-	_, _ = t.WriteTo(os.Stdout)
-	c := m.Cache
-	fmt.Printf("\nnominal cache: %d entries, %.1f %% hit rate (%d hits, %d misses, %d shared flights, %d evictions)\n",
-		c.Entries, 100*c.HitRate(), c.Hits, c.Misses, c.Shared, c.Evictions)
-	sv := m.Solver
-	fmt.Printf("solver kernel: %d solves, %d Newton iterations, %d factorizations (%d reused), %d device stamps, %d base snapshots (%d hits)\n",
-		sv.Solves, sv.NewtonIterations, sv.Factorizations, sv.FactorReuses, sv.Stamps, sv.BaseBuilds, sv.BaseHits)
-}
-
-func fail(err error) {
-	if errors.Is(err, repro.ErrCanceled) {
-		fmt.Fprintln(os.Stderr, "atpg: canceled")
-		os.Exit(130)
-	}
-	fmt.Fprintln(os.Stderr, "atpg:", err)
-	os.Exit(1)
+	return nil
 }

@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-only id[,id...]] [-quick] [-workers n] [-delta d] [-tps-fault id] [-list]
+//	experiments [-only id[,id...]] [-quick] [-workers n] [-delta d]
+//	            [-tps-fault id] [-journal run.jsonl] [-trace-sample n]
+//	            [-listen :6060] [-stats] [-list]
 //
 // Experiment IDs: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table2 fig8
 // table3 ablation-selection ablation-soft ablation-opt ablation-delta,
@@ -14,6 +16,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +24,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/report"
 )
 
 func main() {
@@ -31,6 +38,9 @@ func main() {
 	delta := flag.Float64("delta", 0.1, "compaction loss budget δ")
 	tpsFault := flag.String("tps-fault", experiments.DefaultTPSFault, "bridge fault for the Fig. 2-4 tps-graphs")
 	stats := flag.Bool("stats", false, "print engine per-phase timings and cache statistics at the end")
+	journalPath := flag.String("journal", "", "write a JSONL run journal (spans, events, fault verdicts) to this file")
+	traceSample := flag.Int("trace-sample", 1, "journal one in every n spans (1: all; events are never sampled)")
+	listenAddr := flag.String("listen", "", "serve live /metrics, /progress and pprof on this address (e.g. :6060)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -44,6 +54,25 @@ func main() {
 		return
 	}
 
+	var tracer *obs.Tracer
+	var journal *obs.Journal
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		journal = obs.NewJournal(jf)
+		tracer = obs.NewWith(journal,
+			[]obs.Attr{obs.String("cmd", "experiments"), obs.String("only", *only)},
+			[]obs.TracerOption{obs.SampleEvery(*traceSample)})
+		defer func() {
+			journal.Close()
+			jf.Close()
+		}()
+	}
+	prog := obs.NewProgress()
+
 	r := experiments.New(experiments.Options{
 		Out:        os.Stdout,
 		Quick:      *quick,
@@ -51,24 +80,66 @@ func main() {
 		Delta:      *delta,
 		TPSFaultID: *tpsFault,
 		Ctx:        ctx,
+		Tracer:     tracer,
+		Progress:   prog,
 	})
+
+	if *listenAddr != "" {
+		srv, err := export.Serve(export.Options{
+			Addr: *listenAddr,
+			Metrics: func() any {
+				m, _ := r.Metrics()
+				return m
+			},
+			Progress: prog.Snapshot,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving http://%s/ (/metrics, /progress, /debug/pprof/)\n", srv.Addr())
+	}
+
 	start := time.Now()
 	ids := strings.Split(*only, ",")
-	if err := r.Run(ids...); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	err := r.Run(ids...)
+	sealJournal(tracer, r, err)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: canceled")
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		journalFlush(journal)
 		os.Exit(1)
 	}
 	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Millisecond))
 	if *stats {
 		if m, ok := r.Metrics(); ok {
 			fmt.Println("\nengine metrics:")
-			for _, p := range m.Phases {
-				fmt.Printf("  %-12s %6d units  %10v wall  %10v avg\n",
-					p.Name, p.Count, p.Wall.Round(time.Millisecond), p.Avg().Round(time.Microsecond))
+			if err := report.WriteMetrics(os.Stdout, m); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
 			}
-			c := m.Cache
-			fmt.Printf("  nominal cache: %d entries, %.1f %% hit rate (%d hits, %d misses, %d shared)\n",
-				c.Entries, 100*c.HitRate(), c.Hits, c.Misses, c.Shared)
 		}
+	}
+}
+
+// sealJournal writes the terminal record: run_canceled on cancellation,
+// run_end carrying the final metrics snapshot otherwise.
+func sealJournal(tracer *obs.Tracer, r *experiments.Runner, err error) {
+	var m engine.Metrics
+	if mm, ok := r.Metrics(); ok {
+		m = mm
+	}
+	tracer.Finish(err, obs.Any("metrics", m))
+}
+
+// journalFlush seals the journal before the surrounding os.Exit skips
+// the deferred Close.
+func journalFlush(j *obs.Journal) {
+	if j != nil {
+		j.Close()
 	}
 }

@@ -1,0 +1,288 @@
+// Command tracereport renders a JSONL run journal (written by
+// atpg -journal or experiments -journal) into human-readable summary
+// tables: per-phase span aggregates, per-fault verdicts, the slowest
+// fault×config optimizations, and the final engine metrics snapshot
+// embedded in the run_end record.
+//
+// Usage:
+//
+//	tracereport [-top k] [-validate] run.jsonl
+//
+// The journal is validated against the schema before reporting;
+// -validate stops after validation (the CI mode). A journal ending in
+// run_canceled is reported as a truncated-but-valid record of an
+// interrupted run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func main() {
+	top := flag.Int("top", 10, "list the k slowest optimization spans")
+	validateOnly := flag.Bool("validate", false, "validate the journal against the schema and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-top k] [-validate] run.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	stats, err := obs.Validate(bufio.NewReader(f))
+	if err != nil {
+		f.Close()
+		fail(fmt.Errorf("%s: invalid journal: %w", path, err))
+	}
+	fmt.Printf("%s: valid journal (schema v%d): %d records, %d spans, terminal %s",
+		path, stats.Version, stats.Events, stats.Spans, stats.Terminal)
+	if stats.OpenSpans > 0 {
+		fmt.Printf(", %d spans truncated by cancellation", stats.OpenSpans)
+	}
+	fmt.Println()
+	if *validateOnly {
+		f.Close()
+		return
+	}
+
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		fail(err)
+	}
+	rep, err := aggregate(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	rep.render(os.Stdout, *top)
+}
+
+// spanAgg accumulates the closed spans of one name.
+type spanAgg struct {
+	name  string
+	count int
+	total time.Duration
+	max   time.Duration
+}
+
+// slowSpan is one closed span with its identifying attributes, ranked
+// for the top-k table.
+type slowSpan struct {
+	name  string
+	dur   time.Duration
+	attrs map[string]any
+}
+
+// reportData is everything the renderer needs from one journal pass.
+type reportData struct {
+	runAttrs    map[string]any
+	runDur      time.Duration
+	terminal    string
+	termErr     string
+	byName      map[string]*spanAgg
+	events      map[string]int
+	verdicts    []map[string]any
+	slow        []slowSpan
+	metricsAttr any
+}
+
+// aggregate runs the single reporting pass over a validated journal.
+func aggregate(r io.Reader) (*reportData, error) {
+	d := &reportData{
+		byName: make(map[string]*spanAgg),
+		events: make(map[string]int),
+	}
+	// open maps span IDs to their span_start attributes so the slow-span
+	// table can label a duration (known only at span_end) with the
+	// fault/config recorded at span_start.
+	open := make(map[uint64]map[string]any)
+	dec := json.NewDecoder(r)
+	for {
+		var ev obs.Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		switch ev.Type {
+		case obs.TypeRunStart:
+			d.runAttrs = ev.Attrs
+		case obs.TypeSpanStart:
+			open[ev.Span] = ev.Attrs
+		case obs.TypeSpanEnd:
+			agg := d.byName[ev.Name]
+			if agg == nil {
+				agg = &spanAgg{name: ev.Name}
+				d.byName[ev.Name] = agg
+			}
+			dur := time.Duration(ev.Dur)
+			agg.count++
+			agg.total += dur
+			if dur > agg.max {
+				agg.max = dur
+			}
+			if ev.Name == "optimize" {
+				attrs := open[ev.Span]
+				if attrs == nil {
+					attrs = map[string]any{}
+				}
+				for k, v := range ev.Attrs {
+					attrs[k] = v
+				}
+				d.slow = append(d.slow, slowSpan{name: ev.Name, dur: dur, attrs: attrs})
+			}
+			delete(open, ev.Span)
+		case obs.TypeEvent:
+			d.events[ev.Name]++
+			if ev.Name == "fault_verdict" {
+				d.verdicts = append(d.verdicts, ev.Attrs)
+			}
+		case obs.TypeRunEnd, obs.TypeRunCanceled:
+			d.terminal = ev.Type
+			d.runDur = time.Duration(ev.TS)
+			if ev.Attrs != nil {
+				d.metricsAttr = ev.Attrs["metrics"]
+				if s, ok := ev.Attrs["error"].(string); ok {
+					d.termErr = s
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *reportData) render(w io.Writer, top int) {
+	if len(d.runAttrs) > 0 {
+		fmt.Fprintf(w, "run attributes: %s\n", compactJSON(d.runAttrs))
+	}
+	fmt.Fprintf(w, "run wall time: %v\n", d.runDur.Round(time.Microsecond))
+	if d.terminal == obs.TypeRunCanceled {
+		fmt.Fprintf(w, "run CANCELED: %s\n", d.termErr)
+	}
+
+	if len(d.byName) > 0 {
+		fmt.Fprintln(w, "\nspans by phase:")
+		aggs := make([]*spanAgg, 0, len(d.byName))
+		for _, a := range d.byName {
+			aggs = append(aggs, a)
+		}
+		sort.Slice(aggs, func(i, j int) bool { return aggs[i].total > aggs[j].total })
+		t := report.NewTable("span", "count", "total", "avg", "max")
+		for _, a := range aggs {
+			t.AddRow(a.name, a.count, a.total.Round(time.Microsecond),
+				(a.total / time.Duration(a.count)).Round(time.Microsecond),
+				a.max.Round(time.Microsecond))
+		}
+		_, _ = t.WriteTo(w)
+	}
+
+	if len(d.events) > 0 {
+		fmt.Fprintln(w, "\npoint events:")
+		names := make([]string, 0, len(d.events))
+		for n := range d.events {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t := report.NewTable("event", "count")
+		for _, n := range names {
+			t.AddRow(n, d.events[n])
+		}
+		_, _ = t.WriteTo(w)
+	}
+
+	if len(d.verdicts) > 0 {
+		fmt.Fprintln(w, "\nfault verdicts:")
+		t := report.NewTable("fault", "config", "S_f", "critical impact", "evals", "impact iters", "undetectable")
+		for _, v := range d.verdicts {
+			t.AddRow(str(v["fault"]), num(v["config"]), v["s_f"],
+				report.Engineering(toF64(v["critical_impact"])),
+				num(v["evals"]), num(v["impact_iters"]), v["undetectable"] == true)
+		}
+		_, _ = t.WriteTo(w)
+	}
+
+	if len(d.slow) > 0 && top > 0 {
+		sort.Slice(d.slow, func(i, j int) bool { return d.slow[i].dur > d.slow[j].dur })
+		k := top
+		if k > len(d.slow) {
+			k = len(d.slow)
+		}
+		fmt.Fprintf(w, "\nslowest %d optimizations (of %d):\n", k, len(d.slow))
+		t := report.NewTable("fault", "config", "wall", "soft S_f", "evals")
+		for _, s := range d.slow[:k] {
+			t.AddRow(str(s.attrs["fault"]), num(s.attrs["config"]),
+				s.dur.Round(time.Microsecond), s.attrs["soft_s"], num(s.attrs["evals"]))
+		}
+		_, _ = t.WriteTo(w)
+	}
+
+	if d.metricsAttr != nil {
+		if m, ok := decodeMetrics(d.metricsAttr); ok {
+			fmt.Fprintln(w, "\nengine metrics (run_end snapshot):")
+			_ = report.WriteMetrics(w, m)
+		}
+	}
+}
+
+// decodeMetrics re-decodes the run_end "metrics" attribute (a generic
+// JSON object after the journal round trip) into an engine.Metrics.
+func decodeMetrics(v any) (engine.Metrics, bool) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return engine.Metrics{}, false
+	}
+	var m engine.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return engine.Metrics{}, false
+	}
+	return m, true
+}
+
+func compactJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(b)
+}
+
+func str(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// num renders a journal number (float64 after JSON decoding) as an
+// integer when it is one.
+func num(v any) string {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func toF64(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracereport:", err)
+	os.Exit(1)
+}

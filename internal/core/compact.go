@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Test is a runnable test: a configuration plus concrete parameters.
@@ -75,6 +77,9 @@ func (s *Session) CompactContext(ctx context.Context, sols []*Solution, o Compac
 	}
 
 	var out []CompactTest
+	ctx, sp := s.tr.Start(ctx, "compact",
+		obs.Int("solutions", len(sols)), obs.F64("delta", o.Delta))
+	defer func() { sp.End(obs.Int("tests", len(out))) }()
 	for ci := range s.configs {
 		var members []*Solution
 		for _, sol := range sols {

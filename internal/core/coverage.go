@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // CoverageReport summarizes fault simulation of a test set against a
@@ -44,10 +45,15 @@ func (s *Session) Coverage(tests []Test, faults []fault.Fault) (CoverageReport, 
 // aborts the run promptly with an error wrapping ErrCanceled.
 func (s *Session) CoverageContext(ctx context.Context, tests []Test, faults []fault.Fault) (CoverageReport, error) {
 	rep := CoverageReport{Total: len(faults), DetectedBy: make(map[string]int)}
+	ctx, sp := s.tr.Start(ctx, "coverage",
+		obs.Int("tests", len(tests)), obs.Int("faults", len(faults)))
+	defer func() { sp.End(obs.Int("detected", rep.Detected), obs.Int("sims", rep.Sims)) }()
+	s.prog.SetPhase(PhaseFaultSim, len(faults))
 	detectedBy := make([]int, len(faults)) // -1: undetected
 	var sims atomic.Int64
 	err := s.eng.ForEach(ctx, len(faults), func(ctx context.Context, fi int) error {
 		defer s.eng.Time(PhaseFaultSim)()
+		defer s.prog.Step(1)
 		f := faults[fi]
 		fd := f.WithImpact(f.InitialImpact())
 		detectedBy[fi] = -1
@@ -62,9 +68,13 @@ func (s *Session) CoverageContext(ctx context.Context, tests []Test, faults []fa
 			}
 			if sf < 0 {
 				detectedBy[fi] = ti
+				s.tr.Event(ctx, "coverage_verdict",
+					obs.String("fault", f.ID()), obs.Int("detected_by", ti))
 				return nil
 			}
 		}
+		s.tr.Event(ctx, "coverage_verdict",
+			obs.String("fault", f.ID()), obs.Int("detected_by", -1))
 		return nil
 	})
 	rep.Sims = int(sims.Load())

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Fault diagnosis: the natural follow-up to structural test generation
@@ -28,6 +30,9 @@ type Signature struct {
 // test and returns the signature database, plus the fault-free baseline
 // in the first return value.
 func (s *Session) Signatures(tests []Test, faults []fault.Fault) (baseline [][]float64, sigs []Signature, err error) {
+	_, sp := s.tr.Start(context.Background(), "signatures",
+		obs.Int("tests", len(tests)), obs.Int("faults", len(faults)))
+	defer sp.End()
 	baseline = make([][]float64, len(tests))
 	for ti, t := range tests {
 		r, err := s.Nominal(t.ConfigIdx, t.Params)
@@ -70,6 +75,9 @@ type Diagnosis struct {
 // matches catastrophic signatures. Distances are normalized per return
 // value by the tolerance-box halfwidth, so heterogeneous units compose.
 func (s *Session) Diagnose(tests []Test, sigs []Signature, observed [][]float64) ([]Diagnosis, error) {
+	_, sp := s.tr.Start(context.Background(), "diagnose",
+		obs.Int("tests", len(tests)), obs.Int("signatures", len(sigs)))
+	defer sp.End()
 	if len(observed) != len(tests) {
 		return nil, fmt.Errorf("core: %d observations for %d tests", len(observed), len(tests))
 	}

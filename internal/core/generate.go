@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -99,6 +100,8 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 	defer s.eng.Time(PhaseOptimize)()
 	soft := fault.Weaken(f.WithImpact(f.InitialImpact()), s.cfg.SoftImpactFactor)
 	c := s.configs[ci]
+	ctx, sp := s.tr.Start(ctx, "optimize",
+		obs.String("fault", f.ID()), obs.Int("config", c.ID))
 	box := c.Bounds()
 	evals := 0
 	obj := func(T []float64) float64 {
@@ -116,11 +119,20 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 		}
 		return sf
 	}
-	res := opt.Minimize(obj, box, c.Seeds(), s.cfg.OptTol)
+	var watch opt.IterObserver
+	if s.tr.Enabled() {
+		watch = func(stage string, iter int, _ []float64, fx float64) {
+			s.tr.Event(ctx, "opt_iter",
+				obs.String("stage", stage), obs.Int("iter", iter), obs.F64("s_f", fx))
+		}
+	}
+	res := opt.MinimizeObserved(obj, box, c.Seeds(), s.cfg.OptTol, watch)
 	if err := ctx.Err(); err != nil {
+		sp.End(obs.String("error", "canceled"))
 		return Candidate{}, fmt.Errorf("%w: optimization of %s under config #%d: %w",
 			ErrCanceled, f.ID(), c.ID, err)
 	}
+	sp.End(obs.F64("soft_s", res.F), obs.Int("evals", evals))
 	return Candidate{ConfigIdx: ci, Params: res.X, SoftS: res.F, Evals: evals}, nil
 }
 
@@ -129,6 +141,8 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candidate) (*Solution, error) {
 	defer s.eng.Time(PhaseImpact)()
 	sol := &Solution{Fault: f, Candidates: cands}
+	ctx, sp := s.tr.Start(ctx, "impact-loop", obs.String("fault", f.ID()))
+	defer func() { sp.End(obs.Int("iters", sol.ImpactIters)) }()
 	for _, c := range cands {
 		sol.Evals += c.Evals
 	}
@@ -166,6 +180,8 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 			Sens:    append([]float64(nil), sens...),
 			Detects: detects,
 		})
+		s.tr.Event(ctx, "impact_step",
+			obs.F64("impact", fi.Impact()), obs.Int("detects", detects))
 		switch {
 		case detects == 1:
 			winner = best
@@ -235,6 +251,14 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 		return nil, err
 	}
 	sol.Sensitivity = sf
+	s.tr.Event(ctx, "fault_verdict",
+		obs.String("fault", f.ID()),
+		obs.Int("config", s.configs[sol.ConfigIdx].ID),
+		obs.F64("s_f", sol.Sensitivity),
+		obs.F64("critical_impact", sol.CriticalImpact),
+		obs.Bool("undetectable", sol.Undetectable),
+		obs.Int("evals", sol.Evals),
+		obs.Int("impact_iters", sol.ImpactIters))
 	return sol, nil
 }
 
@@ -253,9 +277,14 @@ func (s *Session) GenerateAll(faults []fault.Fault) ([]*Solution, error) {
 // ErrCanceled.
 func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) ([]*Solution, error) {
 	nc := len(s.configs)
+	ctx, sp := s.tr.Start(ctx, "generate-all",
+		obs.Int("faults", len(faults)), obs.Int("configs", nc))
+	defer sp.End()
 	// Step 1: one optimization task per (fault, configuration) pair.
+	s.prog.SetPhase(PhaseOptimize, len(faults)*nc)
 	cands := make([]Candidate, len(faults)*nc)
 	err := s.eng.ForEach(ctx, len(faults)*nc, func(ctx context.Context, k int) error {
+		defer s.prog.Step(1)
 		fi, ci := k/nc, k%nc
 		c, err := s.optimizeCandidate(ctx, faults[fi], ci)
 		if err != nil {
@@ -268,8 +297,10 @@ func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) 
 		return nil, err
 	}
 	// Step 2: the impact selection loop per fault.
+	s.prog.SetPhase(PhaseImpact, len(faults))
 	sols := make([]*Solution, len(faults))
 	err = s.eng.ForEach(ctx, len(faults), func(ctx context.Context, fi int) error {
+		defer s.prog.Step(1)
 		sol, err := s.selectTest(ctx, faults[fi], cands[fi*nc:(fi+1)*nc])
 		if err != nil {
 			return fmt.Errorf("core: fault %s: %w", faults[fi].ID(), err)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/obs"
+	"repro/internal/testcfg"
+)
+
+// tracedSession builds the cheap two-config session with a tracer
+// journaling into buf.
+func tracedSession(t *testing.T, buf *bytes.Buffer) (*Session, *obs.Tracer, *obs.Journal) {
+	t.Helper()
+	j := obs.NewJournal(buf)
+	tr := obs.New(j, obs.String("cmd", "core-test"))
+	cfg := DefaultConfig()
+	cfg.BoxMode = BoxSeed
+	cfg.Workers = 4
+	cfg.Tracer = tr
+	cfg.Progress = obs.NewProgress()
+	s, err := NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tr, j
+}
+
+// TestTracedRunJournalValid: a full generate+coverage run under a tracer
+// must produce a schema-valid journal ending in run_end, with all spans
+// closed and the domain events present.
+func TestTracedRunJournalValid(t *testing.T) {
+	var buf bytes.Buffer
+	s, tr, j := tracedSession(t, &buf)
+	faults := []fault.Fault{fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)}
+	sols, err := s.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Coverage(TestsOf(sols), faults); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish(nil, obs.Any("metrics", s.Metrics()))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := obs.Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal invalid: %v", err)
+	}
+	if st.Terminal != obs.TypeRunEnd {
+		t.Errorf("terminal = %s, want run_end", st.Terminal)
+	}
+	if st.OpenSpans != 0 {
+		t.Errorf("%d spans left open after a completed run", st.OpenSpans)
+	}
+	if st.Spans == 0 {
+		t.Error("no spans recorded")
+	}
+	for _, want := range []string{
+		`"generate-all"`, `"optimize"`, `"impact-loop"`, `"coverage"`,
+		`"fault_verdict"`, `"opt_iter"`, `"impact_step"`, `"sim.`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("journal misses %s records", want)
+		}
+	}
+}
+
+// TestCanceledRunJournalTruncatedButValid: a canceled run must still
+// flush a well-formed journal whose terminal record is run_canceled
+// (open spans permitted — the truncated-but-valid contract).
+func TestCanceledRunJournalTruncatedButValid(t *testing.T) {
+	var buf bytes.Buffer
+	s, tr, j := tracedSession(t, &buf)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.GenerateAllContext(ctx, fault.Dictionary(macros.IVConverter(), 10e3, 2e3))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	tr.Finish(err)
+	if cerr := j.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	st, verr := obs.Validate(bytes.NewReader(buf.Bytes()))
+	if verr != nil {
+		t.Fatalf("canceled-run journal invalid: %v", verr)
+	}
+	if st.Terminal != obs.TypeRunCanceled {
+		t.Errorf("terminal = %s, want run_canceled", st.Terminal)
+	}
+}
+
+// TestTracingDisabledNoJournal: without a tracer the same run must not
+// touch any sink (the nil-tracer no-op contract at the session level).
+func TestTracingDisabledNoJournal(t *testing.T) {
+	s := dcSession(t)
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	if _, err := s.Generate(f); err != nil {
+		t.Fatal(err)
+	}
+	// No assertion target: the absence of a panic on the nil tracer and
+	// nil progress across the full path is the test.
+}

@@ -17,10 +17,12 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/testcfg"
 	"repro/internal/tolerance"
@@ -77,6 +79,15 @@ type Config struct {
 	MCSamples int
 	// MCSeed seeds the BoxMonteCarlo RNG for reproducible boxes.
 	MCSeed int64
+	// Tracer, when non-nil, receives a span/event record of the run:
+	// per-phase and per-task spans, per-optimizer-iteration S_f events,
+	// fault verdicts, nominal-cache hits and misses, and per-analysis
+	// solver spans. Nil (the default) disables tracing; instrumented
+	// paths then cost a nil check.
+	Tracer *obs.Tracer
+	// Progress, when non-nil, tracks phase/unit completion for live
+	// export (/progress). Nil disables the tracking.
+	Progress *obs.Progress
 }
 
 // DefaultConfig returns the settings used by the experiments.
@@ -102,6 +113,8 @@ type Session struct {
 	boxes   []tolerance.BoxFunc
 	cfg     Config
 	eng     *engine.Engine
+	tr      *obs.Tracer   // nil: tracing disabled
+	prog    *obs.Progress // nil: progress tracking disabled
 
 	nominalRuns atomic.Int64
 	cacheHits   atomic.Int64
@@ -180,10 +193,29 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 		golden:  golden,
 		configs: configs,
 		cfg:     cfg,
+		tr:      cfg.Tracer,
+		prog:    cfg.Progress,
 		eng: engine.New(engine.Options{
 			Workers:      cfg.Workers,
 			CacheEntries: cfg.CacheEntries,
 		}),
+	}
+	s.eng.SetTracer(cfg.Tracer)
+	if cfg.Tracer.Enabled() {
+		// Surface per-analysis solver spans. The hook is package-wide for
+		// the same reason the counter totals are (engines are built deep
+		// inside configuration closures); with one traced session at a
+		// time — the CLI case — attribution is clean.
+		tr := cfg.Tracer
+		sim.SetTraceHook(func(analysis string, d time.Duration, delta sim.Counters) {
+			tr.Complete("sim."+analysis, d,
+				obs.I64("stamps", int64(delta.Stamps)),
+				obs.I64("factorizations", int64(delta.Factorizations)),
+				obs.I64("factor_reuses", int64(delta.FactorReuses)),
+				obs.I64("newton_iters", int64(delta.NewtonIterations)),
+				obs.I64("solves", int64(delta.Solves)),
+				obs.I64("base_hits", int64(delta.BaseHits)))
+		})
 	}
 	// Surface the simulation kernel's counters in engine metrics.
 	// Engines are built deep inside test-configuration closures, so the
@@ -245,10 +277,14 @@ func (s *Session) cornerDeviation(c *testcfg.Config, T []float64) ([]float64, er
 // buildBoxes constructs one box function per configuration on the
 // engine pool.
 func (s *Session) buildBoxes(ctx context.Context) ([]tolerance.BoxFunc, error) {
+	s.prog.SetPhase(PhaseBoxBuild, len(s.configs))
 	boxes := make([]tolerance.BoxFunc, len(s.configs))
 	err := s.eng.ForEach(ctx, len(s.configs), func(ctx context.Context, i int) error {
 		defer s.eng.Time(PhaseBoxBuild)()
+		defer s.prog.Step(1)
 		c := s.configs[i]
+		ctx, sp := s.tr.Start(ctx, "box-build", obs.Int("config", c.ID))
+		defer sp.End()
 		switch s.cfg.BoxMode {
 		case BoxSeed:
 			dev, err := s.cornerDeviation(c, c.Seeds())
@@ -318,6 +354,9 @@ func (s *Session) Nominal(ci int, T []float64) ([]float64, error) {
 	})
 	if hit {
 		s.cacheHits.Add(1)
+		s.tr.Emit("cache_hit", obs.Int("config", s.configs[ci].ID))
+	} else if err == nil {
+		s.tr.Emit("cache_miss", obs.Int("config", s.configs[ci].ID))
 	}
 	return r, err
 }

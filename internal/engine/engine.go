@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrCanceled is returned (wrapped) by ForEach when the caller's context
@@ -48,7 +50,15 @@ type Engine struct {
 	cache     *Cache
 	phases    sync.Map // string -> *phase
 	solverSrc atomic.Pointer[func() SolverStats]
+	tracer    atomic.Pointer[obs.Tracer]
 }
+
+// SetTracer registers a span tracer. When set, ForEach opens one
+// "engine.task" span per task (worker and index attributes), and the
+// task's fn runs under a context carrying that span so nested spans
+// parent correctly. Passing nil disables tracing; a disabled pool pays
+// one atomic load per ForEach call.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer.Store(t) }
 
 // New returns an engine with the given options.
 func New(o Options) *Engine {
@@ -119,12 +129,13 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 	if workers > n {
 		workers = n
 	}
+	tr := e.tracer.Load()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w: %w", ErrCanceled, err)
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := runTask(tr, ctx, fn, i, 0); err != nil {
 				return err
 			}
 		}
@@ -180,7 +191,7 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 						return
 					}
 				}
-				if err := fn(runCtx, i); err != nil {
+				if err := runTask(tr, runCtx, fn, i, w); err != nil {
 					fail(err)
 					return
 				}
@@ -195,4 +206,21 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
 	return nil
+}
+
+// runTask executes fn(ctx, i), wrapped in an "engine.task" span when a
+// tracer is registered. The span rides the context into fn, so spans
+// opened inside the task nest under it.
+func runTask(tr *obs.Tracer, ctx context.Context, fn func(context.Context, int) error, i, w int) error {
+	if tr == nil {
+		return fn(ctx, i)
+	}
+	tctx, sp := tr.Start(ctx, "engine.task", obs.Int("index", i), obs.Int("worker", w))
+	err := fn(tctx, i)
+	if err != nil {
+		sp.End(obs.String("error", err.Error()))
+	} else {
+		sp.End()
+	}
+	return err
 }

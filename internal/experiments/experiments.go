@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/macros"
+	"repro/internal/obs"
 	"repro/internal/testcfg"
 )
 
@@ -40,6 +41,11 @@ type Options struct {
 	// Ctx cancels long-running experiment phases (generation) when it
 	// ends; nil means context.Background().
 	Ctx context.Context
+	// Tracer records run spans and events into its sink; nil disables
+	// tracing.
+	Tracer *obs.Tracer
+	// Progress feeds a live progress tracker; nil disables it.
+	Progress *obs.Progress
 }
 
 // Runner executes experiments, sharing one session and memoizing the
@@ -93,6 +99,8 @@ func (r *Runner) Session() (*core.Session, error) {
 	if r.opts.Quick {
 		cfg.BoxMode = core.BoxSeed
 	}
+	cfg.Tracer = r.opts.Tracer
+	cfg.Progress = r.opts.Progress
 	s, err := core.NewSession(r.golden, r.configs, cfg)
 	if err != nil {
 		return nil, err

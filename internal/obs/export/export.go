@@ -1,0 +1,113 @@
+// Package export is the live observability surface of a run: an opt-in
+// HTTP listener serving expvar-style JSON snapshots of the engine and
+// solver metrics, a /progress endpoint (units done/total, current phase,
+// ETA), and net/http/pprof for on-line profiling.
+//
+// The server is wired with snapshot providers rather than concrete
+// types, so it has no dependency on the engine or core packages; the
+// cmds pass closures over Session.Metrics and obs.Progress.Snapshot.
+// Providers must be safe for concurrent use (both the engine metrics
+// snapshot and the progress tracker are copy-on-read over atomics).
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options wires a Server.
+type Options struct {
+	// Addr is the listen address (":6060", "127.0.0.1:0", ...).
+	Addr string
+	// Metrics returns the current metrics snapshot; it is marshaled to
+	// JSON as-is on every /metrics request. Nil disables the endpoint.
+	Metrics func() any
+	// Progress returns the run's progress snapshot. Nil disables
+	// /progress.
+	Progress func() obs.ProgressSnapshot
+}
+
+// Server is a running export listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds the listener and starts serving in a background
+// goroutine. It returns once the address is bound, so Addr() is
+// immediately meaningful (useful with ":0").
+func Serve(o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: listen %s: %w", o.Addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "atpg observability\n\n/metrics   engine + solver counters (JSON)\n/progress  run progress (JSON)\n/debug/pprof/  profiling\n")
+	})
+	if o.Metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, o.Metrics())
+		})
+	}
+	if o.Progress != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			s := o.Progress()
+			// Augment the raw snapshot with human-friendly fields.
+			writeJSON(w, map[string]any{
+				"phase":         s.Phase,
+				"done":          s.Done,
+				"total":         s.Total,
+				"percent":       s.Percent(),
+				"elapsed":       s.Elapsed.String(),
+				"phase_elapsed": s.PhaseElapsed.String(),
+				"eta":           s.ETA.String(),
+				"eta_ns":        int64(s.ETA),
+			})
+		})
+	}
+	// pprof on the private mux (the default mux may not be ours to own).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// writeJSON marshals v with indentation (the endpoints are for humans
+// and scrapers alike; indented JSON keeps curl output readable).
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,98 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServeEndpoints: /metrics and /progress serve the providers'
+// snapshots as JSON, and pprof answers on the private mux.
+func TestServeEndpoints(t *testing.T) {
+	prog := obs.NewProgress()
+	prog.SetPhase("optimize", 10)
+	prog.Step(4)
+	srv, err := Serve(Options{
+		Addr:     "127.0.0.1:0",
+		Metrics:  func() any { return map[string]any{"solves": 42} },
+		Progress: prog.Snapshot,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if m["solves"] != float64(42) {
+		t.Fatalf("/metrics solves = %v, want 42", m["solves"])
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var p map[string]any
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if p["phase"] != "optimize" || p["done"] != float64(4) || p["total"] != float64(10) {
+		t.Fatalf("/progress payload wrong: %v", p)
+	}
+	if p["percent"] != float64(40) {
+		t.Fatalf("/progress percent = %v, want 40", p["percent"])
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestServeNilProviders: endpoints without providers 404 instead of
+// panicking.
+func TestServeNilProviders(t *testing.T) {
+	srv, err := Serve(Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusNotFound {
+		t.Fatalf("/metrics without provider: status %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/progress"); code != http.StatusNotFound {
+		t.Fatalf("/progress without provider: status %d, want 404", code)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a run's position through its phases for the live
+// /progress endpoint: units done out of total in the current phase, and
+// an ETA extrapolated from the phase's own throughput. All fields are
+// atomics so Snapshot is torn-read-free against concurrent Step calls;
+// a nil *Progress is the disabled tracker (every method is a no-op).
+type Progress struct {
+	start      time.Time
+	phase      atomic.Pointer[string]
+	done       atomic.Int64
+	total      atomic.Int64
+	phaseStart atomic.Int64 // ns since start
+}
+
+// NewProgress returns a tracker whose elapsed clock starts now.
+func NewProgress() *Progress {
+	p := &Progress{start: time.Now()}
+	name := ""
+	p.phase.Store(&name)
+	return p
+}
+
+// SetPhase enters a named phase with the given unit total, resetting the
+// done counter and the phase clock.
+func (p *Progress) SetPhase(name string, total int) {
+	if p == nil {
+		return
+	}
+	p.phase.Store(&name)
+	p.total.Store(int64(total))
+	p.done.Store(0)
+	p.phaseStart.Store(int64(time.Since(p.start)))
+}
+
+// Step records n completed units of the current phase.
+func (p *Progress) Step(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// ProgressSnapshot is a point-in-time view of a Progress tracker.
+type ProgressSnapshot struct {
+	// Phase is the current phase name ("" before the first SetPhase).
+	Phase string `json:"phase"`
+	// Done and Total are the phase's unit counters.
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+	// Elapsed is the wall time since the tracker was created.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// PhaseElapsed is the wall time since the current phase began.
+	PhaseElapsed time.Duration `json:"phase_elapsed_ns"`
+	// ETA estimates the remaining time of the current phase from its
+	// average unit throughput; 0 when unknown (no units done yet).
+	ETA time.Duration `json:"eta_ns"`
+}
+
+// Percent returns the phase completion in percent (0 when the total is
+// unknown).
+func (s ProgressSnapshot) Percent() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	return 100 * float64(s.Done) / float64(s.Total)
+}
+
+// Snapshot returns the current progress. Counters are read individually
+// from atomics: the snapshot is internally consistent enough for display
+// (each field is untorn) without a lock on the Step path.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	elapsed := time.Since(p.start)
+	s := ProgressSnapshot{
+		Phase:   *p.phase.Load(),
+		Done:    p.done.Load(),
+		Total:   p.total.Load(),
+		Elapsed: elapsed,
+	}
+	s.PhaseElapsed = elapsed - time.Duration(p.phaseStart.Load())
+	if s.Done > 0 && s.Total > s.Done {
+		perUnit := s.PhaseElapsed / time.Duration(s.Done)
+		s.ETA = perUnit * time.Duration(s.Total-s.Done)
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBrentObserver: the observer sees every iteration, values are
+// monotonically improving at the end, and a nil observer changes
+// nothing about the result.
+func TestBrentObserver(t *testing.T) {
+	f := func(x float64) float64 { return (x - 0.3) * (x - 0.3) }
+	var iters int
+	var lastF float64 = math.Inf(1)
+	res := BrentObserved(f, -1, 1, 1e-6, func(stage string, iter int, x []float64, fx float64) {
+		if stage != "brent" {
+			t.Fatalf("stage %q, want brent", stage)
+		}
+		if iter != iters {
+			t.Fatalf("iteration %d out of order (want %d)", iter, iters)
+		}
+		if len(x) != 1 {
+			t.Fatalf("observer x dim %d, want 1", len(x))
+		}
+		if fx > lastF+1e-12 {
+			t.Fatalf("best value regressed: %g after %g", fx, lastF)
+		}
+		lastF = fx
+		iters++
+	})
+	if iters == 0 {
+		t.Fatal("observer never called")
+	}
+	plain := Brent(f, -1, 1, 1e-6)
+	if res.X[0] != plain.X[0] || res.F != plain.F || res.Evals != plain.Evals {
+		t.Fatalf("observed result %+v differs from plain %+v", res, plain)
+	}
+}
+
+// TestPowellObserver: per-sweep notifications with improving values, and
+// bit-identical results to the unobserved run.
+func TestPowellObserver(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	box := NewBox([]float64{-2, -2}, []float64{2, 2})
+	seed := []float64{-1.2, 1}
+	sweeps := 0
+	res := PowellObserved(rosen, box, seed, 1e-8, func(stage string, iter int, x []float64, fx float64) {
+		if stage != "powell" {
+			t.Fatalf("stage %q, want powell", stage)
+		}
+		if len(x) != 2 {
+			t.Fatalf("observer x dim %d, want 2", len(x))
+		}
+		sweeps++
+	})
+	if sweeps == 0 {
+		t.Fatal("observer never called")
+	}
+	plain := Powell(rosen, box, seed, 1e-8)
+	if res.F != plain.F || res.Evals != plain.Evals {
+		t.Fatalf("observed result %+v differs from plain %+v", res, plain)
+	}
+}
+
+// TestMinimizeObservedDispatch: 1-D boxes route to Brent iterations,
+// n-D to Powell sweeps, with results matching Minimize.
+func TestMinimizeObservedDispatch(t *testing.T) {
+	q1 := func(x []float64) float64 { return (x[0] - 2) * (x[0] - 2) }
+	stage := ""
+	res := MinimizeObserved(q1, NewBox([]float64{0}, []float64{5}), []float64{1}, 1e-6,
+		func(s string, _ int, _ []float64, _ float64) { stage = s })
+	if stage != "brent" {
+		t.Fatalf("1-D dispatch observed stage %q, want brent", stage)
+	}
+	plain := Minimize(q1, NewBox([]float64{0}, []float64{5}), []float64{1}, 1e-6)
+	if res.F != plain.F || res.X[0] != plain.X[0] {
+		t.Fatalf("1-D observed %+v != plain %+v", res, plain)
+	}
+
+	q2 := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	stage = ""
+	MinimizeObserved(q2, NewBox([]float64{-1, -1}, []float64{1, 1}), []float64{0.5, 0.5}, 1e-6,
+		func(s string, _ int, _ []float64, _ float64) { stage = s })
+	if stage != "powell" {
+		t.Fatalf("2-D dispatch observed stage %q, want powell", stage)
+	}
+}

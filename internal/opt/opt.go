@@ -29,6 +29,15 @@ type Result struct {
 	Evals int       // objective evaluations spent
 }
 
+// IterObserver receives one notification per optimizer iteration: the
+// stage name ("brent" iterations, "powell" sweeps), the iteration
+// index, and the current best point and value. It is the hook the
+// observability layer uses to journal the trajectory of each S_f search
+// — the per-fault tps-trajectory — without the optimizers knowing about
+// tracing. The x slice is only valid during the call; observers that
+// retain it must copy. A nil observer costs nothing.
+type IterObserver func(stage string, iter int, x []float64, f float64)
+
 const (
 	defaultTol     = 1e-4
 	defaultMaxIter = 100
@@ -40,6 +49,13 @@ const (
 // paper cites for single-parameter test configurations. tol ≤ 0 selects a
 // sensible default relative tolerance.
 func Brent(f Scalar, a, b, tol float64) Result {
+	return BrentObserved(f, a, b, tol, nil)
+}
+
+// BrentObserved is Brent with a per-iteration observer (nil behaves
+// exactly like Brent): watch sees the current best point after every
+// iteration of the main loop.
+func BrentObserved(f Scalar, a, b, tol float64, watch IterObserver) Result {
 	if tol <= 0 {
 		tol = defaultTol
 	}
@@ -57,6 +73,10 @@ func Brent(f Scalar, a, b, tol float64) Result {
 	fx := eval(x)
 	fw, fv := fx, fx
 	var d, e float64
+	var watchX []float64
+	if watch != nil {
+		watchX = make([]float64, 1)
+	}
 
 	for it := 0; it < defaultMaxIter; it++ {
 		m := 0.5 * (a + b)
@@ -123,6 +143,10 @@ func Brent(f Scalar, a, b, tol float64) Result {
 			} else if fu <= fv || v == x || v == w {
 				v, fv = u, fu
 			}
+		}
+		if watch != nil {
+			watchX[0] = x
+			watch("brent", it, watchX, fx)
 		}
 	}
 	return Result{X: []float64{x}, F: fx, Evals: evals}
@@ -223,6 +247,13 @@ func (b Box) Center() []float64 {
 // (Acton's formulation, as cited by the paper). Line minimizations use
 // Brent on the feasible segment of each direction.
 func Powell(f Objective, box Box, seed []float64, tol float64) Result {
+	return PowellObserved(f, box, seed, tol, nil)
+}
+
+// PowellObserved is Powell with a per-sweep observer (nil behaves
+// exactly like Powell): watch sees the current best point after every
+// direction-set sweep.
+func PowellObserved(f Objective, box Box, seed []float64, tol float64, watch IterObserver) Result {
 	n := box.Dim()
 	if len(seed) != n {
 		panic("opt: seed dimension mismatch")
@@ -265,6 +296,10 @@ func Powell(f Objective, box Box, seed []float64, tol float64) Result {
 				biggestDrop = drop
 				biggestDir = i
 			}
+		}
+
+		if watch != nil {
+			watch("powell", sweep, x, fx)
 		}
 
 		// Convergence: relative improvement over the whole sweep.
@@ -509,9 +544,19 @@ func NelderMead(f Objective, box Box, seed []float64, tol float64) Result {
 // Minimize dispatches per the paper's recipe: Brent for one-parameter
 // boxes, Powell for multi-parameter boxes.
 func Minimize(f Objective, box Box, seed []float64, tol float64) Result {
+	return MinimizeObserved(f, box, seed, tol, nil)
+}
+
+// MinimizeObserved is Minimize with a per-iteration observer: Brent
+// iterations for one-parameter boxes, Powell sweeps otherwise. A nil
+// observer behaves exactly like Minimize.
+func MinimizeObserved(f Objective, box Box, seed []float64, tol float64, watch IterObserver) Result {
 	if box.Dim() == 1 {
-		res := Brent(func(x float64) float64 { return f([]float64{x}) }, box.Lo[0], box.Hi[0], tol)
-		return res
+		arg := make([]float64, 1)
+		return BrentObserved(func(x float64) float64 {
+			arg[0] = x
+			return f(arg)
+		}, box.Lo[0], box.Hi[0], tol, watch)
 	}
-	return Powell(f, box, seed, tol)
+	return PowellObserved(f, box, seed, tol, watch)
 }

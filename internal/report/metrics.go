@@ -1,0 +1,34 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// WriteMetrics renders an engine metrics snapshot: the per-phase timing
+// table followed by the nominal-cache and solver-kernel summary lines.
+// It is the one renderer shared by the atpg/experiments -stats flags and
+// by tracereport's run_end metrics section.
+func WriteMetrics(w io.Writer, m engine.Metrics) error {
+	t := NewTable("phase", "units", "wall", "avg/unit")
+	for _, p := range m.Phases {
+		t.AddRow(p.Name, p.Count, p.Wall.Round(time.Millisecond), p.Avg().Round(time.Microsecond))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	c := m.Cache
+	if _, err := fmt.Fprintf(w,
+		"\nnominal cache: %d entries, %.1f %% hit rate (%d hits, %d misses, %d shared flights, %d evictions)\n",
+		c.Entries, 100*c.HitRate(), c.Hits, c.Misses, c.Shared, c.Evictions); err != nil {
+		return err
+	}
+	sv := m.Solver
+	_, err := fmt.Fprintf(w,
+		"solver kernel: %d solves, %d Newton iterations, %d factorizations (%d reused), %d device stamps, %d base snapshots (%d hits)\n",
+		sv.Solves, sv.NewtonIterations, sv.Factorizations, sv.FactorReuses, sv.Stamps, sv.BaseBuilds, sv.BaseHits)
+	return err
+}

@@ -330,6 +330,9 @@ func (e *Engine) OperatingPoint() ([]float64, error) {
 // solution gives the warm re-solve the optimizers' repeated evaluations
 // want. The gmin/source-stepping fallbacks restart from zero as before.
 func (e *Engine) OperatingPointInto(x []float64) error {
+	if h, t0, pre := e.traceStart(); h != nil {
+		defer e.traceEnd(h, "op", t0, pre)
+	}
 	ctx := &e.ctx
 	*ctx = device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
 	if err := e.solveNewton(x, nil, ctx, 0); err == nil {
@@ -391,6 +394,9 @@ func (e *Engine) OperatingPointInto(x []float64) error {
 // Newton seed. Swapping the waveform only changes the right-hand side,
 // so the cached linear matrix survives the whole sweep.
 func (e *Engine) SweepDC(source string, values []float64) ([][]float64, error) {
+	if h, t0, pre := e.traceStart(); h != nil {
+		defer e.traceEnd(h, "dc-sweep", t0, pre)
+	}
 	d := e.ckt.Device(source)
 	if d == nil {
 		return nil, fmt.Errorf("sim: sweep source %q not found", source)

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceHook receives one notification per completed analysis: the
+// analysis kind ("op", "dc-sweep", "ac", "noise", "transient",
+// "transient-adaptive"), its wall time, and the delta of the engine's
+// solver counters over the analysis — the kernel-level answer to "what
+// did this analysis cost". The observability layer registers a hook that
+// turns these into retrospective journal spans.
+//
+// Hooks must be safe for concurrent use: engines on different goroutines
+// invoke the hook concurrently. Like the counter totals, the hook is
+// package-wide because engines are constructed deep inside
+// test-configuration closures (see the totals doc in stats.go).
+type TraceHook func(analysis string, d time.Duration, delta Counters)
+
+var traceHook atomic.Pointer[TraceHook]
+
+// SetTraceHook registers fn as the per-analysis observer; nil clears it.
+// When no hook is registered the instrumented entry points pay one
+// atomic pointer load — the disabled-tracing cost contract.
+func SetTraceHook(fn TraceHook) {
+	if fn == nil {
+		traceHook.Store(nil)
+		return
+	}
+	traceHook.Store(&fn)
+}
+
+// traceStart begins timing an analysis if a hook is registered. It
+// returns the hook (nil when disabled), the start time, and the counter
+// snapshot to delta against.
+func (e *Engine) traceStart() (*TraceHook, time.Time, Counters) {
+	h := traceHook.Load()
+	if h == nil {
+		return nil, time.Time{}, Counters{}
+	}
+	return h, time.Now(), e.stats
+}
+
+// traceEnd reports the completed analysis to the hook.
+func (e *Engine) traceEnd(h *TraceHook, analysis string, t0 time.Time, pre Counters) {
+	if h == nil {
+		return
+	}
+	(*h)(analysis, time.Since(t0), e.stats.sub(pre))
+}

@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Re-exported observability types. The implementation lives in
+// internal/obs (a stdlib-only leaf package); these aliases give library
+// users nameable types for run tracing, journaling and live progress.
+type (
+	// Tracer records spans and point events of a run into a Sink. A nil
+	// *Tracer is the disabled tracer (every method no-ops), so it can be
+	// passed unconditionally.
+	Tracer = obs.Tracer
+	// TracerOption tunes a tracer at construction (see TraceSampleEvery).
+	TracerOption = obs.TracerOption
+	// Span is an in-flight span handle returned by Tracer.Start.
+	Span = obs.Span
+	// TraceAttr is one key/value attribute of a span or event.
+	TraceAttr = obs.Attr
+	// TraceEvent is one journal record.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events (the Journal is the production
+	// implementation).
+	TraceSink = obs.Sink
+	// Journal serializes trace events as JSON lines.
+	Journal = obs.Journal
+	// JournalStats summarizes a validated journal.
+	JournalStats = obs.ValidationStats
+	// Progress tracks a run's position through its phases for live
+	// monitoring. A nil *Progress is the disabled tracker.
+	Progress = obs.Progress
+	// ProgressSnapshot is a point-in-time view of a Progress tracker.
+	ProgressSnapshot = obs.ProgressSnapshot
+)
+
+// TraceSchemaVersion is the journal schema version written by NewTracer.
+const TraceSchemaVersion = obs.SchemaVersion
+
+// NewJournal returns a journal writing JSON lines to w. Close it after
+// Tracer.Finish to flush the tail records.
+func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
+
+// NewTracer returns a tracer emitting into sink and writes the run_start
+// record carrying the schema version and the given run attributes.
+func NewTracer(sink TraceSink, attrs ...TraceAttr) *Tracer { return obs.New(sink, attrs...) }
+
+// NewTracerWith is NewTracer with tracer options (sampling).
+func NewTracerWith(sink TraceSink, attrs []TraceAttr, opts ...TracerOption) *Tracer {
+	return obs.NewWith(sink, attrs, opts)
+}
+
+// TraceSampleEvery keeps one in every n spans; point events and run
+// records are never sampled out.
+func TraceSampleEvery(n int) TracerOption { return obs.SampleEvery(n) }
+
+// NewProgress returns a live progress tracker whose elapsed clock starts
+// now.
+func NewProgress() *Progress { return obs.NewProgress() }
+
+// ValidateJournal checks a serialized journal against the schema: one
+// run_start first, balanced spans, monotone-compatible timestamps, and a
+// terminal run_end (or run_canceled, under which open spans are
+// permitted — the truncated-but-valid shape of an interrupted run).
+func ValidateJournal(r io.Reader) (JournalStats, error) { return obs.Validate(r) }
+
+// TraceString returns a string attribute.
+func TraceString(k, v string) TraceAttr { return obs.String(k, v) }
+
+// TraceInt returns an int attribute.
+func TraceInt(k string, v int) TraceAttr { return obs.Int(k, v) }
+
+// TraceF64 returns a float64 attribute.
+func TraceF64(k string, v float64) TraceAttr { return obs.F64(k, v) }
+
+// TraceAny returns an attribute with an arbitrary JSON-marshalable
+// value (the run_end metrics snapshot).
+func TraceAny(k string, v any) TraceAttr { return obs.Any(k, v) }
+
+// WithTracer attaches a run tracer to the session: phase spans, per-task
+// engine spans, optimizer iteration events, per-analysis solver spans
+// and fault verdict events are recorded into its sink. A nil tracer
+// (the default) disables tracing at the cost of a nil check.
+func WithTracer(t *Tracer) Option {
+	return optionFunc(func(c *core.Config) { c.Tracer = t })
+}
+
+// WithProgress attaches a live progress tracker, fed by the generation,
+// box-build and coverage phases; serve it with the -listen endpoint or
+// poll Snapshot from the embedding program.
+func WithProgress(p *Progress) Option {
+	return optionFunc(func(c *core.Config) { c.Progress = p })
+}
