@@ -4,13 +4,22 @@
 // with the δ loss budget, and fault-simulate the result.
 //
 // Ctrl-C cancels the run promptly (the evaluation engine propagates the
-// context through generation, compaction and coverage); a -journal file
-// is still flushed as a truncated-but-valid record ending in
+// context through generation, compaction and coverage), and -timeout
+// bounds the whole run with a context deadline; on either, a -journal
+// file is still flushed as a truncated-but-valid record ending in
 // run_canceled.
+//
+// The resilience flags map onto the fault-tolerant runtime (DESIGN.md
+// §10): -retries arms the retry policy (perturbed optimizer restarts
+// plus the simulation recovery ladder), -checkpoint/-resume persist and
+// restore per-fault results across kills, and -strict turns degraded
+// verdicts (quarantined or undetermined faults) into a non-zero exit.
 //
 // Usage:
 //
 //	atpg [-netlist file] [-delta d] [-workers n] [-fast] [-faults n]
+//	     [-retries n] [-attempt-timeout d] [-checkpoint ckpt.json]
+//	     [-resume] [-strict] [-timeout d]
 //	     [-journal run.jsonl] [-trace-sample n] [-listen :6060]
 //	     [-stats] [-v]
 package main
@@ -32,17 +41,23 @@ import (
 
 // options collects the parsed flags so run stays testable.
 type options struct {
-	netlistPath string
-	configFile  string
-	delta       float64
-	workers     int
-	fast        bool
-	limit       int
-	stats       bool
-	verbose     bool
-	journalPath string
-	traceSample int
-	listenAddr  string
+	netlistPath    string
+	configFile     string
+	delta          float64
+	workers        int
+	fast           bool
+	limit          int
+	stats          bool
+	verbose        bool
+	journalPath    string
+	traceSample    int
+	listenAddr     string
+	retries        int
+	attemptTimeout time.Duration
+	checkpointPath string
+	resume         bool
+	strict         bool
+	timeout        time.Duration
 }
 
 func main() {
@@ -58,12 +73,27 @@ func main() {
 	flag.StringVar(&o.journalPath, "journal", "", "write a JSONL run journal (spans, events, fault verdicts) to this file")
 	flag.IntVar(&o.traceSample, "trace-sample", 1, "journal one in every n spans (1: all; events are never sampled)")
 	flag.StringVar(&o.listenAddr, "listen", "", "serve live /metrics, /progress and pprof on this address (e.g. :6060)")
+	flag.IntVar(&o.retries, "retries", 0, "optimizer attempt budget per fault×config pair; > 1 arms the retry policy and recovery ladder (0: fail fast like the plain flow)")
+	flag.DurationVar(&o.attemptTimeout, "attempt-timeout", 0, "per-optimizer-attempt deadline under -retries (0: none)")
+	flag.StringVar(&o.checkpointPath, "checkpoint", "", "crash-safe checkpoint file for per-fault generation results")
+	flag.BoolVar(&o.resume, "resume", false, "skip faults already completed in the -checkpoint file")
+	flag.BoolVar(&o.strict, "strict", false, "exit non-zero when any fault ends quarantined or undetermined")
+	flag.DurationVar(&o.timeout, "timeout", 0, "overall run deadline; on expiry the journal is sealed like on Ctrl-C (0: none)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
 
 	if err := run(ctx, o); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "atpg: timed out after %v\n", o.timeout)
+			os.Exit(124)
+		}
 		if errors.Is(err, repro.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "atpg: canceled")
 			os.Exit(130)
@@ -82,6 +112,19 @@ func run(ctx context.Context, o options) (err error) {
 	}
 	if o.workers > 0 {
 		opts = append(opts, repro.WithWorkers(o.workers))
+	}
+	if o.retries > 1 || o.attemptTimeout > 0 {
+		p := repro.DefaultRetryPolicy()
+		if o.retries > 1 {
+			p.MaxAttempts = o.retries
+		}
+		p.AttemptTimeout = o.attemptTimeout
+		opts = append(opts, repro.WithRetryPolicy(p))
+	}
+	if o.checkpointPath != "" {
+		opts = append(opts, repro.WithCheckpoint(o.checkpointPath, 0, o.resume))
+	} else if o.resume {
+		return errors.New("-resume requires -checkpoint")
 	}
 
 	var tracer *repro.Tracer
@@ -180,10 +223,15 @@ func run(ctx context.Context, o options) (err error) {
 	fmt.Printf("generation: %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	if o.verbose {
-		t := report.NewTable("fault", "config", "params", "S_f", "critical impact")
+		t := report.NewTable("fault", "verdict", "config", "params", "S_f", "critical impact")
 		for _, sol := range sols {
+			if sol.ConfigIdx < 0 {
+				// Unresolved (quarantined/undetermined): no test exists.
+				t.AddRow(sol.Fault.ID(), string(sol.Verdict()), "-", "-", "-", "-")
+				continue
+			}
 			c := sys.Configs()[sol.ConfigIdx]
-			t.AddRow(sol.Fault.ID(), c.Name, fmt.Sprintf("%v", sol.Params),
+			t.AddRow(sol.Fault.ID(), string(sol.Verdict()), c.Name, fmt.Sprintf("%v", sol.Params),
 				sol.Sensitivity, report.Engineering(sol.CriticalImpact))
 		}
 		_, _ = t.WriteTo(os.Stdout)
@@ -198,6 +246,26 @@ func run(ctx context.Context, o options) (err error) {
 			total += n
 		}
 		fmt.Printf("  config #%d: %d faults\n", id, total)
+	}
+	unresolved := 0
+	for _, n := range d.Unresolved {
+		unresolved += n
+	}
+	if unresolved > 0 {
+		fmt.Printf("  unresolved: %d faults (undetermined or quarantined)\n", unresolved)
+	}
+
+	if q := sys.Quarantined(); len(q) > 0 {
+		fmt.Printf("\nquarantined tasks (%d): the run completed without them\n", len(q))
+		qt := report.NewTable("fault", "config", "phase", "panic")
+		for _, rec := range q {
+			cfg := "-"
+			if rec.ConfigID >= 0 {
+				cfg = fmt.Sprintf("#%d", rec.ConfigID)
+			}
+			qt.AddRow(rec.FaultID, cfg, rec.Phase, rec.Value)
+		}
+		_, _ = qt.WriteTo(os.Stdout)
 	}
 
 	copt := repro.DefaultCompactOptions()
@@ -246,12 +314,19 @@ func run(ctx context.Context, o options) (err error) {
 	ss := sys.Stats()
 	fmt.Printf("\nsimulation effort: %d nominal + %d faulty runs (%d cache hits, %d non-convergent faulty circuits)\n",
 		ss.NominalRuns, ss.FaultyRuns, ss.CacheHits, ss.FaultyFailures)
+	if ss.Retries > 0 || ss.Undetermined > 0 || ss.Quarantined > 0 {
+		fmt.Printf("resilience: %d optimizer retries, %d undetermined faults, %d quarantined tasks\n",
+			ss.Retries, ss.Undetermined, ss.Quarantined)
+	}
 
 	if o.stats {
 		fmt.Println("\nengine metrics:")
 		if err := report.WriteMetrics(os.Stdout, sys.Metrics()); err != nil {
 			return err
 		}
+	}
+	if o.strict && (ss.Undetermined > 0 || ss.Quarantined > 0) {
+		return fmt.Errorf("strict: %d undetermined and %d quarantined faults", ss.Undetermined, ss.Quarantined)
 	}
 	return nil
 }

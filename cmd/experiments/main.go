@@ -5,7 +5,7 @@
 //
 //	experiments [-only id[,id...]] [-quick] [-workers n] [-delta d]
 //	            [-tps-fault id] [-journal run.jsonl] [-trace-sample n]
-//	            [-listen :6060] [-stats] [-list]
+//	            [-listen :6060] [-timeout d] [-stats] [-list]
 //
 // Experiment IDs: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table2 fig8
 // table3 ablation-selection ablation-soft ablation-opt ablation-delta,
@@ -41,11 +41,17 @@ func main() {
 	journalPath := flag.String("journal", "", "write a JSONL run journal (spans, events, fault verdicts) to this file")
 	traceSample := flag.Int("trace-sample", 1, "journal one in every n spans (1: all; events are never sampled)")
 	listenAddr := flag.String("listen", "", "serve live /metrics, /progress and pprof on this address (e.g. :6060)")
+	timeout := flag.Duration("timeout", 0, "overall run deadline; on expiry the journal is sealed like on Ctrl-C (0: none)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -106,7 +112,9 @@ func main() {
 	err := r.Run(ids...)
 	sealJournal(tracer, r, err)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "experiments: timed out after %v\n", *timeout)
+		} else if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "experiments: canceled")
 		} else {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -1,8 +1,9 @@
 // Command tracereport renders a JSONL run journal (written by
 // atpg -journal or experiments -journal) into human-readable summary
-// tables: per-phase span aggregates, per-fault verdicts, the slowest
-// fault×config optimizations, and the final engine metrics snapshot
-// embedded in the run_end record.
+// tables: per-phase span aggregates, per-fault verdicts (including the
+// degraded undetermined/quarantined outcomes), quarantined task panics,
+// the slowest fault×config optimizations, and the final engine metrics
+// snapshot embedded in the run_end record.
 //
 // Usage:
 //
@@ -96,6 +97,7 @@ type reportData struct {
 	byName      map[string]*spanAgg
 	events      map[string]int
 	verdicts    []map[string]any
+	quarantines []map[string]any
 	slow        []slowSpan
 	metricsAttr any
 }
@@ -149,8 +151,11 @@ func aggregate(r io.Reader) (*reportData, error) {
 			delete(open, ev.Span)
 		case obs.TypeEvent:
 			d.events[ev.Name]++
-			if ev.Name == "fault_verdict" {
+			switch ev.Name {
+			case "fault_verdict":
 				d.verdicts = append(d.verdicts, ev.Attrs)
+			case "quarantine":
+				d.quarantines = append(d.quarantines, ev.Attrs)
 			}
 		case obs.TypeRunEnd, obs.TypeRunCanceled:
 			d.terminal = ev.Type
@@ -207,11 +212,35 @@ func (d *reportData) render(w io.Writer, top int) {
 
 	if len(d.verdicts) > 0 {
 		fmt.Fprintln(w, "\nfault verdicts:")
-		t := report.NewTable("fault", "config", "S_f", "critical impact", "evals", "impact iters", "undetectable")
+		t := report.NewTable("fault", "verdict", "config", "S_f", "critical impact", "evals", "attempts", "impact iters")
 		for _, v := range d.verdicts {
-			t.AddRow(str(v["fault"]), num(v["config"]), v["s_f"],
-				report.Engineering(toF64(v["critical_impact"])),
-				num(v["evals"]), num(v["impact_iters"]), v["undetectable"] == true)
+			verdict := str(v["verdict"])
+			if v["verdict"] == nil {
+				// Schema v1 journals carry only the undetectable flag.
+				verdict = "detected"
+				if v["undetectable"] == true {
+					verdict = "undetectable"
+				}
+			}
+			sf := any("-")
+			if f, ok := v["s_f"].(float64); ok {
+				sf = f
+			}
+			ci := "-"
+			if f, ok := v["critical_impact"].(float64); ok {
+				ci = report.Engineering(f)
+			}
+			t.AddRow(str(v["fault"]), verdict, num(v["config"]), sf, ci,
+				num(v["evals"]), num(v["attempts"]), num(v["impact_iters"]))
+		}
+		_, _ = t.WriteTo(w)
+	}
+
+	if len(d.quarantines) > 0 {
+		fmt.Fprintf(w, "\nquarantined tasks (%d): isolated panics, run continued without them\n", len(d.quarantines))
+		t := report.NewTable("fault", "config", "phase", "panic")
+		for _, q := range d.quarantines {
+			t.AddRow(str(q["fault"]), num(q["config"]), str(q["phase"]), str(q["panic"]))
 		}
 		_, _ = t.WriteTo(w)
 	}
@@ -269,17 +298,15 @@ func str(v any) string {
 }
 
 // num renders a journal number (float64 after JSON decoding) as an
-// integer when it is one.
+// integer when it is one, and a missing attribute as "-".
 func num(v any) string {
+	if v == nil {
+		return "-"
+	}
 	if f, ok := v.(float64); ok && f == float64(int64(f)) {
 		return fmt.Sprintf("%d", int64(f))
 	}
 	return fmt.Sprintf("%v", v)
-}
-
-func toF64(v any) float64 {
-	f, _ := v.(float64)
-	return f
 }
 
 func fail(err error) {

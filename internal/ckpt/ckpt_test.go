@@ -1,0 +1,102 @@
+package ckpt
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	N  int       `json:"n"`
+	Xs []float64 `json:"xs"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	// Awkward floats: exact round-trip is the point.
+	in := payload{N: 3, Xs: []float64{0.1, 1e-300, math.Nextafter(1, 2), -2.5e17}}
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != in.N || len(out.Xs) != len(in.Xs) {
+		t.Fatalf("round trip mangled shape: %+v", out)
+	}
+	for i := range in.Xs {
+		if math.Float64bits(out.Xs[i]) != math.Float64bits(in.Xs[i]) {
+			t.Errorf("Xs[%d]: %x != %x (not bit-identical)", i,
+				math.Float64bits(out.Xs[i]), math.Float64bits(in.Xs[i]))
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := Save(path, payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 {
+		t.Errorf("N = %d, want the second write", out.N)
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("directory has %d entries, want only the checkpoint", len(ents))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	var out payload
+	err := Load(filepath.Join(t.TempDir(), "nope.json"), &out)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestWriterDebounce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	w := NewWriter(path, time.Hour)
+	state := func() any { return payload{N: 1} }
+
+	wrote, err := w.MaybeSave(state)
+	if err != nil || !wrote {
+		t.Fatalf("first MaybeSave = (%v, %v), want a write", wrote, err)
+	}
+	wrote, err = w.MaybeSave(func() any {
+		t.Error("state built despite debounce")
+		return nil
+	})
+	if err != nil || wrote {
+		t.Fatalf("debounced MaybeSave = (%v, %v), want no write", wrote, err)
+	}
+	if err := w.Flush(payload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Writes() != 2 {
+		t.Errorf("Writes = %d, want 2", w.Writes())
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 7 {
+		t.Errorf("N = %d, want the flushed value", out.N)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// CheckpointVersion is the on-disk checkpoint schema version. Resume
+// refuses checkpoints written by a different version.
+const CheckpointVersion = 1
+
+// SolutionRecord is the checkpoint serialization of one completed
+// fault: exactly the fields coverage, compaction, and reporting consume,
+// so a resumed run is bit-identical to an uninterrupted one. Candidates
+// and the impact trace are deliberately not persisted — they are debug
+// artifacts, and omitting them keeps checkpoints small.
+type SolutionRecord struct {
+	FaultID        string    `json:"fault_id"`
+	ConfigIdx      int       `json:"config_idx"`
+	Params         []float64 `json:"params,omitempty"`
+	Sensitivity    float64   `json:"sensitivity"`
+	CriticalImpact float64   `json:"critical_impact"`
+	Undetectable   bool      `json:"undetectable,omitempty"`
+	Undetermined   bool      `json:"undetermined,omitempty"`
+	Quarantined    bool      `json:"quarantined,omitempty"`
+	Evals          int       `json:"evals"`
+	ImpactIters    int       `json:"impact_iters"`
+	Attempts       int       `json:"attempts,omitempty"`
+}
+
+// Checkpoint is the versioned on-disk state of a GenerateAll run.
+type Checkpoint struct {
+	Version     int                       `json:"version"`
+	Fingerprint string                    `json:"fingerprint"`
+	Solutions   map[string]SolutionRecord `json:"solutions"`
+}
+
+// recordOf serializes a completed solution.
+func recordOf(sol *Solution) SolutionRecord {
+	return SolutionRecord{
+		FaultID:        sol.Fault.ID(),
+		ConfigIdx:      sol.ConfigIdx,
+		Params:         sol.Params,
+		Sensitivity:    sol.Sensitivity,
+		CriticalImpact: sol.CriticalImpact,
+		Undetectable:   sol.Undetectable,
+		Undetermined:   sol.Undetermined,
+		Quarantined:    sol.Quarantined,
+		Evals:          sol.Evals,
+		ImpactIters:    sol.ImpactIters,
+		Attempts:       sol.Attempts,
+	}
+}
+
+// solution rebuilds a Solution from its record (Resumed marks it as
+// restored rather than computed; Candidates and Trace are absent).
+func (r SolutionRecord) solution(f fault.Fault) *Solution {
+	return &Solution{
+		Fault:          f,
+		ConfigIdx:      r.ConfigIdx,
+		Params:         append([]float64(nil), r.Params...),
+		Sensitivity:    r.Sensitivity,
+		CriticalImpact: r.CriticalImpact,
+		Undetectable:   r.Undetectable,
+		Undetermined:   r.Undetermined,
+		Quarantined:    r.Quarantined,
+		Evals:          r.Evals,
+		ImpactIters:    r.ImpactIters,
+		Attempts:       r.Attempts,
+		Resumed:        true,
+	}
+}
+
+// fingerprint hashes everything a checkpoint's results depend on — the
+// macro, the configurations, the box construction, the optimizer and
+// impact-loop settings, the retry policy, and the fault list. Worker
+// count is deliberately excluded: results are identical for any
+// parallelism, so resuming on a different machine size is legal.
+func (s *Session) fingerprint(faults []fault.Fault) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|macro=%s|box=%d/%d|opttol=%g|soft=%g|impact=[%g,%g]|mc=%d/%d|",
+		CheckpointVersion, s.golden.Name(), s.cfg.BoxMode, s.cfg.BoxGridN,
+		s.cfg.OptTol, s.cfg.SoftImpactFactor, s.cfg.MinImpact, s.cfg.MaxImpact,
+		s.cfg.MCSamples, s.cfg.MCSeed)
+	if p := s.cfg.Retry; p != nil {
+		fmt.Fprintf(h, "retry=%d/%s/%g/%d|", p.MaxAttempts, p.AttemptTimeout, p.SeedPerturbation, len(p.ladder()))
+	}
+	for _, c := range s.configs {
+		fmt.Fprintf(h, "cfg%d|", c.ID)
+	}
+	for _, f := range faults {
+		h.Write([]byte(f.ID()))
+		h.Write([]byte{'|'})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// ckptState is the live checkpoint of one GenerateAll run: the record
+// map guarded by a mutex, and a debounced atomic writer.
+type ckptState struct {
+	s  *Session
+	w  *ckpt.Writer
+	mu sync.Mutex
+	cp Checkpoint
+}
+
+// openCheckpoint prepares checkpointing for a run over the given faults.
+// Returns (nil, nil, nil) when checkpointing is disabled. With Resume
+// set and a compatible checkpoint on disk, the second return maps fault
+// IDs to their restored solutions.
+func (s *Session) openCheckpoint(faults []fault.Fault) (*ckptState, map[string]*Solution, error) {
+	if s.cfg.CheckpointPath == "" {
+		return nil, nil, nil
+	}
+	fp := s.fingerprint(faults)
+	cs := &ckptState{
+		s: s,
+		w: ckpt.NewWriter(s.cfg.CheckpointPath, s.cfg.CheckpointEvery),
+		cp: Checkpoint{
+			Version:     CheckpointVersion,
+			Fingerprint: fp,
+			Solutions:   make(map[string]SolutionRecord),
+		},
+	}
+	resumed := make(map[string]*Solution)
+	if !s.cfg.Resume {
+		return cs, resumed, nil
+	}
+	var prev Checkpoint
+	err := ckpt.Load(s.cfg.CheckpointPath, &prev)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// First run: nothing to resume.
+		return cs, resumed, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("core: resume: %w", err)
+	case prev.Version != CheckpointVersion:
+		return nil, nil, fmt.Errorf("core: resume: checkpoint version %d, want %d", prev.Version, CheckpointVersion)
+	case prev.Fingerprint != fp:
+		return nil, nil, fmt.Errorf("core: resume: checkpoint fingerprint %s does not match this run (%s): different macro, configurations, faults, or settings", prev.Fingerprint, fp)
+	}
+	byID := make(map[string]fault.Fault, len(faults))
+	for _, f := range faults {
+		byID[f.ID()] = f
+	}
+	for id, rec := range prev.Solutions {
+		f, ok := byID[id]
+		if !ok {
+			continue
+		}
+		cs.cp.Solutions[id] = rec
+		resumed[id] = rec.solution(f)
+	}
+	return cs, resumed, nil
+}
+
+// record adds a completed solution and persists the checkpoint if the
+// debounce interval has passed. Write failures are reported as journal
+// events, not errors: a failing disk should degrade checkpointing, not
+// the run.
+func (cs *ckptState) record(sol *Solution) {
+	rec := recordOf(sol)
+	cs.mu.Lock()
+	cs.cp.Solutions[rec.FaultID] = rec
+	cs.mu.Unlock()
+	wrote, err := cs.w.MaybeSave(cs.snapshot)
+	cs.observe(wrote, err)
+}
+
+// flush persists the checkpoint unconditionally (run end, cancellation).
+func (cs *ckptState) flush() error {
+	err := cs.w.Flush(cs.snapshot())
+	cs.observe(err == nil, err)
+	return err
+}
+
+func (cs *ckptState) observe(wrote bool, err error) {
+	if err != nil {
+		cs.s.tr.Emit("checkpoint_error", obs.String("error", err.Error()))
+		return
+	}
+	if wrote {
+		cs.s.prog.AddCheckpointWrites(1)
+		cs.mu.Lock()
+		n := len(cs.cp.Solutions)
+		cs.mu.Unlock()
+		cs.s.tr.Emit("checkpoint_write", obs.Int("solutions", n))
+	}
+}
+
+// snapshot deep-copies the record map for the writer (records themselves
+// are immutable once inserted).
+func (cs *ckptState) snapshot() any {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cp := Checkpoint{
+		Version:     cs.cp.Version,
+		Fingerprint: cs.cp.Fingerprint,
+		Solutions:   make(map[string]SolutionRecord, len(cs.cp.Solutions)),
+	}
+	for k, v := range cs.cp.Solutions {
+		cp.Solutions[k] = v
+	}
+	return cp
+}

@@ -64,9 +64,9 @@ func (s *Session) Compact(sols []*Solution, o CompactOptions) ([]CompactTest, er
 //     evicted into their own groups, and the remainder is re-averaged
 //     until the screen passes.
 //
-// Undetectable faults are skipped (no test covers them). Cancellation of
-// ctx aborts the δ screening promptly with an error wrapping
-// ErrCanceled.
+// Undetectable faults and unresolved (undetermined/quarantined) ones are
+// skipped (no test covers them). Cancellation of ctx aborts the δ
+// screening promptly with an error wrapping ErrCanceled.
 func (s *Session) CompactContext(ctx context.Context, sols []*Solution, o CompactOptions) ([]CompactTest, error) {
 	defer s.eng.Time(PhaseCompact)()
 	if o.Delta < 0 || o.Delta >= 1 {

@@ -95,10 +95,12 @@ func (s *Session) CoverageContext(ctx context.Context, tests []Test, faults []fa
 
 // TestsOf converts generation solutions (one test per fault) into a flat
 // test list, deduplicated per (config, params) within a small tolerance.
+// Undetectable faults and unresolved ones (undetermined/quarantined, no
+// usable test) contribute nothing.
 func TestsOf(sols []*Solution) []Test {
 	var out []Test
 	for _, sol := range sols {
-		if sol.Undetectable {
+		if sol.Undetectable || sol.ConfigIdx < 0 || sol.Params == nil {
 			continue
 		}
 		t := Test{ConfigIdx: sol.ConfigIdx, Params: append([]float64(nil), sol.Params...)}

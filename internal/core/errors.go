@@ -30,6 +30,11 @@ const (
 	// PhaseImpact covers the impact relax/intensify selection loop, one
 	// unit per fault.
 	PhaseImpact = "impact-loop"
+	// PhaseGenerate is the progress label of the fused GenerateAll
+	// schedule: optimization tasks plus the per-fault selection runs that
+	// piggyback on each fault's last completed configuration. Engine
+	// timings still split into PhaseOptimize and PhaseImpact.
+	PhaseGenerate = "generate"
 	// PhaseFaultSim covers fault simulation of a test set (coverage),
 	// one unit per fault.
 	PhaseFaultSim = "fault-sim"

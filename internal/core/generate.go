@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -21,7 +24,19 @@ type Candidate struct {
 	SoftS float64
 	// Evals counts objective evaluations (simulation pairs) spent.
 	Evals int
+	// Attempts counts optimizer attempts taken (1 without a retry
+	// policy; up to RetryPolicy.MaxAttempts with one).
+	Attempts int
+	// Failed marks a candidate whose every attempt stalled (no valid
+	// evaluation); only set under a retry policy. Selection skips it.
+	Failed bool
+	// Quarantined marks a candidate whose optimization task panicked and
+	// was isolated. Selection skips it.
+	Quarantined bool
 }
+
+// usable reports whether selection may evaluate this candidate.
+func (c Candidate) usable() bool { return !c.Failed && !c.Quarantined }
 
 // Solution is the best test for one fault: the output of the paper's
 // Fig. 6 scheme.
@@ -38,14 +53,41 @@ type Solution struct {
 	// Undetectable is set when even the strongest allowed impact is
 	// detected by no test; Params then hold the most sensitive test.
 	Undetectable bool
+	// Undetermined is set when the runtime could not produce a usable
+	// test (persistent non-convergence through every retry rung);
+	// ConfigIdx is -1 and Params nil. Only produced under a retry policy.
+	Undetermined bool
+	// Quarantined is set when a panic isolated this fault's tasks and no
+	// surviving configuration produced a test; ConfigIdx is -1.
+	Quarantined bool
+	// Resumed marks a solution restored from a checkpoint rather than
+	// computed this run (Candidates and Trace are then absent).
+	Resumed bool
 	// Candidates are the per-configuration optimized tests.
 	Candidates []Candidate
 	// Evals is the total number of objective evaluations spent.
 	Evals int
+	// Attempts is the total number of optimizer attempts across
+	// configurations (equals the configuration count without retries).
+	Attempts int
 	// ImpactIters counts iterations of the impact relax/intensify loop.
 	ImpactIters int
 	// Trace records the impact loop step by step (paper Fig. 6).
 	Trace []ImpactStep
+}
+
+// Verdict classifies the solution's terminal outcome.
+func (sol *Solution) Verdict() Verdict {
+	switch {
+	case sol.Quarantined:
+		return VerdictQuarantined
+	case sol.Undetermined:
+		return VerdictUndetermined
+	case sol.Undetectable:
+		return VerdictUndetectable
+	default:
+		return VerdictDetected
+	}
 }
 
 // ImpactStep is one iteration of the impact relax/intensify loop.
@@ -57,8 +99,14 @@ type ImpactStep struct {
 	Detects int
 }
 
-// ConfigID resolves the paper numbering of the winning configuration.
-func (sol *Solution) ConfigID(s *Session) int { return s.configs[sol.ConfigIdx].ID }
+// ConfigID resolves the paper numbering of the winning configuration,
+// or -1 for unresolved (undetermined/quarantined) solutions.
+func (sol *Solution) ConfigID(s *Session) int {
+	if sol.ConfigIdx < 0 {
+		return -1
+	}
+	return s.configs[sol.ConfigIdx].ID
+}
 
 // Generate produces the optimal test for one fault. It is
 // GenerateContext with context.Background().
@@ -96,6 +144,13 @@ func (s *Session) GenerateContext(ctx context.Context, f fault.Fault) (*Solution
 }
 
 // optimizeCandidate runs step 1 for one (fault, configuration) pair.
+// Under a retry policy, an attempt whose best objective is still the
+// poison value (meaning not a single evaluation succeeded — a Brent or
+// Powell trajectory wandering a non-convergent region, or an expired
+// per-attempt deadline) is restarted from a deterministically perturbed
+// seed, up to the policy's attempt budget; a candidate that exhausts the
+// budget is marked Failed and skipped by selection instead of aborting
+// the run.
 func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) (Candidate, error) {
 	defer s.eng.Time(PhaseOptimize)()
 	soft := fault.Weaken(f.WithImpact(f.InitialImpact()), s.cfg.SoftImpactFactor)
@@ -104,21 +159,6 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 		obs.String("fault", f.ID()), obs.Int("config", c.ID))
 	box := c.Bounds()
 	evals := 0
-	obj := func(T []float64) float64 {
-		if ctx.Err() != nil {
-			// Poison every point so the optimizer retreats and returns
-			// quickly; the cancellation error is reported below.
-			return 10
-		}
-		evals++
-		sf, err := s.Sensitivity(ci, soft, T)
-		if err != nil {
-			// An unreachable parameter point: poison it so the
-			// optimizer retreats.
-			return 10
-		}
-		return sf
-	}
 	var watch opt.IterObserver
 	if s.tr.Enabled() {
 		watch = func(stage string, iter int, _ []float64, fx float64) {
@@ -126,18 +166,65 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 				obs.String("stage", stage), obs.Int("iter", iter), obs.F64("s_f", fx))
 		}
 	}
-	res := opt.MinimizeObserved(obj, box, c.Seeds(), s.cfg.OptTol, watch)
-	if err := ctx.Err(); err != nil {
-		sp.End(obs.String("error", "canceled"))
-		return Candidate{}, fmt.Errorf("%w: optimization of %s under config #%d: %w",
-			ErrCanceled, f.ID(), c.ID, err)
+
+	policy := s.cfg.Retry
+	budget := policy.attempts()
+	var res opt.Result
+	attempts := 0
+	for attempt := 0; attempt < budget; attempt++ {
+		attempts++
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		if policy != nil && policy.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, policy.AttemptTimeout)
+		}
+		obj := func(T []float64) float64 {
+			if actx.Err() != nil {
+				// Poison every point so the optimizer retreats and returns
+				// quickly; cancellation is reported below, an expired
+				// attempt deadline counts as a stall.
+				return poisonSF
+			}
+			evals++
+			sf, err := s.Sensitivity(ci, soft, T)
+			if err != nil {
+				// An unreachable parameter point: poison it so the
+				// optimizer retreats.
+				return poisonSF
+			}
+			return sf
+		}
+		res = opt.MinimizeObserved(obj, box, s.perturbedSeed(f.ID(), c.ID, attempt, box, c.Seeds()),
+			s.cfg.OptTol, watch)
+		cancel()
+		if err := ctx.Err(); err != nil {
+			sp.End(obs.String("error", "canceled"))
+			return Candidate{}, fmt.Errorf("%w: optimization of %s under config #%d: %w",
+				ErrCanceled, f.ID(), c.ID, err)
+		}
+		if res.F < poisonSF {
+			break // at least one valid evaluation: not a stall
+		}
+		if attempt+1 < budget {
+			s.retries.Add(1)
+			s.prog.AddRetries(1)
+			s.tr.Event(ctx, "retry",
+				obs.String("fault", f.ID()), obs.Int("config", c.ID), obs.Int("attempt", attempt+1))
+		}
 	}
-	sp.End(obs.F64("soft_s", res.F), obs.Int("evals", evals))
-	return Candidate{ConfigIdx: ci, Params: res.X, SoftS: res.F, Evals: evals}, nil
+	cand := Candidate{ConfigIdx: ci, Params: res.X, SoftS: res.F, Evals: evals, Attempts: attempts}
+	if policy != nil && res.F >= poisonSF {
+		cand.Failed = true
+	}
+	sp.End(obs.F64("soft_s", res.F), obs.Int("evals", evals), obs.Int("attempts", attempts))
+	return cand, nil
 }
 
 // selectTest runs step 2 (the impact relax/intensify selection loop of
-// Fig. 6) over the per-configuration candidates.
+// Fig. 6) over the per-configuration candidates. Candidates that failed
+// optimization or were quarantined are skipped; if none survive (or
+// every surviving one stops evaluating under a retry policy), the fault
+// ends as VerdictUndetermined/VerdictQuarantined instead of aborting.
 func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candidate) (*Solution, error) {
 	defer s.eng.Time(PhaseImpact)()
 	sol := &Solution{Fault: f, Candidates: cands}
@@ -145,6 +232,18 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 	defer func() { sp.End(obs.Int("iters", sol.ImpactIters)) }()
 	for _, c := range cands {
 		sol.Evals += c.Evals
+		sol.Attempts += c.Attempts
+	}
+	usable := make([]bool, len(cands))
+	nUsable := 0
+	for i, c := range cands {
+		if c.usable() {
+			usable[i] = true
+			nUsable++
+		}
+	}
+	if nUsable == 0 {
+		return s.unresolved(ctx, sol), nil
 	}
 
 	// Selection with impact manipulation. For bridges/pinholes weakening
@@ -163,9 +262,22 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 		detects := 0
 		best := -1
 		for i, c := range cands {
+			if !usable[i] {
+				sens[i] = poisonSF
+				continue
+			}
 			sf, err := s.Sensitivity(c.ConfigIdx, fi, c.Params)
 			if err != nil {
-				return nil, fmt.Errorf("core: selection for %s: %w", f.ID(), err)
+				if s.cfg.Retry == nil {
+					return nil, fmt.Errorf("core: selection for %s: %w", f.ID(), err)
+				}
+				// Nominal non-convergence at this candidate's parameters:
+				// under a retry policy, drop the candidate instead of
+				// aborting the whole run.
+				usable[i] = false
+				nUsable--
+				sens[i] = poisonSF
+				continue
 			}
 			sens[i] = sf
 			if sf < 0 {
@@ -174,6 +286,9 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 			if best < 0 || sf < sens[best] {
 				best = i
 			}
+		}
+		if nUsable == 0 {
+			return s.unresolved(ctx, sol), nil
 		}
 		sol.Trace = append(sol.Trace, ImpactStep{
 			Impact:  fi.Impact(),
@@ -226,18 +341,29 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 	if winner < 0 {
 		// Loop exhausted while still flip-flopping; fall back to the most
 		// sensitive candidate at the dictionary impact.
-		winner = 0
+		winner = -1
 		fd := f.WithImpact(f.InitialImpact())
 		bestS := math.Inf(1)
 		for i, c := range cands {
+			if !usable[i] {
+				continue
+			}
 			sf, err := s.Sensitivity(c.ConfigIdx, fd, c.Params)
 			if err != nil {
-				return nil, err
+				if s.cfg.Retry == nil {
+					return nil, err
+				}
+				usable[i] = false
+				nUsable--
+				continue
 			}
-			if sf < bestS {
+			if winner < 0 || sf < bestS {
 				bestS = sf
 				winner = i
 			}
+		}
+		if winner < 0 {
+			return s.unresolved(ctx, sol), nil
 		}
 	}
 
@@ -248,18 +374,52 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 	fd := f.WithImpact(f.InitialImpact())
 	sf, err := s.Sensitivity(sol.ConfigIdx, fd, sol.Params)
 	if err != nil {
-		return nil, err
+		if s.cfg.Retry == nil {
+			return nil, err
+		}
+		return s.unresolved(ctx, sol), nil
 	}
 	sol.Sensitivity = sf
 	s.tr.Event(ctx, "fault_verdict",
 		obs.String("fault", f.ID()),
 		obs.Int("config", s.configs[sol.ConfigIdx].ID),
+		obs.String("verdict", string(sol.Verdict())),
 		obs.F64("s_f", sol.Sensitivity),
 		obs.F64("critical_impact", sol.CriticalImpact),
 		obs.Bool("undetectable", sol.Undetectable),
 		obs.Int("evals", sol.Evals),
+		obs.Int("attempts", sol.Attempts),
 		obs.Int("impact_iters", sol.ImpactIters))
 	return sol, nil
+}
+
+// unresolved finalizes a solution for which no usable test exists: the
+// verdict is quarantined when a panic took out at least one candidate,
+// undetermined otherwise (persistent non-convergence).
+func (s *Session) unresolved(ctx context.Context, sol *Solution) *Solution {
+	sol.ConfigIdx = -1
+	sol.Params = nil
+	sol.Sensitivity = poisonSF
+	quarantined := false
+	for _, c := range sol.Candidates {
+		if c.Quarantined {
+			quarantined = true
+		}
+	}
+	sol.Quarantined = quarantined
+	sol.Undetermined = !quarantined
+	if sol.Undetermined {
+		s.undetermined.Add(1)
+		s.prog.AddUndetermined(1)
+	}
+	s.tr.Event(ctx, "fault_verdict",
+		obs.String("fault", sol.Fault.ID()),
+		obs.Int("config", -1),
+		obs.String("verdict", string(sol.Verdict())),
+		obs.Int("evals", sol.Evals),
+		obs.Int("attempts", sol.Attempts),
+		obs.Int("impact_iters", sol.ImpactIters))
+	return sol
 }
 
 // GenerateAll generates the best test for every fault in the dictionary.
@@ -271,47 +431,135 @@ func (s *Session) GenerateAll(faults []fault.Fault) ([]*Solution, error) {
 // GenerateAllContext generates the best test for every fault on the
 // engine's work-stealing pool. The optimization step is scheduled as a
 // flat list of (fault, configuration) tasks — the unit of work the pool
-// balances across cores — followed by the per-fault selection loops.
-// Results keep the input order and are identical for any worker count.
+// balances across cores — and each fault's selection loop runs as soon
+// as its last configuration finishes (no phase barrier). Results keep
+// the input order and are identical for any worker count.
 // Cancellation of ctx aborts the run promptly with an error wrapping
 // ErrCanceled.
+//
+// Failure semantics (see DESIGN.md §10): a panic inside a task is
+// recovered at the task boundary and quarantines only that fault×config
+// pair — the run completes and Quarantined() reports the isolation.
+// With Config.CheckpointPath set, completed per-fault results are
+// periodically persisted (atomic rename + fsync), and with Config.Resume
+// faults already present in a compatible checkpoint are skipped.
 func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) ([]*Solution, error) {
 	nc := len(s.configs)
 	ctx, sp := s.tr.Start(ctx, "generate-all",
 		obs.Int("faults", len(faults)), obs.Int("configs", nc))
 	defer sp.End()
-	// Step 1: one optimization task per (fault, configuration) pair.
-	s.prog.SetPhase(PhaseOptimize, len(faults)*nc)
-	cands := make([]Candidate, len(faults)*nc)
-	err := s.eng.ForEach(ctx, len(faults)*nc, func(ctx context.Context, k int) error {
-		defer s.prog.Step(1)
-		fi, ci := k/nc, k%nc
-		c, err := s.optimizeCandidate(ctx, faults[fi], ci)
-		if err != nil {
-			return fmt.Errorf("core: fault %s: %w", faults[fi].ID(), err)
-		}
-		cands[k] = c
-		return nil
-	})
+
+	cs, resumed, err := s.openCheckpoint(faults)
 	if err != nil {
 		return nil, err
 	}
-	// Step 2: the impact selection loop per fault.
-	s.prog.SetPhase(PhaseImpact, len(faults))
 	sols := make([]*Solution, len(faults))
-	err = s.eng.ForEach(ctx, len(faults), func(ctx context.Context, fi int) error {
+	skip := make([]bool, len(faults))
+	nSkip := 0
+	for fi, f := range faults {
+		if sol, ok := resumed[f.ID()]; ok {
+			sols[fi] = sol
+			skip[fi] = true
+			nSkip++
+		}
+	}
+	if nSkip > 0 {
+		s.prog.AddResumed(nSkip)
+		s.tr.Emit("resume", obs.Int("skipped", nSkip), obs.Int("total", len(faults)))
+	}
+
+	// Steps 1 and 2 fused: one optimization task per (fault,
+	// configuration) pair — the unit of work the pool balances — and the
+	// task that completes a fault's last configuration runs that fault's
+	// selection loop inline. No barrier separates the steps, so per-fault
+	// results stream into the checkpoint as soon as they exist: a run
+	// killed mid-optimization resumes from every fault that had finished,
+	// not from the last full phase boundary. Results are identical to the
+	// two-phase schedule — each selection consumes exactly its own
+	// fault's completed candidates.
+	s.prog.SetPhase(PhaseGenerate, len(faults)*nc+(len(faults)-nSkip))
+	cands := make([]Candidate, len(faults)*nc)
+	pending := make([]atomic.Int32, len(faults))
+	for fi := range pending {
+		pending[fi].Store(int32(nc))
+	}
+	err = s.eng.ForEach(ctx, len(faults)*nc, func(ctx context.Context, k int) error {
 		defer s.prog.Step(1)
-		sol, err := s.selectTest(ctx, faults[fi], cands[fi*nc:(fi+1)*nc])
-		if err != nil {
+		fi, ci := k/nc, k%nc
+		if skip[fi] {
+			return nil
+		}
+		err := s.eng.Recover(k, func() error {
+			c, err := s.optimizeCandidate(ctx, faults[fi], ci)
+			if err != nil {
+				return err
+			}
+			cands[k] = c
+			return nil
+		})
+		var pe *engine.TaskPanicError
+		if errors.As(err, &pe) {
+			s.quarantine(PhaseOptimize, faults[fi].ID(), s.configs[ci].ID, pe)
+			cands[k] = Candidate{ConfigIdx: ci, SoftS: poisonSF, Attempts: 1, Quarantined: true}
+		} else if err != nil {
 			return fmt.Errorf("core: fault %s: %w", faults[fi].ID(), err)
+		}
+		if pending[fi].Add(-1) != 0 {
+			return nil
+		}
+		return s.finishFault(ctx, faults[fi], cands[fi*nc:(fi+1)*nc], sols, fi, cs)
+	})
+	if err != nil {
+		flushCheckpoint(cs)
+		return nil, err
+	}
+	if cs != nil {
+		if ferr := cs.flush(); ferr != nil {
+			return sols, fmt.Errorf("core: final checkpoint: %w", ferr)
+		}
+	}
+	return sols, nil
+}
+
+// finishFault runs the selection loop for one fault whose candidates
+// are all complete, records the solution in the checkpoint, and steps
+// the per-fault progress unit. A panic inside selection quarantines the
+// whole fault.
+func (s *Session) finishFault(ctx context.Context, f fault.Fault, cands []Candidate, sols []*Solution, fi int, cs *ckptState) error {
+	defer s.prog.Step(1)
+	err := s.eng.Recover(fi, func() error {
+		sol, err := s.selectTest(ctx, f, cands)
+		if err != nil {
+			return err
 		}
 		sols[fi] = sol
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	var pe *engine.TaskPanicError
+	if errors.As(err, &pe) {
+		s.quarantine(PhaseImpact, f.ID(), -1, pe)
+		sols[fi] = &Solution{
+			Fault:       f,
+			ConfigIdx:   -1,
+			Sensitivity: poisonSF,
+			Quarantined: true,
+			Candidates:  append([]Candidate(nil), cands...),
+		}
+	} else if err != nil {
+		return fmt.Errorf("core: fault %s: %w", f.ID(), err)
 	}
-	return sols, nil
+	if cs != nil {
+		cs.record(sols[fi])
+	}
+	return nil
+}
+
+// flushCheckpoint best-effort persists the checkpoint on an abort path,
+// so a canceled or failed run still resumes from its completed faults.
+func flushCheckpoint(cs *ckptState) {
+	if cs != nil {
+		_ = cs.flush() // the abort error takes precedence; flush errors are journaled
+	}
 }
 
 // Distribution tabulates how many faults of each kind selected each
@@ -322,6 +570,9 @@ type Distribution struct {
 	Counts map[int]map[fault.Kind]int
 	// Undetectable counts per kind.
 	Undetectable map[fault.Kind]int
+	// Unresolved counts undetermined and quarantined faults per kind —
+	// runtime failures, not fault properties.
+	Unresolved map[fault.Kind]int
 }
 
 // Tabulate builds the Table-2 distribution from generation results.
@@ -329,12 +580,17 @@ func (s *Session) Tabulate(sols []*Solution) Distribution {
 	d := Distribution{
 		Counts:       make(map[int]map[fault.Kind]int),
 		Undetectable: make(map[fault.Kind]int),
+		Unresolved:   make(map[fault.Kind]int),
 	}
 	for _, c := range s.configs {
 		d.Counts[c.ID] = make(map[fault.Kind]int)
 	}
 	for _, sol := range sols {
 		kind := sol.Fault.Kind()
+		if sol.ConfigIdx < 0 {
+			d.Unresolved[kind]++
+			continue
+		}
 		if sol.Undetectable {
 			d.Undetectable[kind]++
 			continue

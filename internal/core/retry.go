@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/sim"
+)
+
+// poisonSF is the sensitivity value fed to the optimizer for evaluation
+// points that cannot be computed (cancellation, nominal non-convergence):
+// far above any real S_f, so the optimizer retreats. An optimization
+// whose best value is still poisonSF never produced a single valid
+// evaluation — the stall signal the retry policy keys on.
+const poisonSF = 10
+
+// Verdict is the terminal classification of one fault after generation.
+// It refines the boolean Undetectable of the seed implementation with the
+// failure-mode outcomes the fault-tolerant runtime can produce.
+type Verdict string
+
+const (
+	// VerdictDetected: a test with S_f < 0 at the dictionary impact was
+	// found (the normal outcome).
+	VerdictDetected Verdict = "detected"
+	// VerdictUndetectable: even the strongest allowed impact is detected
+	// by no test — a property of the fault, not a runtime failure.
+	VerdictUndetectable Verdict = "undetectable"
+	// VerdictUndetermined: the runtime could not produce a usable test
+	// (persistent non-convergence through every retry rung); the fault
+	// needs manual attention but did not abort the run.
+	VerdictUndetermined Verdict = "undetermined"
+	// VerdictQuarantined: a panic in a device model (or other task code)
+	// was isolated to this fault; every surviving configuration also
+	// failed, so no test exists.
+	VerdictQuarantined Verdict = "quarantined"
+)
+
+// RetryPolicy bounds how hard the runtime fights per-fault failures
+// before giving up with VerdictUndetermined. The zero value (and a nil
+// *RetryPolicy in Config) disables every mechanism, reproducing the
+// seed's fail-fast behavior bit for bit.
+type RetryPolicy struct {
+	// MaxAttempts is the optimizer attempt budget per (fault,
+	// configuration) pair. After a stalled attempt (no valid evaluation)
+	// the optimizer restarts from a deterministically perturbed seed.
+	// Values <= 1 mean a single attempt.
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt deadline. An expired attempt is
+	// treated as stalled and retried (or given up) under the same budget.
+	// 0 disables per-attempt deadlines.
+	AttemptTimeout time.Duration
+	// SeedPerturbation is the restart jitter as a fraction of each
+	// parameter's box range (default 0.15 when <= 0).
+	SeedPerturbation float64
+	// SimLadder is the relaxed-tolerance/raised-gmin re-solve ladder
+	// installed into the simulation kernel (above its built-in gmin and
+	// source stepping) for the session's lifetime. Nil selects
+	// sim.StandardRecovery(); an empty non-nil ladder disables sim-level
+	// recovery while keeping the optimizer-level retries.
+	SimLadder []sim.Relaxation
+}
+
+// DefaultRetryPolicy returns the policy the resilience-minded callers
+// use: three optimizer attempts, no per-attempt deadline, the standard
+// simulation recovery ladder.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, SimLadder: sim.StandardRecovery()}
+}
+
+// attempts returns the effective optimizer attempt budget.
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// ladder returns the simulation recovery rungs the policy installs.
+func (p *RetryPolicy) ladder() []sim.Relaxation {
+	if p == nil {
+		return nil
+	}
+	if p.SimLadder == nil {
+		return sim.StandardRecovery()
+	}
+	return p.SimLadder
+}
+
+// QuarantineRecord describes one isolated task panic: which fault×config
+// pair died, what the panic value was, and where.
+type QuarantineRecord struct {
+	// FaultID identifies the fault ("" for non-generation tasks).
+	FaultID string `json:"fault_id"`
+	// ConfigID is the paper numbering of the configuration (-1 when the
+	// task was not config-specific, e.g. a selection loop).
+	ConfigID int `json:"config_id"`
+	// Phase names the phase the panic occurred in.
+	Phase string `json:"phase"`
+	// Value is the stringified panic value.
+	Value string `json:"value"`
+	// Stack is the panicking goroutine's stack trace.
+	Stack string `json:"stack,omitempty"`
+}
+
+// quarantine records an isolated panic, journals it, and bumps the
+// health counters. It is safe for concurrent use.
+func (s *Session) quarantine(phase, faultID string, configID int, pe *engine.TaskPanicError) {
+	rec := QuarantineRecord{
+		FaultID:  faultID,
+		ConfigID: configID,
+		Phase:    phase,
+		Value:    fmt.Sprint(pe.Value),
+		Stack:    string(pe.Stack),
+	}
+	s.quarMu.Lock()
+	s.quarantined = append(s.quarantined, rec)
+	s.quarMu.Unlock()
+	s.prog.AddQuarantined(1)
+	s.tr.Emit("quarantine",
+		obs.String("fault", faultID),
+		obs.Int("config", configID),
+		obs.String("phase", phase),
+		obs.String("panic", rec.Value))
+}
+
+// Quarantined returns the panics isolated so far, sorted by fault then
+// configuration for stable reporting.
+func (s *Session) Quarantined() []QuarantineRecord {
+	s.quarMu.Lock()
+	out := make([]QuarantineRecord, len(s.quarantined))
+	copy(out, s.quarantined)
+	s.quarMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FaultID != out[j].FaultID {
+			return out[i].FaultID < out[j].FaultID
+		}
+		return out[i].ConfigID < out[j].ConfigID
+	})
+	return out
+}
+
+// perturbedSeed returns the deterministic restart point for the given
+// attempt (attempt 0 is the configuration's own seed).
+func (s *Session) perturbedSeed(f string, configID, attempt int, box opt.Box, seed []float64) []float64 {
+	if attempt == 0 {
+		return seed
+	}
+	frac := 0.15
+	if p := s.cfg.Retry; p != nil && p.SeedPerturbation > 0 {
+		frac = p.SeedPerturbation
+	}
+	salt := opt.SaltFrom(fmt.Sprintf("%s#%d", f, configID), attempt)
+	return opt.PerturbedSeed(seed, box, salt, frac)
+}

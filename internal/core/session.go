@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -88,6 +89,21 @@ type Config struct {
 	// Progress, when non-nil, tracks phase/unit completion for live
 	// export (/progress). Nil disables the tracking.
 	Progress *obs.Progress
+	// Retry, when non-nil, enables the fault-tolerant retry machinery:
+	// perturbed optimizer restarts, per-attempt deadlines, and the
+	// simulation-level recovery ladder. Nil (the default) reproduces the
+	// fail-fast seed behavior exactly.
+	Retry *RetryPolicy
+	// CheckpointPath, when non-empty, enables crash-safe checkpointing of
+	// per-fault generation results to the given file (atomic rename +
+	// fsync on every write).
+	CheckpointPath string
+	// CheckpointEvery debounces checkpoint writes (default 2s; results
+	// are also flushed on completion and on cancellation).
+	CheckpointEvery time.Duration
+	// Resume makes GenerateAllContext skip faults already completed in
+	// the checkpoint file, after verifying its version and fingerprint.
+	Resume bool
 }
 
 // DefaultConfig returns the settings used by the experiments.
@@ -120,6 +136,11 @@ type Session struct {
 	cacheHits   atomic.Int64
 	faultyRuns  atomic.Int64
 	faultyFails atomic.Int64
+
+	retries      atomic.Int64
+	undetermined atomic.Int64
+	quarMu       sync.Mutex
+	quarantined  []QuarantineRecord
 }
 
 // Stats summarizes the simulation effort a session has spent — the
@@ -136,15 +157,28 @@ type Stats struct {
 	// FaultyFailures counts faulty runs that did not converge (reported
 	// as DetectedSentinel).
 	FaultyFailures int64
+	// Retries counts perturbed optimizer restarts taken under the retry
+	// policy.
+	Retries int64
+	// Undetermined counts faults that ended as VerdictUndetermined.
+	Undetermined int64
+	// Quarantined counts fault×config tasks isolated after a panic.
+	Quarantined int64
 }
 
 // Stats returns a snapshot of the session's simulation counters.
 func (s *Session) Stats() Stats {
+	s.quarMu.Lock()
+	nq := int64(len(s.quarantined))
+	s.quarMu.Unlock()
 	return Stats{
 		NominalRuns:    s.nominalRuns.Load(),
 		CacheHits:      s.cacheHits.Load(),
 		FaultyRuns:     s.faultyRuns.Load(),
 		FaultyFailures: s.faultyFails.Load(),
+		Retries:        s.retries.Load(),
+		Undetermined:   s.undetermined.Load(),
+		Quarantined:    nq,
 	}
 }
 
@@ -201,6 +235,16 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 		}),
 	}
 	s.eng.SetTracer(cfg.Tracer)
+	if cfg.Retry != nil {
+		// Install the policy's re-solve ladder as the simulation kernel's
+		// default recovery. The hook is package-wide for the same reason
+		// the trace hook and counter totals are: engines are built deep
+		// inside test-configuration closures. With one active session at a
+		// time (the CLI case) attribution is clean; sessions without a
+		// policy never install anything, so their solves stay bit-identical
+		// to the ladder-free kernel.
+		sim.SetDefaultRecovery(cfg.Retry.ladder())
+	}
 	if cfg.Tracer.Enabled() {
 		// Surface per-analysis solver spans. The hook is package-wide for
 		// the same reason the counter totals are (engines are built deep
@@ -231,6 +275,8 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 			Solves:           t.Solves,
 			BaseBuilds:       t.BaseBuilds,
 			BaseHits:         t.BaseHits,
+			RecoveryAttempts: t.RecoveryAttempts,
+			Recoveries:       t.Recoveries,
 		}
 	})
 	boxes, err := s.buildBoxes(ctx)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -87,6 +88,11 @@ func (c *Cache) shard(key string) *cacheShard {
 // compute — either straight from the memo or by joining another caller's
 // in-flight computation. Errors are not cached: a failed computation is
 // retried by the next caller.
+//
+// A panic inside compute is fatal to the calling task only: the in-flight
+// entry is resolved with an error before the panic is re-raised, so
+// goroutines that joined the flight unblock with that error instead of
+// waiting forever on a channel nobody will close.
 func (c *Cache) GetOrCompute(key string, compute func() ([]float64, error)) (val []float64, hit bool, err error) {
 	sh := c.shard(key)
 	sh.mu.Lock()
@@ -109,7 +115,22 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]float64, error)) (val
 	sh.mu.Unlock()
 	c.misses.Add(1)
 
+	panicked := true
+	defer func() {
+		if !panicked {
+			return
+		}
+		// compute panicked: settle the flight so waiters unblock, then let
+		// the panic continue to the task-level recovery boundary.
+		fl.err = fmt.Errorf("engine: cache compute for key %q panicked", key)
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		sh.mu.Unlock()
+		close(fl.done)
+	}()
 	fl.val, fl.err = compute()
+	panicked = false
+
 	sh.mu.Lock()
 	delete(sh.flights, key)
 	if fl.err == nil {

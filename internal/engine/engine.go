@@ -51,6 +51,7 @@ type Engine struct {
 	phases    sync.Map // string -> *phase
 	solverSrc atomic.Pointer[func() SolverStats]
 	tracer    atomic.Pointer[obs.Tracer]
+	panics    atomic.Int64
 }
 
 // SetTracer registers a span tracer. When set, ForEach opens one
@@ -135,7 +136,7 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w: %w", ErrCanceled, err)
 			}
-			if err := runTask(tr, ctx, fn, i, 0); err != nil {
+			if err := e.runTask(tr, ctx, fn, i, 0); err != nil {
 				return err
 			}
 		}
@@ -191,7 +192,7 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 						return
 					}
 				}
-				if err := runTask(tr, runCtx, fn, i, w); err != nil {
+				if err := e.runTask(tr, runCtx, fn, i, w); err != nil {
 					fail(err)
 					return
 				}
@@ -211,12 +212,18 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 // runTask executes fn(ctx, i), wrapped in an "engine.task" span when a
 // tracer is registered. The span rides the context into fn, so spans
 // opened inside the task nest under it.
-func runTask(tr *obs.Tracer, ctx context.Context, fn func(context.Context, int) error, i, w int) error {
+//
+// A panic escaping fn is recovered into a *TaskPanicError and returned as
+// the task's error: the pool never lets a single task kill the process.
+// Callers that want to *survive* the panic (quarantine the task and keep
+// the run going) additionally wrap their task body in Engine.Recover,
+// which catches the panic before it reaches this last-resort boundary.
+func (e *Engine) runTask(tr *obs.Tracer, ctx context.Context, fn func(context.Context, int) error, i, w int) error {
 	if tr == nil {
-		return fn(ctx, i)
+		return e.Recover(i, func() error { return fn(ctx, i) })
 	}
 	tctx, sp := tr.Start(ctx, "engine.task", obs.Int("index", i), obs.Int("worker", w))
-	err := fn(tctx, i)
+	err := e.Recover(i, func() error { return fn(tctx, i) })
 	if err != nil {
 		sp.End(obs.String("error", err.Error()))
 	} else {

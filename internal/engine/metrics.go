@@ -77,6 +77,11 @@ type SolverStats struct {
 	BaseBuilds uint64
 	// BaseHits counts solves served from a cached linear snapshot.
 	BaseHits uint64
+	// RecoveryAttempts counts relaxation-ladder rungs tried after a full
+	// operating-point strategy failure.
+	RecoveryAttempts uint64
+	// Recoveries counts operating points rescued by a ladder rung.
+	Recoveries uint64
 }
 
 // Metrics is a point-in-time snapshot of an engine's observability
@@ -91,6 +96,9 @@ type Metrics struct {
 	// Solver carries the simulation kernel's counters (zero when no
 	// source is registered).
 	Solver SolverStats
+	// TaskPanics counts panics recovered at the task isolation boundary
+	// (Engine.Recover), whether they were quarantined or failed the run.
+	TaskPanics int64
 }
 
 // Phase returns the stats of the named phase (zero value when the phase
@@ -118,7 +126,7 @@ func (e *Engine) SetSolverSource(fn func() SolverStats) {
 
 // Metrics snapshots the engine's phase and cache counters.
 func (e *Engine) Metrics() Metrics {
-	m := Metrics{Cache: e.cache.Stats()}
+	m := Metrics{Cache: e.cache.Stats(), TaskPanics: e.panics.Load()}
 	if p := e.solverSrc.Load(); p != nil && *p != nil {
 		m.Solver = (*p)()
 	}

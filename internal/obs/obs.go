@@ -26,7 +26,15 @@ import (
 
 // SchemaVersion is the journal schema version stamped into the run_start
 // record. Readers should reject journals with a greater major version.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial schema (run/span/event records).
+//	2 — fault-tolerant runtime events: "quarantine", "retry",
+//	    "checkpoint_write", "resume", and a "verdict" attribute on
+//	    "fault_verdict". Purely additive; v1 readers that ignore unknown
+//	    event names can still consume v2 journals.
+const SchemaVersion = 2
 
 // Record types of the journal schema (Event.Type).
 const (

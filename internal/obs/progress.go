@@ -16,6 +16,49 @@ type Progress struct {
 	done       atomic.Int64
 	total      atomic.Int64
 	phaseStart atomic.Int64 // ns since start
+
+	// Run-health counters from the fault-tolerant runtime, cumulative
+	// over the whole run (not reset by SetPhase).
+	quarantined  atomic.Int64
+	retries      atomic.Int64
+	undetermined atomic.Int64
+	resumed      atomic.Int64
+	ckptWrites   atomic.Int64
+}
+
+// AddQuarantined records n panic-quarantined tasks.
+func (p *Progress) AddQuarantined(n int) {
+	if p != nil {
+		p.quarantined.Add(int64(n))
+	}
+}
+
+// AddRetries records n optimizer retry attempts.
+func (p *Progress) AddRetries(n int) {
+	if p != nil {
+		p.retries.Add(int64(n))
+	}
+}
+
+// AddUndetermined records n faults that ended undetermined.
+func (p *Progress) AddUndetermined(n int) {
+	if p != nil {
+		p.undetermined.Add(int64(n))
+	}
+}
+
+// AddResumed records n faults restored from a checkpoint.
+func (p *Progress) AddResumed(n int) {
+	if p != nil {
+		p.resumed.Add(int64(n))
+	}
+}
+
+// AddCheckpointWrites records n completed checkpoint file writes.
+func (p *Progress) AddCheckpointWrites(n int) {
+	if p != nil {
+		p.ckptWrites.Add(int64(n))
+	}
 }
 
 // NewProgress returns a tracker whose elapsed clock starts now.
@@ -60,6 +103,12 @@ type ProgressSnapshot struct {
 	// ETA estimates the remaining time of the current phase from its
 	// average unit throughput; 0 when unknown (no units done yet).
 	ETA time.Duration `json:"eta_ns"`
+	// Run-health counters (cumulative over the run).
+	Quarantined      int64 `json:"quarantined"`
+	Retries          int64 `json:"retries"`
+	Undetermined     int64 `json:"undetermined"`
+	Resumed          int64 `json:"resumed"`
+	CheckpointWrites int64 `json:"checkpoint_writes"`
 }
 
 // Percent returns the phase completion in percent (0 when the total is
@@ -80,10 +129,15 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	}
 	elapsed := time.Since(p.start)
 	s := ProgressSnapshot{
-		Phase:   *p.phase.Load(),
-		Done:    p.done.Load(),
-		Total:   p.total.Load(),
-		Elapsed: elapsed,
+		Phase:            *p.phase.Load(),
+		Done:             p.done.Load(),
+		Total:            p.total.Load(),
+		Elapsed:          elapsed,
+		Quarantined:      p.quarantined.Load(),
+		Retries:          p.retries.Load(),
+		Undetermined:     p.undetermined.Load(),
+		Resumed:          p.resumed.Load(),
+		CheckpointWrites: p.ckptWrites.Load(),
 	}
 	s.PhaseElapsed = elapsed - time.Duration(p.phaseStart.Load())
 	if s.Done > 0 && s.Total > s.Done {

@@ -1,0 +1,52 @@
+package opt
+
+// PerturbedSeed returns a deterministic jittered copy of seed for a
+// retry attempt: each coordinate moves by up to ±frac of its box range,
+// clamped back into the box. The jitter derives from salt and the
+// coordinate index through a splitmix64-style mixer, so identical
+// (seed, box, salt, frac) inputs always produce the identical restart
+// point — a requirement for crash-equivalent resume, where a re-run
+// retry must land exactly where the interrupted run's retry did.
+//
+// A stalled Powell trajectory (every line search poisoned, or a ridge
+// the direction set cannot escape) restarts from a genuinely different
+// point; Brent ignores the seed, so 1-D retries rely on the sim-level
+// recovery ladder instead.
+func PerturbedSeed(seed []float64, box Box, salt uint64, frac float64) []float64 {
+	if frac <= 0 {
+		frac = 0.15
+	}
+	out := make([]float64, len(seed))
+	for i := range seed {
+		z := splitmix64(salt + uint64(i)*0x9e3779b97f4a7c15)
+		// Map to [-1, 1) with 53-bit resolution.
+		u := float64(z>>11)/float64(1<<52) - 1
+		out[i] = seed[i] + u*frac*(box.Hi[i]-box.Lo[i])
+	}
+	return box.Clamp(out)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-mixed 64-bit hash with no state.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SaltFrom derives a perturbation salt from a string identity (fault ID
+// plus config index) and an attempt number, FNV-1a over the string mixed
+// with the attempt. Deterministic across processes.
+func SaltFrom(id string, attempt int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return splitmix64(h ^ uint64(attempt)<<1)
+}

@@ -27,8 +27,17 @@ func WriteMetrics(w io.Writer, m engine.Metrics) error {
 		return err
 	}
 	sv := m.Solver
-	_, err := fmt.Fprintf(w,
+	if _, err := fmt.Fprintf(w,
 		"solver kernel: %d solves, %d Newton iterations, %d factorizations (%d reused), %d device stamps, %d base snapshots (%d hits)\n",
-		sv.Solves, sv.NewtonIterations, sv.Factorizations, sv.FactorReuses, sv.Stamps, sv.BaseBuilds, sv.BaseHits)
-	return err
+		sv.Solves, sv.NewtonIterations, sv.Factorizations, sv.FactorReuses, sv.Stamps, sv.BaseBuilds, sv.BaseHits); err != nil {
+		return err
+	}
+	if sv.RecoveryAttempts > 0 || sv.Recoveries > 0 || m.TaskPanics > 0 {
+		if _, err := fmt.Fprintf(w,
+			"resilience: %d recovery-ladder attempts (%d rescued solves), %d isolated task panics\n",
+			sv.RecoveryAttempts, sv.Recoveries, m.TaskPanics); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -42,9 +42,16 @@ type Options struct {
 	GminFloor float64
 	// GshuntStart is the initial node-to-ground shunt for gmin stepping.
 	GshuntStart float64
+	// Recovery is the escalation ladder tried when the full operating-
+	// point strategy (Newton, gmin stepping, source stepping) fails: each
+	// rung reruns the strategy under relaxed settings. Nil disables the
+	// ladder, reproducing the pre-ladder solver exactly.
+	Recovery []Relaxation
 }
 
 // DefaultOptions returns the solver settings used throughout the repo.
+// The Recovery ladder comes from SetDefaultRecovery (nil unless a retry
+// policy installed one).
 func DefaultOptions() Options {
 	return Options{
 		AbsTol:      1e-9,
@@ -53,6 +60,7 @@ func DefaultOptions() Options {
 		MaxStep:     0.5,
 		GminFloor:   1e-12,
 		GshuntStart: 1e-3,
+		Recovery:    currentDefaultRecovery(),
 	}
 }
 
@@ -329,10 +337,40 @@ func (e *Engine) OperatingPoint() ([]float64, error) {
 // zeroed x reproduces OperatingPoint's cold start, while a previous
 // solution gives the warm re-solve the optimizers' repeated evaluations
 // want. The gmin/source-stepping fallbacks restart from zero as before.
+//
+// If the full strategy fails and Options.Recovery is non-nil, each rung
+// of the ladder reruns the strategy from a zero guess under the rung's
+// relaxed settings; the first converging rung wins. With a nil ladder
+// the behavior is identical to the pre-ladder solver.
 func (e *Engine) OperatingPointInto(x []float64) error {
 	if h, t0, pre := e.traceStart(); h != nil {
 		defer e.traceEnd(h, "op", t0, pre)
 	}
+	err := e.solveOperatingPoint(x)
+	if err == nil || len(e.opts.Recovery) == 0 {
+		return err
+	}
+	saved := e.opts
+	defer func() { e.opts = saved }()
+	for _, rung := range saved.Recovery {
+		e.stats.RecoveryAttempts++
+		e.opts = rung.apply(saved)
+		for i := range x {
+			x[i] = 0
+		}
+		if rerr := e.solveOperatingPoint(x); rerr == nil {
+			e.stats.Recoveries++
+			e.flushStats()
+			return nil
+		}
+	}
+	e.flushStats()
+	return err
+}
+
+// solveOperatingPoint is the classic three-stage strategy: plain Newton
+// from the given guess, then gmin stepping, then source stepping.
+func (e *Engine) solveOperatingPoint(x []float64) error {
 	ctx := &e.ctx
 	*ctx = device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
 	if err := e.solveNewton(x, nil, ctx, 0); err == nil {

@@ -24,6 +24,11 @@ type Counters struct {
 	BaseBuilds uint64
 	// BaseHits counts solves served from a cached linear snapshot.
 	BaseHits uint64
+	// RecoveryAttempts counts relaxation-ladder rungs tried after the
+	// full operating-point strategy failed.
+	RecoveryAttempts uint64
+	// Recoveries counts operating points rescued by a ladder rung.
+	Recoveries uint64
 }
 
 // Add accumulates d into c.
@@ -35,6 +40,8 @@ func (c *Counters) Add(d Counters) {
 	c.Solves += d.Solves
 	c.BaseBuilds += d.BaseBuilds
 	c.BaseHits += d.BaseHits
+	c.RecoveryAttempts += d.RecoveryAttempts
+	c.Recoveries += d.Recoveries
 }
 
 // sub returns c − d (no underflow checking; d is always a prefix of c).
@@ -47,6 +54,8 @@ func (c Counters) sub(d Counters) Counters {
 		Solves:           c.Solves - d.Solves,
 		BaseBuilds:       c.BaseBuilds - d.BaseBuilds,
 		BaseHits:         c.BaseHits - d.BaseHits,
+		RecoveryAttempts: c.RecoveryAttempts - d.RecoveryAttempts,
+		Recoveries:       c.Recoveries - d.Recoveries,
 	}
 }
 
@@ -62,6 +71,8 @@ var totals struct {
 	solves           atomic.Uint64
 	baseBuilds       atomic.Uint64
 	baseHits         atomic.Uint64
+	recoveryAttempts atomic.Uint64
+	recoveries       atomic.Uint64
 }
 
 // Totals returns the process-wide solver counters, summed over every
@@ -75,6 +86,8 @@ func Totals() Counters {
 		Solves:           totals.solves.Load(),
 		BaseBuilds:       totals.baseBuilds.Load(),
 		BaseHits:         totals.baseHits.Load(),
+		RecoveryAttempts: totals.recoveryAttempts.Load(),
+		Recoveries:       totals.recoveries.Load(),
 	}
 }
 
@@ -87,6 +100,8 @@ func ResetTotals() {
 	totals.solves.Store(0)
 	totals.baseBuilds.Store(0)
 	totals.baseHits.Store(0)
+	totals.recoveryAttempts.Store(0)
+	totals.recoveries.Store(0)
 }
 
 // flushStats pushes the engine's counter delta since the previous flush
@@ -105,4 +120,6 @@ func (e *Engine) flushStats() {
 	totals.solves.Add(d.Solves)
 	totals.baseBuilds.Add(d.BaseBuilds)
 	totals.baseHits.Add(d.BaseHits)
+	totals.recoveryAttempts.Add(d.RecoveryAttempts)
+	totals.recoveries.Add(d.Recoveries)
 }

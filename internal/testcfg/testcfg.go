@@ -63,6 +63,21 @@ type Config struct {
 	run     Runner
 }
 
+// NewCustom builds a configuration around a caller-supplied runner. It
+// is the extension point for test configurations outside this package —
+// and for the chaos tests, which need runners that panic or refuse to
+// converge on demand.
+func NewCustom(id int, name string, params []Param, returns []Return, run Runner) *Config {
+	return &Config{
+		ID:      id,
+		Name:    name,
+		Macro:   "iv-converter",
+		Params:  params,
+		Returns: returns,
+		run:     run,
+	}
+}
+
 // ValidateMacro checks that a circuit exposes the standardized
 // IV-converter interface the configurations control and observe.
 func ValidateMacro(ckt *circuit.Circuit) error {
