@@ -1,0 +1,183 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	// out is a pointer; compare the pointed-to values.
+	got := reflect.ValueOf(out).Elem().Interface()
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\ngot: %+v\nwire: %s", in, got, data)
+	}
+}
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	req := JobRequest{
+		V: Version,
+		Macro: MacroSpec{
+			Builtin:         MacroIVConverter,
+			ExtendedConfigs: true,
+			ConfigDSL:       []string{"config 7 \"x\""},
+		},
+		Faults: FaultSpec{Limit: 12},
+		Options: RunOptions{
+			Workers:          4,
+			BoxMode:          BoxModeSeed,
+			BoxGridN:         5,
+			OptTol:           1e-3,
+			Retries:          3,
+			AttemptTimeoutMS: 1500,
+		},
+		Compact: CompactSpec{Delta: 0.1},
+	}
+	var got JobRequest
+	roundTrip(t, req, &got)
+}
+
+func TestJobRequestNormalizeAndValidate(t *testing.T) {
+	var req JobRequest
+	req.Normalize()
+	if req.V != 1 || req.Macro.Builtin != MacroIVConverter {
+		t.Fatalf("Normalize: %+v", req)
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatalf("Validate(normalized zero): %v", err)
+	}
+
+	bad := []JobRequest{
+		{V: Version + 1},
+		{V: 1, Macro: MacroSpec{Builtin: "nonesuch"}},
+		{V: 1, Options: RunOptions{BoxMode: "cubic"}},
+		{V: 1, Faults: FaultSpec{Limit: -1}},
+		{V: 1, Compact: CompactSpec{Delta: 1.5}},
+		{V: 1, Options: RunOptions{Workers: -2}},
+	}
+	for i, r := range bad {
+		r.Macro.Builtin = orDefault(r.Macro.Builtin)
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad[%d] (%+v): Validate passed", i, r)
+		}
+	}
+}
+
+func orDefault(s string) string {
+	if s == "" {
+		return MacroIVConverter
+	}
+	return s
+}
+
+func TestJobStatusRoundTrip(t *testing.T) {
+	created := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	started := created.Add(time.Second)
+	st := JobStatus{
+		V:       Version,
+		ID:      "j-0001",
+		State:   StateRunning,
+		Created: created,
+		Started: &started,
+		Progress: &ProgressInfo{
+			Phase: "generate", Done: 3, Total: 10, Percent: 30,
+			ElapsedMS: 1200, Retries: 1,
+		},
+		Verdicts:    map[Verdict]int{VerdictDetected: 3},
+		Quarantined: []QuarantineInfo{{FaultID: "b-1-2", Config: 4, Phase: "optimize", Panic: "boom"}},
+		Attempts:    2,
+	}
+	var got JobStatus
+	roundTrip(t, st, &got)
+}
+
+func TestJobResultRoundTrip(t *testing.T) {
+	res := JobResult{
+		V:      Version,
+		Macro:  "iv-converter",
+		Faults: 2,
+		Delta:  0.1,
+		Solutions: []SolutionInfo{
+			{FaultID: "b-1-2", Verdict: VerdictDetected, Config: 1,
+				Params: []float64{1.25e-5, 3.0000000001e-5}, Sensitivity: -0.75,
+				CriticalImpact: 3.2e4, Evals: 120, ImpactIters: 7},
+			{FaultID: "p-m1", Verdict: VerdictUndetermined, Config: -1,
+				Sensitivity: 10, Evals: 40, ImpactIters: 0, Attempts: 3},
+		},
+		Tests: []TestInfo{
+			{Config: 1, ConfigName: "step-peak", Params: []float64{1e-5}, Covers: []string{"b-1-2"}},
+		},
+		Coverage: CoverageInfo{Detected: 1, Total: 2, Percent: 50, Undetected: []string{"p-m1"}},
+	}
+	var got JobResult
+	roundTrip(t, res, &got)
+}
+
+func TestMetricsSnapshotRoundTrip(t *testing.T) {
+	m := MetricsSnapshot{
+		V: Version,
+		Phases: []PhaseMetrics{
+			{Name: "optimize", Count: 10, WallNS: 1e9},
+			{Name: "box-build", Count: 5, WallNS: 5e8},
+		},
+		Cache:      CacheMetrics{Hits: 100, Misses: 20, Shared: 3, Entries: 20},
+		Solver:     SolverMetrics{Stamps: 1234, Solves: 56, NewtonIterations: 200},
+		TaskPanics: 1,
+	}
+	var got MetricsSnapshot
+	roundTrip(t, m, &got)
+	if m.Phases[0].Avg() != 1e8 {
+		t.Fatalf("Avg = %d", m.Phases[0].Avg())
+	}
+	if r := m.Cache.HitRate(); r < 0.83 || r > 0.84 {
+		t.Fatalf("HitRate = %v", r)
+	}
+}
+
+// TestEncodeDeterminism pins the canonical encoding: same value, same
+// bytes, trailing newline, two-space indent. The service CI job diffs
+// a server result against a CLI result byte for byte, which is only
+// sound if Encode is deterministic.
+func TestEncodeDeterminism(t *testing.T) {
+	res := JobResult{V: 1, Macro: "iv-converter", Faults: 1,
+		Solutions: []SolutionInfo{{FaultID: "b-1-2", Verdict: VerdictDetected, Config: 1, Sensitivity: -0.5}}}
+	a, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode not deterministic")
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Fatal("Encode output misses trailing newline")
+	}
+	if !strings.Contains(string(a), "\n  \"v\": 1") {
+		t.Fatalf("unexpected indentation: %q", a)
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for st, want := range map[JobState]bool{
+		StateQueued: false, StateRunning: false, StateInterrupted: false,
+		StateSucceeded: true, StateFailed: true, StateCanceled: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", st, st.Terminal(), want)
+		}
+	}
+}

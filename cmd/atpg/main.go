@@ -21,7 +21,12 @@
 //	     [-retries n] [-attempt-timeout d] [-checkpoint ckpt.json]
 //	     [-resume] [-strict] [-timeout d]
 //	     [-journal run.jsonl] [-trace-sample n] [-listen :6060]
-//	     [-stats] [-v]
+//	     [-result-json out.json] [-stats] [-v]
+//
+// The flags assemble an api.JobRequest (the same typed object a client
+// POSTs to the atpgd job server) and -result-json writes the canonical
+// api.JobResult encoding, byte-identical to the server's result
+// endpoint for the same request.
 package main
 
 import (
@@ -34,7 +39,7 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/netlist"
+	"repro/api"
 	"repro/internal/obs/export"
 	"repro/internal/report"
 )
@@ -58,6 +63,41 @@ type options struct {
 	resume         bool
 	strict         bool
 	timeout        time.Duration
+	resultJSON     string
+}
+
+// request assembles the wire job request equivalent to the flags: the
+// exact object a client would POST to atpgd to get this run. Building
+// the system from it (SystemFromRequest) is what makes the CLI run and
+// the server job the same typed object — and their -result-json /
+// result-endpoint outputs byte-identical.
+func (o options) request() (api.JobRequest, error) {
+	req := api.JobRequest{V: api.Version}
+	if o.netlistPath != "" {
+		data, err := os.ReadFile(o.netlistPath)
+		if err != nil {
+			return req, err
+		}
+		req.Macro.Netlist = string(data)
+		req.Macro.NetlistName = o.netlistPath
+	}
+	if o.configFile != "" {
+		data, err := os.ReadFile(o.configFile)
+		if err != nil {
+			return req, err
+		}
+		req.Macro.ConfigDSL = []string{string(data)}
+	}
+	req.Faults.Limit = o.limit
+	req.Options.Workers = o.workers
+	if o.fast {
+		req.Options.BoxMode = api.BoxModeSeed
+	}
+	req.Options.Retries = o.retries
+	req.Options.AttemptTimeoutMS = o.attemptTimeout.Milliseconds()
+	req.Compact.Delta = o.delta
+	req.Normalize()
+	return req, req.Validate()
 }
 
 func main() {
@@ -79,6 +119,7 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "skip faults already completed in the -checkpoint file")
 	flag.BoolVar(&o.strict, "strict", false, "exit non-zero when any fault ends quarantined or undetermined")
 	flag.DurationVar(&o.timeout, "timeout", 0, "overall run deadline; on expiry the journal is sealed like on Ctrl-C (0: none)")
+	flag.StringVar(&o.resultJSON, "result-json", "", "write the run's outcome as a canonical api.JobResult JSON file (byte-identical to the atpgd result endpoint for the same request)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -105,22 +146,15 @@ func main() {
 
 // run executes the full flow. It returns instead of exiting so the
 // journal is sealed (run_end / run_canceled plus flush) on every path.
+// The session itself is built from the wire request the flags assemble
+// (SystemFromRequest); only run-scoped plumbing — journal, progress,
+// checkpoint — rides on top as extra options.
 func run(ctx context.Context, o options) (err error) {
+	req, err := o.request()
+	if err != nil {
+		return err
+	}
 	var opts []repro.Option
-	if o.fast {
-		opts = append(opts, repro.WithFastBoxes())
-	}
-	if o.workers > 0 {
-		opts = append(opts, repro.WithWorkers(o.workers))
-	}
-	if o.retries > 1 || o.attemptTimeout > 0 {
-		p := repro.DefaultRetryPolicy()
-		if o.retries > 1 {
-			p.MaxAttempts = o.retries
-		}
-		p.AttemptTimeout = o.attemptTimeout
-		opts = append(opts, repro.WithRetryPolicy(p))
-	}
 	if o.checkpointPath != "" {
 		opts = append(opts, repro.WithCheckpoint(o.checkpointPath, 0, o.resume))
 	} else if o.resume {
@@ -156,43 +190,19 @@ func run(ctx context.Context, o options) (err error) {
 	// otherwise. Runs before the journal-closing defer above.
 	defer func() {
 		if sys != nil {
-			tracer.Finish(err, repro.TraceAny("metrics", sys.Metrics()))
+			tracer.Finish(err, repro.TraceAny("metrics", repro.WireMetrics(sys.Metrics())))
 		} else {
 			tracer.Finish(err)
 		}
 	}()
 
-	configs := repro.IVConfigs()
-	if o.configFile != "" {
-		f, ferr := os.Open(o.configFile)
-		if ferr != nil {
-			return ferr
-		}
-		extra, perr := repro.ParseTestConfig(f)
-		f.Close()
-		if perr != nil {
-			return perr
-		}
-		configs = append(configs, extra)
-		fmt.Printf("loaded configuration #%d (%s) from %s\n", extra.ID, extra.Name, o.configFile)
-	}
-
-	if o.netlistPath != "" {
-		f, ferr := os.Open(o.netlistPath)
-		if ferr != nil {
-			return ferr
-		}
-		ckt, perr := netlist.Parse(f, o.netlistPath)
-		f.Close()
-		if perr != nil {
-			return perr
-		}
-		sys, err = repro.NewSystem(ckt, configs, opts...)
-	} else {
-		sys, err = repro.NewSystem(repro.NewIVConverter(), configs, opts...)
-	}
+	sys, err = repro.SystemFromRequest(ctx, req, opts...)
 	if err != nil {
 		return err
+	}
+	if o.configFile != "" {
+		extra := sys.Configs()[len(sys.Configs())-1]
+		fmt.Printf("loaded configuration #%d (%s) from %s\n", extra.ID, extra.Name, o.configFile)
 	}
 
 	if o.listenAddr != "" {
@@ -208,10 +218,7 @@ func run(ctx context.Context, o options) (err error) {
 		fmt.Printf("serving http://%s/ (/metrics, /progress, /debug/pprof/)\n", srv.Addr())
 	}
 
-	faults := sys.Faults()
-	if o.limit > 0 && o.limit < len(faults) {
-		faults = faults[:o.limit]
-	}
+	faults := sys.RequestFaults()
 	fmt.Printf("macro %q: %d devices, %d faults, %d test configurations\n",
 		sys.Golden().Name(), len(sys.Golden().Devices()), len(faults), len(sys.Configs()))
 
@@ -319,9 +326,18 @@ func run(ctx context.Context, o options) (err error) {
 			ss.Retries, ss.Undetermined, ss.Quarantined)
 	}
 
+	if o.resultJSON != "" {
+		out, rerr := api.Encode(repro.WireResult(sys, faults, sols, cts, cov, copt.Delta))
+		if rerr != nil {
+			return rerr
+		}
+		if rerr := os.WriteFile(o.resultJSON, out, 0o644); rerr != nil {
+			return rerr
+		}
+	}
 	if o.stats {
 		fmt.Println("\nengine metrics:")
-		if err := report.WriteMetrics(os.Stdout, sys.Metrics()); err != nil {
+		if err := report.WriteMetrics(os.Stdout, repro.WireMetrics(sys.Metrics())); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,108 @@
+// Command atpgd is the ATPG job daemon: it serves the versioned job API
+// (package api) over HTTP, runs submissions on a bounded worker pool,
+// and persists every job's request, checkpoint, journal and result
+// under a data directory so a killed daemon resumes incomplete jobs on
+// the next start.
+//
+// SIGTERM (or SIGINT) drains gracefully: new submissions are refused
+// with 503, running jobs are canceled — their checkpoints flushed and
+// journals sealed — and persisted as interrupted for the next instance
+// to resume. A clean drain exits 0.
+//
+// Usage:
+//
+//	atpgd [-listen :8723] [-data DIR] [-queue n] [-jobs n]
+//	      [-rate r] [-burst n] [-drain-timeout d]
+//
+// Quick start:
+//
+//	atpgd -data /var/lib/atpgd &
+//	curl -X POST localhost:8723/v1/jobs -d '{"v":1,"faults":{"limit":6},
+//	     "options":{"box_mode":"seed"}}'
+//	curl localhost:8723/v1/jobs/<id>
+//	curl localhost:8723/v1/jobs/<id>/result
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8723", "HTTP listen address")
+		dataDir      = flag.String("data", "atpgd-data", "durable data directory (jobs, checkpoints, journals, results)")
+		queueCap     = flag.Int("queue", 16, "submission queue bound; beyond it POST /v1/jobs returns 429")
+		jobWorkers   = flag.Int("jobs", 1, "jobs executed concurrently (each job parallelizes internally)")
+		rate         = flag.Float64("rate", 5, "per-client submissions per second (< 0: unlimited)")
+		burst        = flag.Int("burst", 10, "per-client submission burst")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for running jobs to wind down on SIGTERM")
+		ckptEvery    = flag.Duration("checkpoint-every", 0, "per-job checkpoint debounce interval (0: 2s default)")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *dataDir, *queueCap, *jobWorkers, *rate, *burst, *drainTimeout, *ckptEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "atpgd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, dataDir string, queueCap, jobWorkers int, rate float64, burst int, drainTimeout, ckptEvery time.Duration) error {
+	srv, err := server.New(server.Options{
+		DataDir:         dataDir,
+		QueueCap:        queueCap,
+		Workers:         jobWorkers,
+		RatePerSec:      rate,
+		RateBurst:       burst,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	fmt.Printf("atpgd: serving on %s, data in %s\n", listen, dataDir)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("atpgd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the job server first (stop accepting, interrupt jobs, flush
+	// checkpoints, seal journals), then close the HTTP listener.
+	derr := srv.Shutdown(dctx)
+	if herr := hs.Shutdown(dctx); derr == nil {
+		derr = herr
+	}
+	if derr != nil {
+		return derr
+	}
+	fmt.Println("atpgd: drained cleanly")
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -126,7 +127,7 @@ func main() {
 	if *stats {
 		if m, ok := r.Metrics(); ok {
 			fmt.Println("\nengine metrics:")
-			if err := report.WriteMetrics(os.Stdout, m); err != nil {
+			if err := report.WriteMetrics(os.Stdout, repro.WireMetrics(m)); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
 			}
@@ -135,13 +136,14 @@ func main() {
 }
 
 // sealJournal writes the terminal record: run_canceled on cancellation,
-// run_end carrying the final metrics snapshot otherwise.
+// run_end carrying the final metrics snapshot (in its versioned wire
+// form) otherwise.
 func sealJournal(tracer *obs.Tracer, r *experiments.Runner, err error) {
 	var m engine.Metrics
 	if mm, ok := r.Metrics(); ok {
 		m = mm
 	}
-	tracer.Finish(err, obs.Any("metrics", m))
+	tracer.Finish(err, obs.Any("metrics", repro.WireMetrics(m)))
 }
 
 // journalFlush seals the journal before the surrounding os.Exit skips

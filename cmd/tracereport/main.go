@@ -25,6 +25,8 @@ import (
 	"sort"
 	"time"
 
+	"repro"
+	"repro/api"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -269,17 +271,25 @@ func (d *reportData) render(w io.Writer, top int) {
 }
 
 // decodeMetrics re-decodes the run_end "metrics" attribute (a generic
-// JSON object after the journal round trip) into an engine.Metrics.
-func decodeMetrics(v any) (engine.Metrics, bool) {
+// JSON object after the journal round trip) into the wire form. Current
+// journals embed api.MetricsSnapshot directly (recognizable by its "v"
+// version field); journals from before the wire schema embedded a raw
+// engine.Metrics, which is decoded and converted as the legacy
+// fallback.
+func decodeMetrics(v any) (api.MetricsSnapshot, bool) {
 	raw, err := json.Marshal(v)
 	if err != nil {
-		return engine.Metrics{}, false
+		return api.MetricsSnapshot{}, false
 	}
-	var m engine.Metrics
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return engine.Metrics{}, false
+	var m api.MetricsSnapshot
+	if err := json.Unmarshal(raw, &m); err == nil && m.V >= 1 {
+		return m, true
 	}
-	return m, true
+	var legacy engine.Metrics
+	if err := json.Unmarshal(raw, &legacy); err != nil {
+		return api.MetricsSnapshot{}, false
+	}
+	return repro.WireMetrics(legacy), true
 }
 
 func compactJSON(v any) string {

@@ -1,0 +1,181 @@
+// Service: drive a running atpgd daemon through its versioned HTTP
+// API — submit a job, follow the live event stream, and fetch the
+// deterministic result. The same api.JobRequest this client posts is
+// what cmd/atpg builds from its flags, so the result bytes match a
+// local `atpg -fast -faults 6 -result-json` run exactly.
+//
+// Boot the daemon first, then run the client:
+//
+//	go run ./cmd/atpgd -listen :8723 -data atpgd-data &
+//	go run ./examples/service -addr http://127.0.0.1:8723
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/api"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8723", "base URL of the atpgd daemon")
+	macro := flag.String("macro", api.MacroIVConverter, "built-in macro to test")
+	faults := flag.Int("faults", 6, "fault-dictionary prefix to run (0 = all 55)")
+	flag.Parse()
+
+	// The request is the same typed object the CLI assembles from its
+	// flags; Normalize fills defaults, Validate rejects nonsense before
+	// any bytes go on the wire.
+	req := api.JobRequest{
+		V:       api.Version,
+		Macro:   api.MacroSpec{Builtin: *macro},
+		Faults:  api.FaultSpec{Limit: *faults},
+		Options: api.RunOptions{BoxMode: api.BoxModeSeed},
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := submit(*addr, req)
+	fmt.Printf("submitted job %s (state %s)\n", st.ID, st.State)
+
+	// Follow the job's server-sent event stream. The daemon tees the
+	// run journal into the stream, so this sees the same span and
+	// verdict events `atpg -journal` would write — status frames
+	// bracket the stream and the connection closes when the job ends.
+	follow(*addr, st.ID)
+
+	fin := getJSON[api.JobStatus](*addr + "/v1/jobs/" + st.ID)
+	if fin.State != api.StateSucceeded {
+		log.Fatalf("job ended %s: %s", fin.State, fin.Error)
+	}
+	res := getJSON[api.JobResult](*addr + "/v1/jobs/" + st.ID + "/result")
+	fmt.Printf("\nresult (schema v%d): %s, %d faults, delta %g\n",
+		res.V, res.Macro, res.Faults, res.Delta)
+	for _, t := range res.Tests {
+		fmt.Printf("  test config #%d (%s) params=%v covers %d faults\n",
+			t.Config, t.ConfigName, t.Params, len(t.Covers))
+	}
+	fmt.Printf("coverage: %d/%d faults, %.1f %%\n",
+		res.Coverage.Detected, res.Coverage.Total, res.Coverage.Percent)
+}
+
+// submit posts the job and decodes the 202 status reply. A 429 carries
+// a versioned ErrorReply with Retry-After — a production client would
+// back off and retry; this example just reports it.
+func submit(addr string, req api.JobRequest) api.JobStatus {
+	body, err := api.Encode(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e api.ErrorReply
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("submit: %s (%s)", resp.Status, e.Error)
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+// follow streams /v1/jobs/{id}/events and prints the interesting
+// frames: status transitions with live progress, per-fault verdicts,
+// and run-health events (quarantine, retry, checkpoint writes). Span
+// frames are counted, not printed — a full run emits thousands.
+func follow(addr, id string) {
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("events: %s", resp.Status)
+	}
+
+	var event, data string
+	var spans int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "":
+			handleFrame(event, data, &spans)
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (stream closed; %d span frames elided)\n", spans)
+}
+
+func handleFrame(event, data string, spans *int) {
+	switch event {
+	case "status":
+		var st api.JobStatus
+		if json.Unmarshal([]byte(data), &st) != nil {
+			return
+		}
+		if p := st.Progress; p != nil {
+			fmt.Printf("  status: %s  phase %s %d/%d (%.0f %%)\n",
+				st.State, p.Phase, p.Done, p.Total, p.Percent)
+		} else {
+			fmt.Printf("  status: %s\n", st.State)
+		}
+	case "event":
+		var ev struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if json.Unmarshal([]byte(data), &ev) != nil {
+			return
+		}
+		switch ev.Name {
+		case "fault_verdict":
+			fmt.Printf("  verdict: %v -> %v\n", ev.Attrs["fault"], ev.Attrs["verdict"])
+		case "quarantine", "retry", "checkpoint_error":
+			fmt.Printf("  %s: %v\n", ev.Name, ev.Attrs)
+		}
+	case "run_end", "run_canceled":
+		fmt.Printf("  %s\n", event)
+	default: // span_start, span_end, run_start
+		*spans++
+	}
+}
+
+// getJSON fetches one API object, failing loudly on a non-200 reply.
+func getJSON[T any](url string) T {
+	var v T
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,147 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is the multi-job checkpoint directory layout of the job server:
+// one subdirectory per job under <root>/jobs, each holding the job's
+// durable files. Every write goes through the package's atomic Save, so
+// a daemon killed at any instant leaves every job either at its previous
+// or its next complete state — the property restart-resume builds on.
+//
+//	<root>/jobs/<id>/job.json        submission record (request + lifecycle state)
+//	<root>/jobs/<id>/ckpt.json       per-fault generation checkpoint (core schema)
+//	<root>/jobs/<id>/journal.jsonl   JSONL run journal
+//	<root>/jobs/<id>/result.json     canonical wire-encoded job result
+type Store struct {
+	root string
+}
+
+// JobPaths names the durable files of one job.
+type JobPaths struct {
+	// Dir is the job's directory.
+	Dir string
+	// Record is the submission record (request + state).
+	Record string
+	// Checkpoint is the per-fault generation checkpoint.
+	Checkpoint string
+	// Journal is the JSONL run journal.
+	Journal string
+	// Result is the canonical encoded result.
+	Result string
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("ckpt: empty store root")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: store root: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// validID guards against job IDs that would escape the layout. IDs are
+// server-generated, but the store is also fed from directory listings
+// of disks it does not fully own.
+func validID(id string) error {
+	if id == "" || id == "." || id == ".." {
+		return fmt.Errorf("ckpt: invalid job id %q", id)
+	}
+	if strings.ContainsAny(id, "/\\") {
+		return fmt.Errorf("ckpt: invalid job id %q", id)
+	}
+	return nil
+}
+
+// Job returns the file layout of one job id without touching the disk.
+func (s *Store) Job(id string) (JobPaths, error) {
+	if err := validID(id); err != nil {
+		return JobPaths{}, err
+	}
+	dir := filepath.Join(s.root, "jobs", id)
+	return JobPaths{
+		Dir:        dir,
+		Record:     filepath.Join(dir, "job.json"),
+		Checkpoint: filepath.Join(dir, "ckpt.json"),
+		Journal:    filepath.Join(dir, "journal.jsonl"),
+		Result:     filepath.Join(dir, "result.json"),
+	}, nil
+}
+
+// Create makes the job's directory and returns its layout.
+func (s *Store) Create(id string) (JobPaths, error) {
+	p, err := s.Job(id)
+	if err != nil {
+		return JobPaths{}, err
+	}
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return JobPaths{}, fmt.Errorf("ckpt: job dir %s: %w", id, err)
+	}
+	return p, nil
+}
+
+// List returns the IDs of every job directory that holds a submission
+// record, sorted lexically (server job IDs sort chronologically).
+// Directories without a record — a crash between MkdirAll and the first
+// record write — are skipped: they carry no recoverable state.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ckpt: list jobs: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() || validID(e.Name()) != nil {
+			continue
+		}
+		p, _ := s.Job(e.Name())
+		if _, err := os.Stat(p.Record); err != nil {
+			continue
+		}
+		ids = append(ids, e.Name())
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// SaveRecord atomically persists the job's submission record, creating
+// the job's directory if needed.
+func (s *Store) SaveRecord(id string, v any) error {
+	p, err := s.Create(id)
+	if err != nil {
+		return err
+	}
+	return Save(p.Record, v)
+}
+
+// LoadRecord reads the job's submission record into v.
+func (s *Store) LoadRecord(id string, v any) error {
+	p, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	return Load(p.Record, v)
+}
+
+// Remove deletes a job's directory and everything in it.
+func (s *Store) Remove(id string) error {
+	p, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(p.Dir)
+}

@@ -1,0 +1,109 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type fakeRecord struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+func TestStoreLayoutAndRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	st, err := NewStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.Create("20260807-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dir != filepath.Join(root, "jobs", "20260807-0001") {
+		t.Fatalf("Dir = %q", p.Dir)
+	}
+	for _, f := range []string{p.Record, p.Checkpoint, p.Journal, p.Result} {
+		if filepath.Dir(f) != p.Dir {
+			t.Fatalf("file %q outside job dir %q", f, p.Dir)
+		}
+	}
+
+	want := fakeRecord{ID: "20260807-0001", State: "queued"}
+	if err := st.SaveRecord(want.ID, want); err != nil {
+		t.Fatal(err)
+	}
+	var got fakeRecord
+	if err := st.LoadRecord(want.ID, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("record round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestStoreListSkipsEmptyAndSorts(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b-2", "a-1", "c-3"} {
+		if err := st.SaveRecord(id, fakeRecord{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Directory without a record: crash between mkdir and first save.
+	if _, err := st.Create("d-4"); err != nil {
+		t.Fatal(err)
+	}
+	// Stray file at the jobs level must be ignored.
+	if err := os.WriteFile(filepath.Join(st.Root(), "jobs", "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a-1", "b-2", "c-3"}
+	if len(ids) != len(want) {
+		t.Fatalf("List = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("List = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestStoreRejectsBadIDs(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, err := st.Job(id); err == nil {
+			t.Fatalf("Job(%q) accepted", id)
+		}
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveRecord("gone", fakeRecord{ID: "gone"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("List after Remove = %v", ids)
+	}
+}

@@ -166,6 +166,23 @@ type Stats struct {
 	Quarantined int64
 }
 
+// solverSnapshot reads the simulation kernel's process-wide totals in
+// the engine's snapshot shape.
+func solverSnapshot() engine.SolverStats {
+	t := sim.Totals()
+	return engine.SolverStats{
+		Stamps:           t.Stamps,
+		Factorizations:   t.Factorizations,
+		FactorReuses:     t.FactorReuses,
+		NewtonIterations: t.NewtonIterations,
+		Solves:           t.Solves,
+		BaseBuilds:       t.BaseBuilds,
+		BaseHits:         t.BaseHits,
+		RecoveryAttempts: t.RecoveryAttempts,
+		Recoveries:       t.Recoveries,
+	}
+}
+
 // Stats returns a snapshot of the session's simulation counters.
 func (s *Session) Stats() Stats {
 	s.quarMu.Lock()
@@ -263,21 +280,17 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 	}
 	// Surface the simulation kernel's counters in engine metrics.
 	// Engines are built deep inside test-configuration closures, so the
-	// kernel's process-wide totals are the observation point; with one
-	// active session at a time (the CLI case) they attribute cleanly.
+	// kernel's process-wide totals are the observation point. Snapshots
+	// are scoped to this session's lifetime by subtracting the totals at
+	// construction time, so a session started inside a long-running
+	// process (a job server that has already executed other jobs) reports
+	// only its own work. Jobs running concurrently in one process still
+	// share the process-wide counters — their solver sections then report
+	// combined activity over the job's lifetime, which the server
+	// documents.
+	base := solverSnapshot()
 	s.eng.SetSolverSource(func() engine.SolverStats {
-		t := sim.Totals()
-		return engine.SolverStats{
-			Stamps:           t.Stamps,
-			Factorizations:   t.Factorizations,
-			FactorReuses:     t.FactorReuses,
-			NewtonIterations: t.NewtonIterations,
-			Solves:           t.Solves,
-			BaseBuilds:       t.BaseBuilds,
-			BaseHits:         t.BaseHits,
-			RecoveryAttempts: t.RecoveryAttempts,
-			Recoveries:       t.Recoveries,
-		}
+		return solverSnapshot().Sub(base)
 	})
 	boxes, err := s.buildBoxes(ctx)
 	if err != nil {
@@ -289,6 +302,11 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 
 // Golden returns the fault-free macro.
 func (s *Session) Golden() *circuit.Circuit { return s.golden }
+
+// Config returns the session's effective configuration (defaults
+// applied). Callers use it to reconstruct the wire request a session
+// corresponds to; mutating the returned copy has no effect.
+func (s *Session) Config() Config { return s.cfg }
 
 // Configs returns the session's test configurations.
 func (s *Session) Configs() []*testcfg.Config { return s.configs }

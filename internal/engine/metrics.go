@@ -84,6 +84,25 @@ type SolverStats struct {
 	Recoveries uint64
 }
 
+// Sub returns s minus base, field by field. Sessions use it to scope
+// the kernel's monotone process-wide totals to their own lifetime: the
+// source registered with SetSolverSource subtracts the totals captured
+// at session construction, so a session started late in a long-running
+// process (a job server) reports only the work done since it began.
+func (s SolverStats) Sub(base SolverStats) SolverStats {
+	return SolverStats{
+		Stamps:           s.Stamps - base.Stamps,
+		Factorizations:   s.Factorizations - base.Factorizations,
+		FactorReuses:     s.FactorReuses - base.FactorReuses,
+		NewtonIterations: s.NewtonIterations - base.NewtonIterations,
+		Solves:           s.Solves - base.Solves,
+		BaseBuilds:       s.BaseBuilds - base.BaseBuilds,
+		BaseHits:         s.BaseHits - base.BaseHits,
+		RecoveryAttempts: s.RecoveryAttempts - base.RecoveryAttempts,
+		Recoveries:       s.Recoveries - base.Recoveries,
+	}
+}
+
 // Metrics is a point-in-time snapshot of an engine's observability
 // counters: where simulation time went, how well the response cache is
 // working, and what the simulation kernel did for it.

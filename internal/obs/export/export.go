@@ -1,13 +1,19 @@
 // Package export is the live observability surface of a run: an opt-in
 // HTTP listener serving expvar-style JSON snapshots of the engine and
 // solver metrics, a /progress endpoint (units done/total, current phase,
-// ETA), and net/http/pprof for on-line profiling.
+// ETA), a /healthz liveness endpoint, and net/http/pprof for on-line
+// profiling.
 //
 // The server is wired with snapshot providers rather than concrete
 // types, so it has no dependency on the engine or core packages; the
 // cmds pass closures over Session.Metrics and obs.Progress.Snapshot.
 // Providers must be safe for concurrent use (both the engine metrics
 // snapshot and the progress tracker are copy-on-read over atomics).
+//
+// Register mounts the endpoints on any mux, so long-lived hosts (the
+// job daemon) reuse the same routes without this package owning their
+// listener; Serve remains the one-shot listener used by cmd/atpg
+// -listen.
 package export
 
 import (
@@ -21,9 +27,10 @@ import (
 	"repro/internal/obs"
 )
 
-// Options wires a Server.
+// Options wires the export endpoints.
 type Options struct {
-	// Addr is the listen address (":6060", "127.0.0.1:0", ...).
+	// Addr is the listen address (":6060", "127.0.0.1:0", ...). Only
+	// Serve reads it; Register mounts on a caller-owned mux.
 	Addr string
 	// Metrics returns the current metrics snapshot; it is marshaled to
 	// JSON as-is on every /metrics request. Nil disables the endpoint.
@@ -31,6 +38,71 @@ type Options struct {
 	// Progress returns the run's progress snapshot. Nil disables
 	// /progress.
 	Progress func() obs.ProgressSnapshot
+	// Health returns the process's health snapshot, marshaled as-is on
+	// /healthz with status 200 when ok is true and 503 when false. Nil
+	// enables a trivial always-ok /healthz.
+	Health func() (body any, ok bool)
+	// Index disables the "/" usage page when false-returning hosts want
+	// to own the root route. Serve always mounts it.
+	NoIndex bool
+}
+
+// Register mounts the export endpoints (/metrics, /progress, /healthz,
+// /debug/pprof/*, and the "/" usage page unless o.NoIndex) on mux.
+func Register(mux *http.ServeMux, o Options) {
+	if !o.NoIndex {
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/" {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "atpg observability\n\n/metrics   engine + solver counters (JSON)\n/progress  run progress (JSON)\n/healthz   liveness (JSON)\n/debug/pprof/  profiling\n")
+		})
+	}
+	if o.Metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			WriteJSON(w, o.Metrics())
+		})
+	}
+	if o.Progress != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			s := o.Progress()
+			// Augment the raw snapshot with human-friendly fields.
+			WriteJSON(w, map[string]any{
+				"phase":         s.Phase,
+				"done":          s.Done,
+				"total":         s.Total,
+				"percent":       s.Percent(),
+				"elapsed":       s.Elapsed.String(),
+				"phase_elapsed": s.PhaseElapsed.String(),
+				"eta":           s.ETA.String(),
+				"eta_ns":        int64(s.ETA),
+			})
+		})
+	}
+	health := o.Health
+	if health == nil {
+		health = func() (any, bool) { return map[string]any{"status": "ok"}, true }
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		body, ok := health()
+		if !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(body)
+			return
+		}
+		WriteJSON(w, body)
+	})
+	// pprof on the private mux (the default mux may not be ours to own).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Server is a running export listener.
@@ -48,41 +120,8 @@ func Serve(o Options) (*Server, error) {
 		return nil, fmt.Errorf("export: listen %s: %w", o.Addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "atpg observability\n\n/metrics   engine + solver counters (JSON)\n/progress  run progress (JSON)\n/debug/pprof/  profiling\n")
-	})
-	if o.Metrics != nil {
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, o.Metrics())
-		})
-	}
-	if o.Progress != nil {
-		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-			s := o.Progress()
-			// Augment the raw snapshot with human-friendly fields.
-			writeJSON(w, map[string]any{
-				"phase":         s.Phase,
-				"done":          s.Done,
-				"total":         s.Total,
-				"percent":       s.Percent(),
-				"elapsed":       s.Elapsed.String(),
-				"phase_elapsed": s.PhaseElapsed.String(),
-				"eta":           s.ETA.String(),
-				"eta_ns":        int64(s.ETA),
-			})
-		})
-	}
-	// pprof on the private mux (the default mux may not be ours to own).
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	o.NoIndex = false
+	Register(mux, o)
 
 	s := &Server{
 		ln: ln,
@@ -101,9 +140,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close stops the listener and in-flight handlers.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// writeJSON marshals v with indentation (the endpoints are for humans
-// and scrapers alike; indented JSON keeps curl output readable).
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON writes v as indented JSON with status 200 (the endpoints
+// are for humans and scrapers alike; indented JSON keeps curl output
+// readable).
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -134,11 +134,53 @@ type ValidationStats struct {
 	Terminal string
 }
 
-// Validate checks a JSONL journal against schema v1:
+// v2EventNames are the point-event names the fault-tolerant runtime
+// added in schema v2. A journal that declares v1 must not contain them:
+// either its producer lied about the version or the file was stitched
+// together from mixed runs — both are worth failing loudly over.
+var v2EventNames = map[string]bool{
+	"quarantine":       true,
+	"retry":            true,
+	"checkpoint_write": true,
+	"checkpoint_error": true,
+	"resume":           true,
+}
+
+// schemaRules is the per-version validation vocabulary. Validation
+// dispatches on the run_start version explicitly — v1 journals written
+// before the fault-tolerant runtime stay first-class citizens instead
+// of being accepted (or rejected) by accident of a shared code path.
+type schemaRules struct {
+	version int
+}
+
+// rulesForVersion returns the validation rules for a declared journal
+// schema version, or an error for versions this reader does not speak.
+func rulesForVersion(v int) (schemaRules, error) {
+	switch v {
+	case 1, 2:
+		return schemaRules{version: v}, nil
+	default:
+		return schemaRules{}, fmt.Errorf("unsupported schema version %d (this reader speaks v1..v%d)", v, SchemaVersion)
+	}
+}
+
+// checkEvent applies the version-specific vocabulary to one record.
+func (r schemaRules) checkEvent(ev Event) error {
+	if r.version < 2 && ev.Type == TypeEvent && v2EventNames[ev.Name] {
+		return fmt.Errorf("event %q requires schema v2, journal declares v%d", ev.Name, r.version)
+	}
+	return nil
+}
+
+// Validate checks a JSONL journal against its declared schema version,
+// dispatching explicitly on v1 and v2 (see rulesForVersion):
 //
 //   - the first record is run_start with a known schema version,
 //   - span IDs are unique and every span_end matches an open span_start,
 //   - timestamps are non-negative,
+//   - the record vocabulary matches the declared version (a v1 journal
+//     must not carry v2-only resilience events),
 //   - the last record is terminal (run_end or run_canceled),
 //   - every span is closed, unless the run was canceled (a canceled run
 //     is truncated but valid).
@@ -147,6 +189,7 @@ type ValidationStats struct {
 // violation found.
 func Validate(r io.Reader) (ValidationStats, error) {
 	var st ValidationStats
+	var rules schemaRules
 	open := make(map[uint64]string) // span id -> name
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -167,8 +210,9 @@ func Validate(r io.Reader) (ValidationStats, error) {
 			if ev.Type != TypeRunStart {
 				return st, fmt.Errorf("obs: line %d: first record is %q, want %q", line, ev.Type, TypeRunStart)
 			}
-			if ev.V < 1 || ev.V > SchemaVersion {
-				return st, fmt.Errorf("obs: line %d: unsupported schema version %d", line, ev.V)
+			var rerr error
+			if rules, rerr = rulesForVersion(ev.V); rerr != nil {
+				return st, fmt.Errorf("obs: line %d: %w", line, rerr)
 			}
 			st.Version = ev.V
 		} else if ev.Type == TypeRunStart {
@@ -179,6 +223,9 @@ func Validate(r io.Reader) (ValidationStats, error) {
 		}
 		if ev.TS < 0 {
 			return st, fmt.Errorf("obs: line %d: negative timestamp %d", line, ev.TS)
+		}
+		if err := rules.checkEvent(ev); err != nil {
+			return st, fmt.Errorf("obs: line %d: %w", line, err)
 		}
 		switch ev.Type {
 		case TypeRunStart, TypeEvent, TypeRunEnd, TypeRunCanceled:

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestValidateSchemaV1Fixture is the regression test for the
+// version-dispatch fix: a journal written before the fault-tolerant
+// runtime (schema v1, no verdict attributes, no resilience events) must
+// validate as first-class v1, not be rejected by v2-era rules.
+func TestValidateSchemaV1Fixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "journal_v1.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := Validate(f)
+	if err != nil {
+		t.Fatalf("v1 fixture rejected: %v", err)
+	}
+	if st.Version != 1 {
+		t.Fatalf("Version = %d, want 1", st.Version)
+	}
+	if st.Terminal != TypeRunEnd {
+		t.Fatalf("Terminal = %q", st.Terminal)
+	}
+	if st.Spans != 2 || st.OpenSpans != 0 {
+		t.Fatalf("Spans = %d, OpenSpans = %d", st.Spans, st.OpenSpans)
+	}
+}
+
+// TestValidateSchemaV2Fixture pins the v2 vocabulary: resilience events
+// (resume, retry, quarantine, checkpoint_write) are legal under a v2
+// run_start.
+func TestValidateSchemaV2Fixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "journal_v2.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := Validate(f)
+	if err != nil {
+		t.Fatalf("v2 fixture rejected: %v", err)
+	}
+	if st.Version != 2 {
+		t.Fatalf("Version = %d, want 2", st.Version)
+	}
+}
+
+// TestValidateVersionDispatch checks the explicit dispatch edges: a v1
+// journal carrying a v2-only event fails with a version message, and an
+// undeclared future version is refused up front.
+func TestValidateVersionDispatch(t *testing.T) {
+	v1WithQuarantine := `{"ts":0,"type":"run_start","v":1}
+{"ts":10,"type":"event","name":"quarantine","attrs":{"fault":"x"}}
+{"ts":20,"type":"run_end"}
+`
+	if _, err := Validate(strings.NewReader(v1WithQuarantine)); err == nil {
+		t.Fatal("v1 journal with a v2-only event validated")
+	} else if !strings.Contains(err.Error(), "requires schema v2") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	future := `{"ts":0,"type":"run_start","v":3}
+{"ts":20,"type":"run_end"}
+`
+	if _, err := Validate(strings.NewReader(future)); err == nil {
+		t.Fatal("future-version journal validated")
+	} else if !strings.Contains(err.Error(), "unsupported schema version 3") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	if _, err := rulesForVersion(0); err == nil {
+		t.Fatal("rulesForVersion(0) accepted")
+	}
+	for v := 1; v <= SchemaVersion; v++ {
+		if _, err := rulesForVersion(v); err != nil {
+			t.Fatalf("rulesForVersion(%d): %v", v, err)
+		}
+	}
+}

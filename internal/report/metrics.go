@@ -5,17 +5,20 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/engine"
+	"repro/api"
 )
 
-// WriteMetrics renders an engine metrics snapshot: the per-phase timing
-// table followed by the nominal-cache and solver-kernel summary lines.
-// It is the one renderer shared by the atpg/experiments -stats flags and
-// by tracereport's run_end metrics section.
-func WriteMetrics(w io.Writer, m engine.Metrics) error {
+// WriteMetrics renders a wire metrics snapshot (api.MetricsSnapshot):
+// the per-phase timing table followed by the nominal-cache and
+// solver-kernel summary lines. It is the one renderer shared by the
+// atpg/experiments -stats flags and by tracereport's run_end metrics
+// section; producers convert engine snapshots with repro.WireMetrics.
+func WriteMetrics(w io.Writer, m api.MetricsSnapshot) error {
 	t := NewTable("phase", "units", "wall", "avg/unit")
 	for _, p := range m.Phases {
-		t.AddRow(p.Name, p.Count, p.Wall.Round(time.Millisecond), p.Avg().Round(time.Microsecond))
+		t.AddRow(p.Name, p.Count,
+			time.Duration(p.WallNS).Round(time.Millisecond),
+			time.Duration(p.Avg()).Round(time.Microsecond))
 	}
 	if _, err := t.WriteTo(w); err != nil {
 		return err

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Hub is a fan-out obs.Sink: every trace event of a job is broadcast to
+// the subscribed SSE streams. Emit never blocks the producing run — a
+// subscriber that stops draining loses events (its channel buffer
+// overflows and events are dropped), which is the right trade for a
+// monitoring stream riding on top of the authoritative journal file.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[chan obs.Event]struct{}
+	closed bool
+}
+
+// NewHub returns an open hub with no subscribers.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[chan obs.Event]struct{})}
+}
+
+// Emit implements obs.Sink.
+func (h *Hub) Emit(ev obs.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, never block the run
+		}
+	}
+}
+
+// Subscribe registers a buffered event stream and returns it with its
+// cancel function. On a closed hub the returned channel is already
+// closed (the job is over; the journal file has the full record).
+func (h *Hub) Subscribe(buf int) (<-chan obs.Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	ch := make(chan obs.Event, buf)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// Close seals the hub: all subscriber channels are closed (ending their
+// SSE streams) and later Emits are dropped.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// multiSink tees trace events to several sinks (journal file + hub).
+type multiSink []obs.Sink
+
+// Emit implements obs.Sink.
+func (m multiSink) Emit(ev obs.Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

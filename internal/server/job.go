@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// Job is the in-memory state of one submission. Mutable fields are
+// guarded by mu; the persisted projection (jobRecord) is written through
+// the ckpt store on every state transition, so a killed daemon can
+// rebuild the registry on restart.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	req      api.JobRequest
+	state    api.JobState
+	created  time.Time
+	started  *time.Time
+	finished *time.Time
+	errMsg   string
+	// attempts counts runner starts; > 1 means the job was resumed after
+	// a crash or drain.
+	attempts int
+	// resume forces checkpoint resume on the next start (set when the
+	// job is recovered from disk).
+	resume       bool
+	userCanceled bool
+	verdicts     map[api.Verdict]int
+	quarantined  []api.QuarantineInfo
+
+	// Live plumbing, non-nil only while running.
+	prog   *obs.Progress
+	cancel func()
+
+	hub   *Hub
+	paths ckpt.JobPaths
+}
+
+// jobRecord is the durable projection of a Job (jobs/<id>/job.json).
+type jobRecord struct {
+	V           int                  `json:"v"`
+	ID          string               `json:"id"`
+	State       api.JobState         `json:"state"`
+	Created     time.Time            `json:"created"`
+	Started     *time.Time           `json:"started,omitempty"`
+	Finished    *time.Time           `json:"finished,omitempty"`
+	Error       string               `json:"error,omitempty"`
+	Attempts    int                  `json:"attempts,omitempty"`
+	Verdicts    map[api.Verdict]int  `json:"verdicts,omitempty"`
+	Quarantined []api.QuarantineInfo `json:"quarantined,omitempty"`
+	Request     api.JobRequest       `json:"request"`
+}
+
+// record builds the durable projection under the job's lock.
+func (j *Job) record() jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobRecord{
+		V:           api.Version,
+		ID:          j.ID,
+		State:       j.state,
+		Created:     j.created,
+		Started:     j.started,
+		Finished:    j.finished,
+		Error:       j.errMsg,
+		Attempts:    j.attempts,
+		Verdicts:    j.verdicts,
+		Quarantined: j.quarantined,
+		Request:     j.req,
+	}
+}
+
+// jobFromRecord rebuilds a Job from its durable projection.
+func jobFromRecord(rec jobRecord, paths ckpt.JobPaths) *Job {
+	return &Job{
+		ID:          rec.ID,
+		req:         rec.Request,
+		state:       rec.State,
+		created:     rec.Created,
+		started:     rec.Started,
+		finished:    rec.Finished,
+		errMsg:      rec.Error,
+		attempts:    rec.Attempts,
+		verdicts:    rec.Verdicts,
+		quarantined: rec.Quarantined,
+		hub:         NewHub(),
+		paths:       paths,
+	}
+}
+
+// Status builds the wire status of the job, including a live progress
+// snapshot while it runs.
+func (j *Job) Status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{
+		V:           api.Version,
+		ID:          j.ID,
+		State:       j.state,
+		Created:     j.created,
+		Started:     j.started,
+		Finished:    j.finished,
+		Verdicts:    j.verdicts,
+		Quarantined: j.quarantined,
+		Error:       j.errMsg,
+		Attempts:    j.attempts,
+	}
+	if j.state == api.StateRunning && j.prog != nil {
+		p := repro.WireProgress(j.prog.Snapshot())
+		st.Progress = &p
+	}
+	return st
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() api.JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Request returns a copy of the job's submission request.
+func (j *Job) Request() api.JobRequest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.req
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket over job submissions, keyed
+// by the client's host (RemoteAddr without the port). It exists to stop
+// one misbehaving client from monopolizing the bounded queue, not to be
+// a precise traffic shaper.
+type rateLimiter struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	b     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter granting rate submissions per second
+// with the given burst. rate <= 0 disables limiting.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), b: make(map[string]*bucket)}
+}
+
+// clientKey reduces a RemoteAddr to its host part, so every connection
+// from one client shares a bucket.
+func clientKey(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}
+
+// allow consumes one token from key's bucket, reporting whether the
+// submission may proceed and, when it may not, how long until the next
+// token accrues.
+func (l *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.b[key]
+	if bk == nil {
+		// Opportunistic pruning keeps the map bounded without a sweeper
+		// goroutine: full buckets are idle clients.
+		if len(l.b) > 4096 {
+			for k, old := range l.b {
+				if old.tokens+now.Sub(old.last).Seconds()*l.rate >= l.burst {
+					delete(l.b, k)
+				}
+			}
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.b[key] = bk
+	}
+	bk.tokens += now.Sub(bk.last).Seconds() * l.rate
+	if bk.tokens > l.burst {
+		bk.tokens = l.burst
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / l.rate * float64(time.Second))
+}

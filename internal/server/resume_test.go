@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// resumeRequest is the small-but-real job the resume tests run: the
+// reduced macro, seed boxes, and a capped fault list keep one run in
+// the seconds range while still exercising the full generate → compact
+// → coverage pipeline.
+func resumeRequest() api.JobRequest {
+	return api.JobRequest{
+		V:      1,
+		Macro:  api.MacroSpec{Builtin: api.MacroSimpleIVConverter},
+		Faults: api.FaultSpec{Limit: 4},
+		Options: api.RunOptions{
+			BoxMode: api.BoxModeSeed,
+			Workers: 2,
+		},
+	}
+}
+
+// TestKillRestartResumeBitIdentical is the acceptance test of the
+// daemon's durability story: a job interrupted by a drain (the SIGTERM
+// path; kill -9 lands in the same recovery code because the persisted
+// record still says running) and resumed by a fresh daemon over the
+// same data directory must produce a result byte-identical to an
+// uninterrupted run of the same request.
+func TestKillRestartResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real ATPG runs; skipped under -short")
+	}
+
+	// Reference: the same request run uninterrupted.
+	refDir := t.TempDir()
+	s1, err := New(Options{DataDir: refDir, RatePerSec: -1, CheckpointEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	defer hs1.Close()
+	st := submit(t, hs1.URL, resumeRequest())
+	deadline := time.Now().Add(4 * time.Minute)
+	for getStatus(t, hs1.URL, st.ID).State != api.StateSucceeded {
+		if time.Now().After(deadline) {
+			t.Fatalf("reference job stuck in %s", getStatus(t, hs1.URL, st.ID).State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	refPaths, err := s1.Store().Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refPaths.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = s1.Shutdown(sctx)
+	cancel()
+
+	// Interrupted run: drain the daemon once the first checkpoint lands.
+	dir := t.TempDir()
+	s2, err := New(Options{DataDir: dir, RatePerSec: -1, CheckpointEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	st2 := submit(t, hs2.URL, resumeRequest())
+	paths, err := s2.Store().Job(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(paths.Checkpoint); err == nil {
+			break
+		}
+		if getStatus(t, hs2.URL, st2.ID).State == api.StateSucceeded {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := s2.Shutdown(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	dcancel()
+	hs2.Close()
+
+	var rec jobRecord
+	if err := s2.Store().LoadRecord(st2.ID, &rec); err != nil {
+		t.Fatal(err)
+	}
+	interrupted := rec.State == api.StateInterrupted
+	if !interrupted && rec.State != api.StateSucceeded {
+		t.Fatalf("after drain job is %s, want interrupted (or already succeeded)", rec.State)
+	}
+
+	// Fresh daemon over the same data directory: the interrupted job is
+	// re-enqueued with checkpoint resume and runs to completion.
+	s3, err := New(Options{DataDir: dir, RatePerSec: -1, CheckpointEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs3 := httptest.NewServer(s3.Handler())
+	defer hs3.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s3.Shutdown(ctx)
+	}()
+	for getStatus(t, hs3.URL, st2.ID).State != api.StateSucceeded {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", getStatus(t, hs3.URL, st2.ID).State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	got, err := os.ReadFile(paths.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nresumed:  %d bytes\nuncut:    %d bytes", len(got), len(want))
+	}
+	if interrupted {
+		fin := getStatus(t, hs3.URL, st2.ID)
+		if fin.Attempts < 2 {
+			t.Fatalf("resumed job attempts = %d, want >= 2", fin.Attempts)
+		}
+	}
+}

@@ -21,8 +21,31 @@ type optionFunc func(*core.Config)
 func (f optionFunc) applyOption(c *core.Config) { f(c) }
 
 // applyOption makes a SessionConfig usable as an Option: it replaces the
-// whole configuration. Deprecated: prefer the With... options.
+// whole configuration.
+//
+// Deprecated: the struct-literal configuration path is kept only so
+// pre-options call sites compile. New code composes With... options;
+// code migrating off a stored SessionConfig wraps it in WithConfig once
+// and peels fields into options over time (see README "Migrating from
+// SessionConfig").
 func (cfg SessionConfig) applyOption(c *core.Config) { *c = core.Config(cfg) }
+
+// WithConfig is the migration bridge from the legacy SessionConfig
+// struct-literal path to the functional-options API: it applies the
+// whole legacy bundle as one option, so call sites can switch to the
+// options constructor shape first and replace the bundle with granular
+// With... options afterwards:
+//
+//	sys, err := repro.NewIVConverterSystem(
+//		repro.WithConfig(legacyCfg),   // step 1: adopt the options shape
+//		repro.WithWorkers(16),         // step 2: peel fields off the bundle
+//	)
+//
+// Like SessionConfig itself, WithConfig replaces the entire
+// configuration, so it must come before any granular options.
+func WithConfig(cfg SessionConfig) Option {
+	return optionFunc(func(c *core.Config) { *c = core.Config(cfg) })
+}
 
 // resolveConfig folds options over the defaults.
 func resolveConfig(opts []Option) core.Config {

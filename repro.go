@@ -51,6 +51,7 @@ package repro
 import (
 	"context"
 
+	"repro/api"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -184,6 +185,9 @@ type System struct {
 	session *Session
 	golden  *Circuit
 	faults  []Fault
+	// request is the wire request this system was built from (nil for
+	// option-built systems; see SessionRequest).
+	request *api.JobRequest
 }
 
 // NewIVConverterSystem builds the IV-converter macro, its 55-fault
@@ -202,7 +206,13 @@ func NewIVConverterSystem(opts ...Option) (*System, error) {
 // NewSystem builds a system for a custom macro and configurations; the
 // fault dictionary is enumerated exhaustively from the macro structure.
 func NewSystem(golden *Circuit, cfgs []*TestConfig, opts ...Option) (*System, error) {
-	s, err := core.NewSession(golden, cfgs, resolveConfig(opts))
+	return NewSystemContext(context.Background(), golden, cfgs, opts...)
+}
+
+// NewSystemContext is NewSystem honoring ctx during the (possibly
+// expensive) tolerance-box construction.
+func NewSystemContext(ctx context.Context, golden *Circuit, cfgs []*TestConfig, opts ...Option) (*System, error) {
+	s, err := core.NewSessionContext(ctx, golden, cfgs, resolveConfig(opts))
 	if err != nil {
 		return nil, err
 	}
