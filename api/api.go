@@ -90,6 +90,10 @@ type RunOptions struct {
 	Retries int `json:"retries,omitempty"`
 	// AttemptTimeoutMS bounds each optimizer attempt under Retries.
 	AttemptTimeoutMS int64 `json:"attempt_timeout_ms,omitempty"`
+	// DisableLowRank turns off the retained-evaluator / low-rank solve
+	// fast path of the impact search. Results are bit-identical either
+	// way; the switch exists for benchmarking and debugging.
+	DisableLowRank bool `json:"disable_lowrank,omitempty"`
 }
 
 // CompactSpec tunes test-set compaction.
@@ -333,6 +337,12 @@ type SolverMetrics struct {
 	BaseHits         uint64 `json:"base_hits"`
 	RecoveryAttempts uint64 `json:"recovery_attempts,omitempty"`
 	Recoveries       uint64 `json:"recoveries,omitempty"`
+	// Solver-economy counters of the low-rank fault fast path. Zero (and
+	// omitted) on runs that never routed a fault through it, which keeps
+	// pre-fast-path consumers byte-compatible.
+	WoodburySolves      uint64 `json:"woodbury_solves,omitempty"`
+	WoodburyFallbacks   uint64 `json:"woodbury_fallbacks,omitempty"`
+	FaultyFactorAvoided uint64 `json:"faulty_factor_avoided,omitempty"`
 }
 
 // MetricsSnapshot is the versioned wire form of an engine metrics

@@ -3,13 +3,21 @@
 // measured numbers, the checked-in pre-split-engine baseline, and the
 // solver-kernel counters each workload consumed.
 //
-//	go run ./cmd/bench            # writes BENCH_sim.json
-//	go run ./cmd/bench -readme    # also refresh the README table
+//	go run ./cmd/bench                          # writes BENCH_sim.json
+//	go run ./cmd/bench -readme                  # also refresh the README table
+//	go run ./cmd/bench -compare BENCH_sim.json  # CI gate: fail on regression
 //
-// The baselines were measured at commit 3ccd4fa (the stamp-everything
-// engine, before the split-stamp/linear-snapshot rewrite) on the same
-// machine that produced the checked-in numbers, by running this suite's
-// workload definitions against that tree.
+// The pre-split baselines were measured against the stamp-everything
+// engine (before the split-stamp/linear-snapshot rewrite) by running
+// this suite's workload definitions against that tree; the pre-lowrank
+// baseline of impact_search is measured live in the same run by forcing
+// the throwaway insert+restamp path, so the recorded ratio is
+// machine-consistent by construction.
+//
+// -compare re-runs the suite and diffs it against a checked-in report:
+// any workload whose ns/op regresses by more than -tolerance (default
+// 10 %) fails the run with a nonzero exit, so CI catches perf
+// regressions instead of silently rewriting the JSON.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"testing"
@@ -32,7 +41,8 @@ import (
 	"repro/internal/wave"
 )
 
-// baseline is the pre-split-engine measurement of a workload.
+// baseline is a reference measurement of a workload: either the
+// checked-in pre-split-engine numbers or a live pre-lowrank run.
 type baseline struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -41,50 +51,66 @@ type baseline struct {
 
 // solverWork is the per-op delta of the simulation kernel counters.
 type solverWork struct {
-	Stamps           float64 `json:"stamps"`
-	Factorizations   float64 `json:"factorizations"`
-	FactorReuses     float64 `json:"factor_reuses"`
-	NewtonIterations float64 `json:"newton_iterations"`
-	BaseHits         float64 `json:"base_hits"`
+	Stamps              float64 `json:"stamps"`
+	Factorizations      float64 `json:"factorizations"`
+	FactorReuses        float64 `json:"factor_reuses"`
+	NewtonIterations    float64 `json:"newton_iterations"`
+	BaseHits            float64 `json:"base_hits"`
+	WoodburySolves      float64 `json:"woodbury_solves,omitempty"`
+	WoodburyFallbacks   float64 `json:"woodbury_fallbacks,omitempty"`
+	FaultyFactorAvoided float64 `json:"faulty_factor_avoided,omitempty"`
 }
 
-// result is one emitted workload row.
+// result is one emitted workload row. Each workload carries whichever
+// baselines apply: the historical pre-split numbers, and/or the
+// pre-lowrank throwaway path measured in the same run.
 type result struct {
-	Name        string     `json:"name"`
-	Desc        string     `json:"desc"`
-	NsPerOp     float64    `json:"ns_per_op"`
-	BytesPerOp  int64      `json:"bytes_per_op"`
-	AllocsPerOp int64      `json:"allocs_per_op"`
-	Baseline    baseline   `json:"baseline_pre_split"`
-	Speedup     float64    `json:"speedup"`
-	Solver      solverWork `json:"solver_per_op"`
+	Name               string     `json:"name"`
+	Desc               string     `json:"desc"`
+	NsPerOp            float64    `json:"ns_per_op"`
+	BytesPerOp         int64      `json:"bytes_per_op"`
+	AllocsPerOp        int64      `json:"allocs_per_op"`
+	Baseline           *baseline  `json:"baseline_pre_split,omitempty"`
+	BaselinePreLowrank *baseline  `json:"baseline_pre_lowrank,omitempty"`
+	Speedup            float64    `json:"speedup"`
+	Solver             solverWork `json:"solver_per_op"`
 }
 
-// report is the BENCH_sim.json document.
+// report is the BENCH_sim.json document. BaselineCommit records the
+// tree the numbers were measured at (git rev-parse --short HEAD at
+// emit time).
 type report struct {
 	BaselineCommit string   `json:"baseline_commit"`
 	GoVersion      string   `json:"go_version"`
 	GOARCH         string   `json:"goarch"`
+	GOMAXPROCS     int      `json:"gomaxprocs"`
 	Workloads      []result `json:"workloads"`
 }
 
-// workload pairs a benchmark body with its checked-in baseline.
+// workload pairs a benchmark body with its reference measurements.
+// slow, when set, is an alternate body implementing the pre-lowrank
+// path; it is benchmarked in the same process and recorded as
+// baseline_pre_lowrank.
 type workload struct {
 	name string
 	desc string
-	base baseline
+	base *baseline
 	fn   func(b *testing.B)
+	slow func(b *testing.B)
 }
 
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output path for the JSON report")
 	readme := flag.Bool("readme", false, "also refresh the benchmark table in README.md between the bench-table markers")
+	comparePath := flag.String("compare", "", "compare against a checked-in report instead of writing one; exit nonzero on ns/op regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.10, "relative ns/op regression allowed by -compare (0.10 = 10 %)")
 	flag.Parse()
 
 	rep := report{
-		BaselineCommit: "3ccd4fa",
+		BaselineCommit: headCommit(),
 		GoVersion:      runtime.Version(),
 		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 	}
 	for _, w := range workloads() {
 		res := testing.Benchmark(func(b *testing.B) {
@@ -101,19 +127,41 @@ func main() {
 			AllocsPerOp: res.AllocsPerOp(),
 			Baseline:    w.base,
 			Solver: solverWork{
-				Stamps:           float64(t.Stamps) / n,
-				Factorizations:   float64(t.Factorizations) / n,
-				FactorReuses:     float64(t.FactorReuses) / n,
-				NewtonIterations: float64(t.NewtonIterations) / n,
-				BaseHits:         float64(t.BaseHits) / n,
+				Stamps:              float64(t.Stamps) / n,
+				Factorizations:      float64(t.Factorizations) / n,
+				FactorReuses:        float64(t.FactorReuses) / n,
+				NewtonIterations:    float64(t.NewtonIterations) / n,
+				BaseHits:            float64(t.BaseHits) / n,
+				WoodburySolves:      float64(t.WoodburySolves) / n,
+				WoodburyFallbacks:   float64(t.WoodburyFallbacks) / n,
+				FaultyFactorAvoided: float64(t.FaultyFactorAvoided) / n,
 			},
 		}
-		if r.NsPerOp > 0 {
-			r.Speedup = w.base.NsPerOp / r.NsPerOp
+		if w.slow != nil {
+			sres := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				w.slow(b)
+			})
+			r.BaselinePreLowrank = &baseline{
+				NsPerOp:     float64(sres.NsPerOp()),
+				BytesPerOp:  sres.AllocedBytesPerOp(),
+				AllocsPerOp: sres.AllocsPerOp(),
+			}
+		}
+		if ref := r.reference(); ref != nil && r.NsPerOp > 0 {
+			r.Speedup = ref.NsPerOp / r.NsPerOp
 		}
 		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op   %.2fx vs baseline\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
 		rep.Workloads = append(rep.Workloads, r)
+	}
+
+	if *comparePath != "" {
+		if err := compare(*comparePath, rep, *tolerance); err != nil {
+			fail(err)
+		}
+		fmt.Printf("no ns/op regression beyond %.0f %% vs %s\n", *tolerance*100, *comparePath)
+		return
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -132,6 +180,66 @@ func main() {
 		}
 		fmt.Println("refreshed README.md bench table")
 	}
+}
+
+// reference returns the baseline the workload's speedup is quoted
+// against: the historical pre-split numbers when present, otherwise the
+// live pre-lowrank measurement.
+func (r result) reference() *baseline {
+	if r.Baseline != nil {
+		return r.Baseline
+	}
+	return r.BaselinePreLowrank
+}
+
+// headCommit stamps the provenance field from the work tree; outside a
+// git checkout the field degrades to "unknown" rather than failing the
+// run.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// compare diffs the fresh measurements against a checked-in report by
+// workload name and ns/op only (allocation counts and solver work are
+// informational). It returns an error listing every workload that
+// regressed beyond tol.
+func compare(path string, fresh report, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	oldNs := make(map[string]float64, len(old.Workloads))
+	for _, w := range old.Workloads {
+		oldNs[w.Name] = w.NsPerOp
+	}
+	var regressions []string
+	for _, w := range fresh.Workloads {
+		ref, ok := oldNs[w.Name]
+		if !ok || ref <= 0 {
+			fmt.Printf("%-24s not in %s, skipped\n", w.Name, path)
+			continue
+		}
+		ratio := w.NsPerOp/ref - 1
+		fmt.Printf("%-24s %12.0f ns/op vs %12.0f checked in  (%+.1f %%)\n",
+			w.Name, w.NsPerOp, ref, ratio*100)
+		if ratio > tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f %% (%.0f -> %.0f ns/op)", w.Name, ratio*100, ref, w.NsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regressions beyond %.0f %%:\n  %s",
+			tol*100, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // refreshReadme rewrites the benchmark table between the bench-table
@@ -164,9 +272,13 @@ func refreshReadme(path string, rep report) error {
 		return fmt.Sprintf("%.0f ns", ns)
 	}
 	for _, w := range rep.Workloads {
+		ref := w.reference()
+		if ref == nil {
+			ref = &baseline{}
+		}
 		fmt.Fprintf(&t, "| `%s` | %s | %s | %s | %d → %d | %.2f× |\n",
-			w.Name, w.Desc, fmtNs(w.Baseline.NsPerOp), fmtNs(w.NsPerOp),
-			w.Baseline.AllocsPerOp, w.AllocsPerOp, w.Speedup)
+			w.Name, w.Desc, fmtNs(ref.NsPerOp), fmtNs(w.NsPerOp),
+			ref.AllocsPerOp, w.AllocsPerOp, w.Speedup)
 	}
 	out := s[:i+nl+1] + t.String() + s[j:]
 	return os.WriteFile(path, []byte(out), 0o644)
@@ -203,6 +315,35 @@ func ladderCircuit() *circuit.Circuit {
 	return c
 }
 
+// impactSearchBody is the impact-search hot loop the low-rank path
+// targets: full test generation — per-config optimization plus the
+// relax/intensify impact ladder — for one bridging fault on the
+// IV-converter. The disable variant forces every faulty evaluation
+// through the throwaway insert+compile+factor route and is recorded as
+// baseline_pre_lowrank, so the JSON carries a machine-consistent before
+// and after of the same run. Workers=1 keeps the measurement a pure
+// single-thread comparison.
+func impactSearchBody(disableFast bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		scfg := core.DefaultConfig()
+		scfg.BoxMode = core.BoxSeed
+		scfg.Workers = 1
+		scfg.DisableFastPath = disableFast
+		s, err := core.NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+		b.ResetTimer()
+		sim.ResetTotals()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Generate(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // workloads returns the fixed suite. Baseline numbers were measured at
 // the baseline commit with the same workload bodies (2 s benchtime).
 func workloads() []workload {
@@ -210,7 +351,7 @@ func workloads() []workload {
 		{
 			name: "lu_factor_solve_12",
 			desc: "dense real LU factor+solve, n=12 (mna kernel)",
-			base: baseline{NsPerOp: 1138, BytesPerOp: 96, AllocsPerOp: 1},
+			base: &baseline{NsPerOp: 1138, BytesPerOp: 96, AllocsPerOp: 1},
 			fn: func(b *testing.B) {
 				n := 12
 				s := mna.NewSystem(n)
@@ -245,7 +386,7 @@ func workloads() []workload {
 		{
 			name: "op_cold",
 			desc: "cold DC operating point of the IV-converter macro",
-			base: baseline{NsPerOp: 20390, BytesPerOp: 1968, AllocsPerOp: 21},
+			base: &baseline{NsPerOp: 20390, BytesPerOp: 1968, AllocsPerOp: 21},
 			fn: func(b *testing.B) {
 				eng, err := sim.New(macros.IVConverter(), sim.DefaultOptions())
 				if err != nil {
@@ -263,7 +404,7 @@ func workloads() []workload {
 		{
 			name: "newton_warm_sweep16",
 			desc: "16-point warm DC sweep of the IV-converter (steady-state Newton)",
-			base: baseline{NsPerOp: 55084, BytesPerOp: 6992, AllocsPerOp: 87},
+			base: &baseline{NsPerOp: 55084, BytesPerOp: 6992, AllocsPerOp: 87},
 			fn: func(b *testing.B) {
 				eng, err := sim.New(macros.IVConverter(), sim.DefaultOptions())
 				if err != nil {
@@ -288,7 +429,7 @@ func workloads() []workload {
 		{
 			name: "newton_linear_sweep32",
 			desc: "32-point DC sweep of a bridged resistive ladder (linear Newton kernel)",
-			base: baseline{NsPerOp: 163877, BytesPerOp: 13704, AllocsPerOp: 133},
+			base: &baseline{NsPerOp: 163877, BytesPerOp: 13704, AllocsPerOp: 133},
 			fn: func(b *testing.B) {
 				eng, err := sim.New(ladderCircuit(), sim.DefaultOptions())
 				if err != nil {
@@ -313,7 +454,7 @@ func workloads() []workload {
 		{
 			name: "ac_sweep_64",
 			desc: "64-point AC Bode sweep of the IV-converter",
-			base: baseline{NsPerOp: 149230, BytesPerOp: 30696, AllocsPerOp: 142},
+			base: &baseline{NsPerOp: 149230, BytesPerOp: 30696, AllocsPerOp: 142},
 			fn: func(b *testing.B) {
 				eng, err := sim.New(macros.IVConverter(), sim.DefaultOptions())
 				if err != nil {
@@ -336,7 +477,7 @@ func workloads() []workload {
 		{
 			name: "transient_step",
 			desc: "7.5 µs step response of the IV-converter (fixed 10 ns steps)",
-			base: baseline{NsPerOp: 2020944, BytesPerOp: 299857, AllocsPerOp: 3203},
+			base: &baseline{NsPerOp: 2020944, BytesPerOp: 299857, AllocsPerOp: 3203},
 			fn: func(b *testing.B) {
 				sim.ResetTotals()
 				for i := 0; i < b.N; i++ {
@@ -353,9 +494,15 @@ func workloads() []workload {
 			},
 		},
 		{
+			name: "impact_search",
+			desc: "impact-ladder search for one feedback bridge (retained low-rank evaluators)",
+			fn:   impactSearchBody(false),
+			slow: impactSearchBody(true),
+		},
+		{
 			name: "coverage_dc",
 			desc: "DC fault-dictionary generation: 3 faults x 2 configs end to end",
-			base: baseline{NsPerOp: 9793904, BytesPerOp: 4176768, AllocsPerOp: 43896},
+			base: &baseline{NsPerOp: 9793904, BytesPerOp: 4176768, AllocsPerOp: 43896},
 			fn: func(b *testing.B) {
 				scfg := core.DefaultConfig()
 				scfg.BoxMode = core.BoxSeed

@@ -57,12 +57,25 @@ func (s *Session) CoverageContext(ctx context.Context, tests []Test, faults []fa
 		f := faults[fi]
 		fd := f.WithImpact(f.InitialImpact())
 		detectedBy[fi] = -1
+		// Retained evaluators per configuration, built lazily: a test set
+		// typically evaluates several tests of the same configuration
+		// against one fault, and each after the first reuses the compiled
+		// faulty circuit and its engine.
+		var fes map[int]*faultEval
 		for ti, t := range tests {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w: coverage of %s: %w", ErrCanceled, f.ID(), err)
 			}
 			sims.Add(1)
-			sf, err := s.Sensitivity(t.ConfigIdx, fd, t.Params)
+			fe, ok := fes[t.ConfigIdx]
+			if !ok {
+				fe = s.newFaultEval(fd, t.ConfigIdx)
+				if fes == nil {
+					fes = make(map[int]*faultEval)
+				}
+				fes[t.ConfigIdx] = fe
+			}
+			sf, err := s.evalSensitivity(fe, t.ConfigIdx, fd, t.Params)
 			if err != nil {
 				return fmt.Errorf("core: coverage of %s: %w", f.ID(), err)
 			}

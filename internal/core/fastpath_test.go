@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/macros"
+	"repro/internal/testcfg"
+)
+
+// fastFaultMix is a dictionary slice covering every fast-path
+// eligibility class: bridges and pinholes implement fault.LowRankFault
+// (retained evaluators), opens do not (throwaway path), and the weak
+// bridge drives the impact ladder through many weaken steps.
+func fastFaultMix() []fault.Fault {
+	tn := macros.TransistorNames()
+	return []fault.Fault{
+		fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3),
+		fault.NewBridge(macros.NodeVref, macros.NodeIin, 20e3),
+		fault.NewPinhole(tn[0], 1e3),
+		fault.NewDrainOpen(tn[1], 1e6),
+	}
+}
+
+func fastSession(t *testing.T, disable bool) *Session {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.BoxMode = BoxSeed
+	cfg.Workers = 4
+	cfg.DisableFastPath = disable
+	s, err := NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFastPathBitIdentical is the end-to-end identity property: with the
+// retained-evaluator fast path forced on vs off, generation must produce
+// bit-identical outputs — winning configuration, parameters, critical
+// impact, dictionary-impact sensitivity, verdicts, and the impact-ladder
+// trajectory (impact values and detect counts; the recorded per-step
+// sensitivities may be warm values and are exempt). Run under -race in
+// CI, with parallel workers on both sessions.
+func TestFastPathBitIdentical(t *testing.T) {
+	fastS := fastSession(t, false)
+	slowS := fastSession(t, true)
+	faults := fastFaultMix()
+
+	fastSols, err := fastS.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSols, err := slowS.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range faults {
+		fs, ss := fastSols[i], slowSols[i]
+		if fs.ConfigIdx != ss.ConfigIdx {
+			t.Errorf("%s: ConfigIdx %d (fast) vs %d (slow)", f.ID(), fs.ConfigIdx, ss.ConfigIdx)
+		}
+		if len(fs.Params) != len(ss.Params) {
+			t.Fatalf("%s: param arity %d vs %d", f.ID(), len(fs.Params), len(ss.Params))
+		}
+		for j := range fs.Params {
+			if fs.Params[j] != ss.Params[j] {
+				t.Errorf("%s: Params[%d] = %g (fast) vs %g (slow) — must be bit-identical",
+					f.ID(), j, fs.Params[j], ss.Params[j])
+			}
+		}
+		if fs.Sensitivity != ss.Sensitivity {
+			t.Errorf("%s: Sensitivity %g (fast) vs %g (slow)", f.ID(), fs.Sensitivity, ss.Sensitivity)
+		}
+		if fs.CriticalImpact != ss.CriticalImpact {
+			t.Errorf("%s: CriticalImpact %g (fast) vs %g (slow)", f.ID(), fs.CriticalImpact, ss.CriticalImpact)
+		}
+		if fs.Undetectable != ss.Undetectable || fs.Verdict() != ss.Verdict() {
+			t.Errorf("%s: verdict %s/%v (fast) vs %s/%v (slow)",
+				f.ID(), fs.Verdict(), fs.Undetectable, ss.Verdict(), ss.Undetectable)
+		}
+		if fs.ImpactIters != ss.ImpactIters || len(fs.Trace) != len(ss.Trace) {
+			t.Fatalf("%s: ladder shape %d/%d (fast) vs %d/%d (slow)",
+				f.ID(), fs.ImpactIters, len(fs.Trace), ss.ImpactIters, len(ss.Trace))
+		}
+		for k := range fs.Trace {
+			if fs.Trace[k].Impact != ss.Trace[k].Impact || fs.Trace[k].Detects != ss.Trace[k].Detects {
+				t.Errorf("%s: ladder step %d: impact/detects %g/%d (fast) vs %g/%d (slow)",
+					f.ID(), k, fs.Trace[k].Impact, fs.Trace[k].Detects, ss.Trace[k].Impact, ss.Trace[k].Detects)
+			}
+		}
+		for j := range fs.Candidates {
+			fc, sc := fs.Candidates[j], ss.Candidates[j]
+			if fc.SoftS != sc.SoftS || len(fc.Params) != len(sc.Params) {
+				t.Errorf("%s: candidate %d SoftS %g (fast) vs %g (slow)", f.ID(), j, fc.SoftS, sc.SoftS)
+				continue
+			}
+			for p := range fc.Params {
+				if fc.Params[p] != sc.Params[p] {
+					t.Errorf("%s: candidate %d Params[%d] differ", f.ID(), j, p)
+				}
+			}
+		}
+	}
+
+	// Coverage verdicts must be identical as well.
+	tests := TestsOf(slowSols)
+	fastRep, err := fastS.Coverage(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRep, err := slowS.Coverage(tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastRep.Detected != slowRep.Detected || len(fastRep.Undetected) != len(slowRep.Undetected) {
+		t.Errorf("coverage: %d detected (fast) vs %d (slow)", fastRep.Detected, slowRep.Detected)
+	}
+	for id, ti := range slowRep.DetectedBy {
+		if fastRep.DetectedBy[id] != ti {
+			t.Errorf("coverage: %s detected by test %d (fast) vs %d (slow)", id, fastRep.DetectedBy[id], ti)
+		}
+	}
+}
+
+// TestCrossCheckClean: with the debug cross-check enabled, every
+// fast-path evaluation is replayed through the throwaway path; a run
+// completing without error is the machine-checked statement that the
+// two never disagree beyond 1e-9.
+func TestCrossCheckClean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BoxMode = BoxSeed
+	cfg.Workers = 4
+	cfg.CrossCheck = true
+	s, err := NewSession(macros.IVConverter(), testcfg.IVConfigs()[:2], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	sol, err := s.Generate(f)
+	if err != nil {
+		t.Fatalf("cross-checked generation failed: %v", err)
+	}
+	if sol.Verdict() != VerdictDetected {
+		t.Errorf("feedback bridge verdict = %s, want detected", sol.Verdict())
+	}
+}
+
+// TestFastPathCountsAvoidedFactors: the retained evaluators must credit
+// the solver-economy counter that surfaces in metrics and reports.
+func TestFastPathCountsAvoidedFactors(t *testing.T) {
+	s := fastSession(t, false)
+	before := s.Metrics().Solver.FaultyFactorAvoided
+	f := fault.NewBridge(macros.NodeIin, macros.NodeVout, 10e3)
+	if _, err := s.Generate(f); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Metrics().Solver.FaultyFactorAvoided
+	if after <= before {
+		t.Errorf("FaultyFactorAvoided did not advance (%d -> %d)", before, after)
+	}
+}

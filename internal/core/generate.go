@@ -155,6 +155,10 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 	defer s.eng.Time(PhaseOptimize)()
 	soft := fault.Weaken(f.WithImpact(f.InitialImpact()), s.cfg.SoftImpactFactor)
 	c := s.configs[ci]
+	// The soft-fault impact is fixed for the whole optimization, so one
+	// retained evaluator serves every objective evaluation (nil when the
+	// pair is ineligible: the objective then uses the throwaway path).
+	fe := s.newFaultEval(soft, ci)
 	ctx, sp := s.tr.Start(ctx, "optimize",
 		obs.String("fault", f.ID()), obs.Int("config", c.ID))
 	box := c.Bounds()
@@ -186,7 +190,7 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 				return poisonSF
 			}
 			evals++
-			sf, err := s.Sensitivity(ci, soft, T)
+			sf, err := s.evalSensitivity(fe, ci, soft, T)
 			if err != nil {
 				// An unreachable parameter point: poison it so the
 				// optimizer retreats.
@@ -249,24 +253,48 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 	// Selection with impact manipulation. For bridges/pinholes weakening
 	// raises the model resistance; for inverted models (opens) the
 	// direction flips, which fault.Weaken/Strengthen encapsulate.
+	//
+	// Retained evaluators, one per usable candidate (nil entries use the
+	// throwaway path). The ladder holds each candidate's parameters fixed
+	// while only the impact moves, so eligible candidates evaluate with a
+	// warm Newton seed and the decision-margin pass below recomputes
+	// exactly wherever an approximate value could affect a decision —
+	// signs, detect counts and the argmin therefore match the exact path,
+	// while typical ladder steps run warm. Trace sensitivities may be
+	// warm values (agreeing to solver tolerance); everything a decision
+	// or the Solution reports is exact.
+	fes := make([]*faultEval, len(cands))
+	for i, c := range cands {
+		if usable[i] {
+			fes[i] = s.newFaultEval(f, c.ConfigIdx)
+		}
+	}
 	fi := f.WithImpact(f.InitialImpact())
 	factor := 2.0
 	lastDir := 0 // +1 weaken, -1 strengthen
 	winner := -1
 	sens := make([]float64, len(cands))
+	exact := make([]bool, len(cands))
 	for iter := 0; iter < 60; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w: selection for %s: %w", ErrCanceled, f.ID(), err)
 		}
 		sol.ImpactIters++
-		detects := 0
-		best := -1
 		for i, c := range cands {
 			if !usable[i] {
 				sens[i] = poisonSF
+				exact[i] = true
 				continue
 			}
-			sf, err := s.Sensitivity(c.ConfigIdx, fi, c.Params)
+			var sf float64
+			var ex bool
+			var err error
+			if fes[i] != nil {
+				sf, ex, err = fes[i].sensitivityWarm(fi.Impact(), c.Params)
+			} else {
+				sf, err = s.Sensitivity(c.ConfigIdx, fi, c.Params)
+				ex = true
+			}
 			if err != nil {
 				if s.cfg.Retry == nil {
 					return nil, fmt.Errorf("core: selection for %s: %w", f.ID(), err)
@@ -277,18 +305,68 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 				usable[i] = false
 				nUsable--
 				sens[i] = poisonSF
+				exact[i] = true
 				continue
 			}
-			sens[i] = sf
-			if sf < 0 {
-				detects++
+			sens[i], exact[i] = sf, ex
+		}
+		if nUsable == 0 {
+			return s.unresolved(ctx, sol), nil
+		}
+		// Decision-margin pass: an approximate value near the detection
+		// threshold, deep in the detection zone (degenerate boxes amplify
+		// solver noise there), or within the margin of the current minimum
+		// is recomputed exactly before any decision consumes it.
+		for {
+			changed := false
+			minS := math.Inf(1)
+			for i := range cands {
+				if usable[i] && sens[i] < minS {
+					minS = sens[i]
+				}
 			}
-			if best < 0 || sf < sens[best] {
-				best = i
+			for i := range cands {
+				if !usable[i] || exact[i] {
+					continue
+				}
+				if math.Abs(sens[i]) > ladderMargin && sens[i] > deepDetectSF && sens[i] > minS+ladderMargin {
+					continue
+				}
+				sf, err := fes[i].sensitivity(fi.Impact(), cands[i].Params)
+				if err != nil {
+					if s.cfg.Retry == nil {
+						return nil, fmt.Errorf("core: selection for %s: %w", f.ID(), err)
+					}
+					usable[i] = false
+					nUsable--
+					sens[i] = poisonSF
+					exact[i] = true
+					changed = true
+					continue
+				}
+				sens[i] = sf
+				exact[i] = true
+				changed = true
+			}
+			if !changed {
+				break
 			}
 		}
 		if nUsable == 0 {
 			return s.unresolved(ctx, sol), nil
+		}
+		detects := 0
+		best := -1
+		for i := range cands {
+			if !usable[i] {
+				continue
+			}
+			if sens[i] < 0 {
+				detects++
+			}
+			if best < 0 || sens[i] < sens[best] {
+				best = i
+			}
 		}
 		sol.Trace = append(sol.Trace, ImpactStep{
 			Impact:  fi.Impact(),
@@ -348,7 +426,7 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 			if !usable[i] {
 				continue
 			}
-			sf, err := s.Sensitivity(c.ConfigIdx, fd, c.Params)
+			sf, err := s.evalSensitivity(fes[i], c.ConfigIdx, fd, c.Params)
 			if err != nil {
 				if s.cfg.Retry == nil {
 					return nil, err
@@ -372,7 +450,7 @@ func (s *Session) selectTest(ctx context.Context, f fault.Fault, cands []Candida
 	sol.CriticalImpact = fi.Impact()
 	// Record the sensitivity at the dictionary impact for compaction.
 	fd := f.WithImpact(f.InitialImpact())
-	sf, err := s.Sensitivity(sol.ConfigIdx, fd, sol.Params)
+	sf, err := s.evalSensitivity(fes[winner], sol.ConfigIdx, fd, sol.Params)
 	if err != nil {
 		if s.cfg.Retry == nil {
 			return nil, err

@@ -104,6 +104,17 @@ type Config struct {
 	// Resume makes GenerateAllContext skip faults already completed in
 	// the checkpoint file, after verifying its version and fingerprint.
 	Resume bool
+	// DisableFastPath turns off the retained-evaluator / low-rank solve
+	// fast path (fastpath.go), forcing every sensitivity evaluation
+	// through the throwaway insert+rebuild path. Results are bit-identical
+	// either way; the switch exists for benchmarking the speedup and for
+	// the identity property tests.
+	DisableFastPath bool
+	// CrossCheck runs every fast-path sensitivity evaluation through the
+	// throwaway path as well and fails the run when the two disagree
+	// beyond 1e-9 — the debug mode backing the fast path's
+	// bit-transparency claim. Expensive; off by default.
+	CrossCheck bool
 }
 
 // DefaultConfig returns the settings used by the experiments.
@@ -180,6 +191,10 @@ func solverSnapshot() engine.SolverStats {
 		BaseHits:         t.BaseHits,
 		RecoveryAttempts: t.RecoveryAttempts,
 		Recoveries:       t.Recoveries,
+
+		WoodburySolves:      t.WoodburySolves,
+		WoodburyFallbacks:   t.WoodburyFallbacks,
+		FaultyFactorAvoided: t.FaultyFactorAvoided,
 	}
 }
 
@@ -275,7 +290,10 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 				obs.I64("factor_reuses", int64(delta.FactorReuses)),
 				obs.I64("newton_iters", int64(delta.NewtonIterations)),
 				obs.I64("solves", int64(delta.Solves)),
-				obs.I64("base_hits", int64(delta.BaseHits)))
+				obs.I64("base_hits", int64(delta.BaseHits)),
+				obs.I64("woodbury_solves", int64(delta.WoodburySolves)),
+				obs.I64("woodbury_fallbacks", int64(delta.WoodburyFallbacks)),
+				obs.I64("faulty_factor_avoided", int64(delta.FaultyFactorAvoided)))
 		})
 	}
 	// Surface the simulation kernel's counters in engine metrics.

@@ -26,6 +26,18 @@ func (r *Resistor) Clone() Device { return &Resistor{base: r.cloneBase(), R: r.R
 // ScaleValue implements Scalable.
 func (r *Resistor) ScaleValue(k float64) { r.R *= k }
 
+// SetResistance retargets the resistor to r ohms. Changing a linear
+// device's value invalidates any engine base snapshot stamped from it —
+// sim.Engine.Retarget is the sanctioned caller and performs that
+// invalidation; mutating R behind a live engine's back is not safe.
+func (r *Resistor) SetResistance(rOhms float64) error {
+	if !(rOhms > 0) { // rejects zero, negatives, and NaN
+		return fmt.Errorf("device: resistor %s retargeted to non-positive resistance %g", r.Name(), rOhms)
+	}
+	r.R = rOhms
+	return nil
+}
+
 // Stamp implements Stamper.
 func (r *Resistor) Stamp(s *mna.System, _ []float64, ctx *Context) {
 	r.StampLinearMatrix(s, ctx)

@@ -82,6 +82,16 @@ type SolverStats struct {
 	RecoveryAttempts uint64
 	// Recoveries counts operating points rescued by a ladder rung.
 	Recoveries uint64
+	// WoodburySolves counts solves served by the Sherman–Morrison–
+	// Woodbury rank-k update against a retained factorization.
+	WoodburySolves uint64
+	// WoodburyFallbacks counts eligible solves whose update guard tripped,
+	// falling back to a full restamp+factor.
+	WoodburyFallbacks uint64
+	// FaultyFactorAvoided counts faulty-circuit factor-from-scratch cycles
+	// the low-rank machinery avoided (retained factorizations reused plus
+	// retained-evaluator evaluations that skipped a full rebuild).
+	FaultyFactorAvoided uint64
 }
 
 // Sub returns s minus base, field by field. Sessions use it to scope
@@ -100,6 +110,10 @@ func (s SolverStats) Sub(base SolverStats) SolverStats {
 		BaseHits:         s.BaseHits - base.BaseHits,
 		RecoveryAttempts: s.RecoveryAttempts - base.RecoveryAttempts,
 		Recoveries:       s.Recoveries - base.Recoveries,
+
+		WoodburySolves:      s.WoodburySolves - base.WoodburySolves,
+		WoodburyFallbacks:   s.WoodburyFallbacks - base.WoodburyFallbacks,
+		FaultyFactorAvoided: s.FaultyFactorAvoided - base.FaultyFactorAvoided,
 	}
 }
 

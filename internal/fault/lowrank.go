@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// LowRankFault is the optional interface of faults that are a low-rank
+// conductance perturbation of the circuit matrix: inserting the fault
+// changes the MNA system only by Σ_m g_m·w_m w_mᵀ with branch vectors
+// w_m = e_rows[m] − e_cols[m]. Such faults qualify for the
+// Sherman–Morrison fast path (mna.SolveRankK): the simulator retains one
+// factorization of the faulty base and re-solves the impact ladder
+// through rank-k updates instead of restamping and refactoring.
+//
+// A resistive bridge is exactly rank 1 (one conductance between the
+// bridged nodes); a pinhole's resistive part is rank 1 as well (the
+// gate→split shunt — the channel split itself changes nonlinear device
+// geometry, which the eligibility rules in internal/core account for
+// separately). Opens deliberately do not implement the interface: their
+// series insertion rewires a terminal onto a new node, which is a
+// structural change, and they exercise the full-insert fallback path.
+type LowRankFault interface {
+	Fault
+	// ImpactDevice returns the name of the resistor Insert adds whose
+	// resistance equals the fault's impact — the retarget handle of the
+	// retained-engine fast path.
+	ImpactDevice() string
+	// Perturbation resolves the fault's branch structure against fc, a
+	// compiled circuit produced by this fault's Insert: node-index
+	// resolution happens here, once per fault, not per impact step. It
+	// returns parallel branch endpoint index slices (−1 is ground) and a
+	// vals closure mapping an impact resistance to the per-branch
+	// conductances. The closure reuses its result slice, so callers must
+	// consume the values before the next call.
+	Perturbation(fc *circuit.Circuit) (rows, cols []int, vals func(impact float64) []float64, err error)
+}
+
+// resistorPerturbation resolves the named fault resistor inside the
+// compiled faulty circuit and describes it as a rank-1 branch: the one
+// shape both bridges and pinholes reduce to.
+func resistorPerturbation(fc *circuit.Circuit, name string) (rows, cols []int, vals func(float64) []float64, err error) {
+	d := fc.Device(name)
+	if d == nil {
+		return nil, nil, nil, fmt.Errorf("fault: impact device %s not present in circuit %s", name, fc.Name())
+	}
+	r, ok := d.(*device.Resistor)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("fault: impact device %s is a %T, want resistor", name, d)
+	}
+	terms := r.Terminals()
+	if len(terms) != 2 {
+		return nil, nil, nil, fmt.Errorf("fault: impact device %s unresolved (circuit not compiled?)", name)
+	}
+	buf := make([]float64, 1)
+	vals = func(impact float64) []float64 {
+		buf[0] = 1 / impact
+		return buf
+	}
+	return []int{terms[0]}, []int{terms[1]}, vals, nil
+}
+
+// ImpactDevice implements LowRankFault: the bridge resistor Insert
+// appends.
+func (b *Bridge) ImpactDevice() string { return "FB_" + b.NodeA + "_" + b.NodeB }
+
+// Perturbation implements LowRankFault.
+func (b *Bridge) Perturbation(fc *circuit.Circuit) ([]int, []int, func(float64) []float64, error) {
+	return resistorPerturbation(fc, b.ImpactDevice())
+}
+
+// ImpactDevice implements LowRankFault: the gate→split shunt resistor.
+func (p *Pinhole) ImpactDevice() string { return "FP_" + p.Transistor }
+
+// Perturbation implements LowRankFault. The split node exists only in
+// the faulty circuit, which is why resolution runs against Insert's
+// output rather than the golden netlist.
+func (p *Pinhole) Perturbation(fc *circuit.Circuit) ([]int, []int, func(float64) []float64, error) {
+	return resistorPerturbation(fc, p.ImpactDevice())
+}

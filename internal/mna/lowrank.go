@@ -1,0 +1,263 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements Sherman–Morrison–Woodbury solves against a
+// retained factorization: given A = L·U already factored and a rank-k
+// symmetric conductance perturbation
+//
+//	A' = A + Σ_m dg[m] · w_m w_mᵀ,   w_m = e_rows[m] − e_cols[m],
+//
+// SolveRankKInto solves A'·x = b without refactoring, in the G-free form
+//
+//	y = A⁻¹ b,   Z = A⁻¹ W,   C = I_k + diag(dg)·Wᵀ Z,
+//	C q = diag(dg)·Wᵀ y,      x = y − Z q,
+//
+// which stays well defined for arbitrarily small dg (no inversion of the
+// perturbation itself). Cost is k+1 substitutions plus a k×k solve —
+// O((k+1)·n²) against the O(n³/3) of a fresh factorization — and the
+// branch-pair structure matches exactly what a resistive fault changes in
+// an MNA matrix (see internal/fault.LowRankFault).
+//
+// The k×k capacitance solve carries the stability guard: when the pivot
+// cancels below RankUpdateGuard of the matrix scale, the perturbed system
+// is (numerically) singular as seen through the retained factorization —
+// e.g. a fault branch whose removal floats a node — and the update result
+// would be garbage amplified by the cancellation. The solve then returns
+// ErrUpdateUnstable and the caller falls back to a full restamp+factor.
+
+// ErrUpdateUnstable is returned when the low-rank update's denominator
+// (the k×k capacitance matrix) cancels so catastrophically that the
+// updated solution cannot be trusted; callers must fall back to a full
+// factorization of the perturbed matrix.
+var ErrUpdateUnstable = errors.New("mna: low-rank update numerically unstable")
+
+// ErrNoFactorization is returned when a low-rank solve is requested
+// before Factor/FactorInPlace/FactorSolveInto has retained a successful
+// factorization.
+var ErrNoFactorization = errors.New("mna: no retained factorization for low-rank solve")
+
+// RankUpdateGuard is the relative pivot threshold of the capacitance
+// solve. It is deliberately conservative (the update error grows like
+// ε·κ(A)/|pivot_rel|, so 1e-4 caps the extra error near 1e-12·κ): a
+// fallback to a full factor costs one O(n³) at macro sizes, while a
+// silently inaccurate update would poison a bit-identity contract.
+const RankUpdateGuard = 1e-4
+
+// maxRankUpdate bounds k. Faults are rank-1 or rank-2 perturbations; the
+// bound is generous while keeping the k×k solve trivially small.
+const maxRankUpdate = 8
+
+// rankScratch holds the reused buffers of the real low-rank solve; they
+// grow on first use and are retained so steady-state calls allocate
+// nothing.
+type rankScratch struct {
+	w []float64 // n: sparse basis RHS
+	z []float64 // k·n: Z = A⁻¹W, column-major by branch
+	c []float64 // k·k capacitance matrix
+	t []float64 // k: RHS of the capacitance solve, becomes q
+}
+
+func (rk *rankScratch) grow(n, k int) {
+	if cap(rk.w) < n {
+		rk.w = make([]float64, n)
+	}
+	rk.w = rk.w[:n]
+	if cap(rk.z) < k*n {
+		rk.z = make([]float64, k*n)
+	}
+	rk.z = rk.z[:k*n]
+	if cap(rk.c) < k*k {
+		rk.c = make([]float64, k*k)
+	}
+	rk.c = rk.c[:k*k]
+	if cap(rk.t) < k {
+		rk.t = make([]float64, k)
+	}
+	rk.t = rk.t[:k]
+}
+
+// pairDiff reads v[a] − v[b] with the usual ground convention (-1 reads
+// as 0).
+func pairDiff(v []float64, a, b int) float64 {
+	var d float64
+	if a >= 0 {
+		d = v[a]
+	}
+	if b >= 0 {
+		d -= v[b]
+	}
+	return d
+}
+
+// SolveRank1 solves (A + dg·w wᵀ)·x = b for the stamped RHS, where
+// w = e_a − e_b, against the retained factorization of A. The returned
+// slice is reused by subsequent solves.
+func (s *System) SolveRank1(a, b int, dg float64) ([]float64, error) {
+	err := s.SolveRank1Into(s.x, a, b, dg)
+	return s.x, err
+}
+
+// SolveRank1Into is the allocation-free form of SolveRank1.
+func (s *System) SolveRank1Into(dst []float64, a, b int, dg float64) error {
+	s.rk1r[0], s.rk1c[0], s.rk1g[0] = a, b, dg
+	return s.SolveRankKInto(dst, s.rk1r[:], s.rk1c[:], s.rk1g[:])
+}
+
+// SolveRankK solves the rank-k perturbed system (see SolveRankKInto).
+// The returned slice is reused by subsequent solves.
+func (s *System) SolveRankK(rows, cols []int, dg []float64) ([]float64, error) {
+	err := s.SolveRankKInto(s.x, rows, cols, dg)
+	return s.x, err
+}
+
+// SolveRankKInto solves (A + Σ dg[m]·w_m w_mᵀ)·x = b, w_m being the
+// branch vector e_rows[m] − e_cols[m] (indices may be -1 for ground),
+// against the factorization retained by the last successful
+// Factor/FactorInPlace/FactorSolveInto. The stamped matrix buffer is not
+// consulted, so the call composes with the destructive factor variants.
+//
+// dst (length Dim()) must not alias the system's RHS buffer. Scratch is
+// reused across calls: after the first call at a given rank, the solve
+// performs no allocations.
+//
+// Returns ErrUpdateUnstable when the capacitance pivot cancels below
+// RankUpdateGuard (perturbation drives the matrix toward singularity) or
+// a non-finite value appears; the caller must then restamp and factor
+// the perturbed system directly.
+func (s *System) SolveRankKInto(dst []float64, rows, cols []int, dg []float64) error {
+	k := len(dg)
+	if len(rows) != k || len(cols) != k {
+		return fmt.Errorf("mna: rank-%d update with %d/%d branch indices", k, len(rows), len(cols))
+	}
+	if k > maxRankUpdate {
+		return fmt.Errorf("mna: rank %d exceeds the low-rank update bound %d", k, maxRankUpdate)
+	}
+	if !s.facValid {
+		return ErrNoFactorization
+	}
+	n := s.n
+	for m := 0; m < k; m++ {
+		if rows[m] < -1 || rows[m] >= n || cols[m] < -1 || cols[m] >= n {
+			return fmt.Errorf("mna: branch %d indices (%d,%d) out of range for dim %d", m, rows[m], cols[m], n)
+		}
+	}
+	// y = A⁻¹ b straight into dst.
+	luSolve(s.lu, s.perm, s.dinv, n, s.b, dst)
+	allZero := true
+	for _, g := range dg {
+		if g != 0 {
+			allZero = false
+			break
+		}
+	}
+	if k == 0 || allZero {
+		return nil
+	}
+	s.rk.grow(n, k)
+	// Z columns: z_m = A⁻¹ (e_rows[m] − e_cols[m]).
+	for m := 0; m < k; m++ {
+		w := s.rk.w
+		for i := range w {
+			w[i] = 0
+		}
+		if rows[m] >= 0 {
+			w[rows[m]] = 1
+		}
+		if cols[m] >= 0 {
+			w[cols[m]] -= 1
+		}
+		luSolve(s.lu, s.perm, s.dinv, n, w, s.rk.z[m*n:(m+1)*n])
+	}
+	// C = I + diag(dg)·WᵀZ, t = diag(dg)·Wᵀy.
+	for m := 0; m < k; m++ {
+		s.rk.t[m] = dg[m] * pairDiff(dst, rows[m], cols[m])
+		for l := 0; l < k; l++ {
+			v := dg[m] * pairDiff(s.rk.z[l*n:(l+1)*n], rows[m], cols[m])
+			if m == l {
+				v += 1
+			}
+			s.rk.c[m*k+l] = v
+		}
+	}
+	if err := solveCapacitance(s.rk.c, s.rk.t, k); err != nil {
+		return err
+	}
+	// x = y − Z q.
+	for m := 0; m < k; m++ {
+		q := s.rk.t[m]
+		if q == 0 {
+			continue
+		}
+		z := s.rk.z[m*n : (m+1)*n]
+		for i := range dst {
+			dst[i] -= q * z[i]
+		}
+	}
+	for _, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrUpdateUnstable
+		}
+	}
+	return nil
+}
+
+// solveCapacitance solves the k×k system c·q = t in place (q overwrites
+// t) by Gaussian elimination with partial pivoting, guarding every pivot
+// against RankUpdateGuard·scale where scale is the largest initial entry
+// magnitude: a pivot that small relative to the matrix means the
+// Woodbury denominator canceled and the update is untrustworthy.
+func solveCapacitance(c, t []float64, k int) error {
+	scale := 1.0
+	for _, v := range c {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return ErrUpdateUnstable
+	}
+	for col := 0; col < k; col++ {
+		// Partial pivot in column col.
+		p := col
+		max := math.Abs(c[col*k+col])
+		for r := col + 1; r < k; r++ {
+			if v := math.Abs(c[r*k+col]); v > max {
+				max = v
+				p = r
+			}
+		}
+		if max < RankUpdateGuard*scale || math.IsNaN(max) {
+			return ErrUpdateUnstable
+		}
+		if p != col {
+			for j := 0; j < k; j++ {
+				c[col*k+j], c[p*k+j] = c[p*k+j], c[col*k+j]
+			}
+			t[col], t[p] = t[p], t[col]
+		}
+		piv := c[col*k+col]
+		for r := col + 1; r < k; r++ {
+			l := c[r*k+col] / piv
+			if l == 0 {
+				continue
+			}
+			for j := col + 1; j < k; j++ {
+				c[r*k+j] -= l * c[col*k+j]
+			}
+			t[r] -= l * t[col]
+		}
+	}
+	for col := k - 1; col >= 0; col-- {
+		sum := t[col]
+		for j := col + 1; j < k; j++ {
+			sum -= c[col*k+j] * t[j]
+		}
+		t[col] = sum / c[col*k+col]
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Complex analogue of lowrank.go: Sherman–Morrison–Woodbury against the
+// retained factorization of a ComplexSystem. The AC fault sweep retains
+// one factored base per frequency point and re-solves the whole sweep
+// for each impact step through this path.
+
+// complexRankScratch mirrors rankScratch for the complex solve.
+type complexRankScratch struct {
+	w []complex128
+	z []complex128
+	c []complex128
+	t []complex128
+}
+
+func (rk *complexRankScratch) grow(n, k int) {
+	if cap(rk.w) < n {
+		rk.w = make([]complex128, n)
+	}
+	rk.w = rk.w[:n]
+	if cap(rk.z) < k*n {
+		rk.z = make([]complex128, k*n)
+	}
+	rk.z = rk.z[:k*n]
+	if cap(rk.c) < k*k {
+		rk.c = make([]complex128, k*k)
+	}
+	rk.c = rk.c[:k*k]
+	if cap(rk.t) < k {
+		rk.t = make([]complex128, k)
+	}
+	rk.t = rk.t[:k]
+}
+
+func pairDiffC(v []complex128, a, b int) complex128 {
+	var d complex128
+	if a >= 0 {
+		d = v[a]
+	}
+	if b >= 0 {
+		d -= v[b]
+	}
+	return d
+}
+
+// SolveRank1 solves (A + dy·w wᵀ)·x = b, w = e_a − e_b, against the
+// retained factorization. The returned slice is reused.
+func (s *ComplexSystem) SolveRank1(a, b int, dy complex128) ([]complex128, error) {
+	err := s.SolveRank1Into(s.x, a, b, dy)
+	return s.x, err
+}
+
+// SolveRank1Into is the allocation-free form of SolveRank1.
+func (s *ComplexSystem) SolveRank1Into(dst []complex128, a, b int, dy complex128) error {
+	s.rk1r[0], s.rk1c[0], s.rk1g[0] = a, b, dy
+	return s.SolveRankKInto(dst, s.rk1r[:], s.rk1c[:], s.rk1g[:])
+}
+
+// SolveRankK solves the rank-k perturbed system (see SolveRankKInto).
+// The returned slice is reused by subsequent solves.
+func (s *ComplexSystem) SolveRankK(rows, cols []int, dy []complex128) ([]complex128, error) {
+	err := s.SolveRankKInto(s.x, rows, cols, dy)
+	return s.x, err
+}
+
+// SolveRankKInto solves (A + Σ dy[m]·w_m w_mᵀ)·x = b against the
+// factorization retained by the last successful Factor/FactorInPlace/
+// FactorSolveInto. Semantics, scratch reuse, and the ErrUpdateUnstable
+// guard match the real-valued SolveRankKInto.
+func (s *ComplexSystem) SolveRankKInto(dst []complex128, rows, cols []int, dy []complex128) error {
+	k := len(dy)
+	if len(rows) != k || len(cols) != k {
+		return fmt.Errorf("mna: rank-%d update with %d/%d branch indices", k, len(rows), len(cols))
+	}
+	if k > maxRankUpdate {
+		return fmt.Errorf("mna: rank %d exceeds the low-rank update bound %d", k, maxRankUpdate)
+	}
+	if !s.facValid {
+		return ErrNoFactorization
+	}
+	n := s.n
+	for m := 0; m < k; m++ {
+		if rows[m] < -1 || rows[m] >= n || cols[m] < -1 || cols[m] >= n {
+			return fmt.Errorf("mna: branch %d indices (%d,%d) out of range for dim %d", m, rows[m], cols[m], n)
+		}
+	}
+	s.SolveInto(dst) // y = A⁻¹ b
+	allZero := true
+	for _, g := range dy {
+		if g != 0 {
+			allZero = false
+			break
+		}
+	}
+	if k == 0 || allZero {
+		return nil
+	}
+	s.rk.grow(n, k)
+	savedB := s.b
+	for m := 0; m < k; m++ {
+		w := s.rk.w
+		for i := range w {
+			w[i] = 0
+		}
+		if rows[m] >= 0 {
+			w[rows[m]] = 1
+		}
+		if cols[m] >= 0 {
+			w[cols[m]] -= 1
+		}
+		// SolveInto reads s.b; point it at the basis vector for the
+		// substitution and restore afterwards.
+		s.b = w
+		s.SolveInto(s.rk.z[m*n : (m+1)*n])
+	}
+	s.b = savedB
+	for m := 0; m < k; m++ {
+		s.rk.t[m] = dy[m] * pairDiffC(dst, rows[m], cols[m])
+		for l := 0; l < k; l++ {
+			v := dy[m] * pairDiffC(s.rk.z[l*n:(l+1)*n], rows[m], cols[m])
+			if m == l {
+				v += 1
+			}
+			s.rk.c[m*k+l] = v
+		}
+	}
+	if err := solveCapacitanceC(s.rk.c, s.rk.t, k); err != nil {
+		return err
+	}
+	for m := 0; m < k; m++ {
+		q := s.rk.t[m]
+		if q == 0 {
+			continue
+		}
+		z := s.rk.z[m*n : (m+1)*n]
+		for i := range dst {
+			dst[i] -= q * z[i]
+		}
+	}
+	for _, v := range dst {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			return ErrUpdateUnstable
+		}
+	}
+	return nil
+}
+
+// solveCapacitanceC is the complex k×k capacitance solve with the same
+// relative-pivot guard as solveCapacitance; magnitudes are compared via
+// abs2, so the guard squares the threshold.
+func solveCapacitanceC(c, t []complex128, k int) error {
+	scale2 := 1.0
+	for _, v := range c {
+		if a := abs2(v); a > scale2 {
+			scale2 = a
+		}
+	}
+	if math.IsNaN(scale2) || math.IsInf(scale2, 0) {
+		return ErrUpdateUnstable
+	}
+	guard2 := RankUpdateGuard * RankUpdateGuard * scale2
+	for col := 0; col < k; col++ {
+		p := col
+		max := abs2(c[col*k+col])
+		for r := col + 1; r < k; r++ {
+			if v := abs2(c[r*k+col]); v > max {
+				max = v
+				p = r
+			}
+		}
+		if max < guard2 || math.IsNaN(max) {
+			return ErrUpdateUnstable
+		}
+		if p != col {
+			for j := 0; j < k; j++ {
+				c[col*k+j], c[p*k+j] = c[p*k+j], c[col*k+j]
+			}
+			t[col], t[p] = t[p], t[col]
+		}
+		piv := c[col*k+col]
+		for r := col + 1; r < k; r++ {
+			l := c[r*k+col] / piv
+			if l == 0 {
+				continue
+			}
+			for j := col + 1; j < k; j++ {
+				c[r*k+j] -= l * c[col*k+j]
+			}
+			t[r] -= l * t[col]
+		}
+	}
+	for col := k - 1; col >= 0; col-- {
+		sum := t[col]
+		for j := col + 1; j < k; j++ {
+			sum -= c[col*k+j] * t[j]
+		}
+		t[col] = sum / c[col*k+col]
+	}
+	return nil
+}

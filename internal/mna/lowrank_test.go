@@ -1,0 +1,269 @@
+package mna
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSystem builds a diagonally dominant (SPD-ish) random system of
+// dimension n, the well-conditioned regime of MNA conductance matrices.
+func randSystem(rng *rand.Rand, n int) *System {
+	s := NewSystem(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				s.Add(i, j, float64(n)+2+rng.Float64()*4)
+			} else {
+				v := rng.Float64()*2 - 1
+				s.Add(i, j, v)
+			}
+		}
+		s.AddRHS(i, rng.Float64()*2-1)
+	}
+	return s
+}
+
+// clone copies the stamped matrix and RHS into a fresh system.
+func cloneSystem(s *System) *System {
+	c := NewSystem(s.n)
+	copy(c.a, s.a)
+	copy(c.b, s.b)
+	return c
+}
+
+// TestSolveRankKMatchesDirect is the property test of the satellite:
+// random SPD-ish systems under random rank-1/rank-2 branch perturbations
+// must agree with a direct factor+solve of the perturbed matrix to
+// ≤1e-10, and when the perturbation drives the system toward
+// singularity the guard must fire instead of returning garbage.
+func TestSolveRankKMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const cases = 500
+	guarded := 0
+	for tc := 0; tc < cases; tc++ {
+		n := 3 + rng.Intn(10)
+		base := randSystem(rng, n)
+		if err := base.Factor(); err != nil {
+			t.Fatalf("case %d: base factor: %v", tc, err)
+		}
+		k := 1 + rng.Intn(2)
+		rows := make([]int, k)
+		cols := make([]int, k)
+		dg := make([]float64, k)
+		for m := 0; m < k; m++ {
+			rows[m] = rng.Intn(n)
+			// Occasionally ground one end, as a fault branch to ground does.
+			if rng.Intn(4) == 0 {
+				cols[m] = -1
+			} else {
+				cols[m] = rng.Intn(n)
+			}
+			mag := math.Pow(10, rng.Float64()*3.5-2) // 1e-2 .. ~3e1
+			if rng.Intn(2) == 0 {
+				mag = -mag
+			}
+			dg[m] = mag
+		}
+
+		got := make([]float64, n)
+		err := base.SolveRankKInto(got, rows, cols, dg)
+		if errors.Is(err, ErrUpdateUnstable) {
+			guarded++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %d: SolveRankKInto: %v", tc, err)
+		}
+
+		direct := cloneSystem(base)
+		for m := 0; m < k; m++ {
+			direct.StampConductance(rows[m], cols[m], dg[m])
+		}
+		if err := direct.Factor(); err != nil {
+			// The perturbed matrix is singular but the guard let the update
+			// through: that would be exactly the garbage the guard exists
+			// to stop.
+			t.Fatalf("case %d: update accepted but direct factor failed: %v", tc, err)
+		}
+		want := make([]float64, n)
+		direct.SolveInto(want)
+
+		norm := 1.0
+		for _, v := range want {
+			if a := math.Abs(v); a > norm {
+				norm = a
+			}
+		}
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-10*norm {
+				t.Fatalf("case %d (n=%d k=%d dg=%v): x[%d] = %g, direct %g, diff %g",
+					tc, n, k, dg, i, got[i], want[i], d)
+			}
+		}
+	}
+	if guarded > cases/2 {
+		t.Fatalf("guard fired on %d of %d random cases; threshold too aggressive", guarded, cases)
+	}
+}
+
+// TestSolveRank1GuardFires drives the canonical unstable case: node 1 is
+// held only by the fault branch, and the perturbation removes (almost)
+// all of that conductance. The perturbed matrix is numerically singular
+// through the retained factorization and the guard must refuse.
+func TestSolveRank1GuardFires(t *testing.T) {
+	s := NewSystem(2)
+	s.StampConductance(0, -1, 2)
+	s.StampConductance(0, 1, 1e-9) // (almost) no other path to node 1
+	s.StampConductance(1, -1, 1)   // the "fault" branch holding node 1
+	s.AddRHS(0, 1)
+	if err := s.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	err := s.SolveRank1Into(x, 1, -1, -1+1e-13)
+	if !errors.Is(err, ErrUpdateUnstable) {
+		t.Fatalf("near-singular update returned %v, want ErrUpdateUnstable", err)
+	}
+}
+
+// TestSolveRankKRequiresFactorization: the update path must refuse to run
+// against a stale or absent factorization.
+func TestSolveRankKRequiresFactorization(t *testing.T) {
+	s := NewSystem(3)
+	s.StampConductance(0, 1, 1)
+	s.StampConductance(1, 2, 1)
+	s.StampConductance(2, -1, 1)
+	x := make([]float64, 3)
+	if err := s.SolveRank1Into(x, 0, 1, 0.5); !errors.Is(err, ErrNoFactorization) {
+		t.Fatalf("unfactored solve returned %v, want ErrNoFactorization", err)
+	}
+}
+
+// TestComplexSolveRankKMatchesDirect mirrors the real property test for
+// the AC path.
+func TestComplexSolveRankKMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const cases = 300
+	guarded := 0
+	for tc := 0; tc < cases; tc++ {
+		n := 3 + rng.Intn(8)
+		s := NewComplexSystem(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					s.Add(i, j, complex(float64(n)+2+rng.Float64()*4, rng.Float64()*2))
+				} else {
+					s.Add(i, j, complex(rng.Float64()*2-1, rng.Float64()*2-1))
+				}
+			}
+			s.AddRHS(i, complex(rng.Float64()*2-1, rng.Float64()*2-1))
+		}
+		if err := s.Factor(); err != nil {
+			t.Fatalf("case %d: factor: %v", tc, err)
+		}
+		k := 1 + rng.Intn(2)
+		rows := make([]int, k)
+		cols := make([]int, k)
+		dy := make([]complex128, k)
+		for m := 0; m < k; m++ {
+			rows[m] = rng.Intn(n)
+			cols[m] = -1
+			if rng.Intn(2) == 0 {
+				cols[m] = rng.Intn(n)
+			}
+			mag := math.Pow(10, rng.Float64()*3-1.5)
+			if rng.Intn(2) == 0 {
+				mag = -mag
+			}
+			dy[m] = complex(mag, (rng.Float64()*2-1)*math.Abs(mag))
+		}
+
+		got := make([]complex128, n)
+		err := s.SolveRankKInto(got, rows, cols, dy)
+		if errors.Is(err, ErrUpdateUnstable) {
+			guarded++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %d: SolveRankKInto: %v", tc, err)
+		}
+
+		d := NewComplexSystem(n)
+		copy(d.a, s.a)
+		copy(d.b, s.b)
+		for m := 0; m < k; m++ {
+			d.StampAdmittance(rows[m], cols[m], dy[m])
+		}
+		if err := d.Factor(); err != nil {
+			t.Fatalf("case %d: direct factor: %v", tc, err)
+		}
+		want := make([]complex128, n)
+		d.SolveInto(want)
+
+		norm := 1.0
+		for _, v := range want {
+			if a := math.Sqrt(abs2(v)); a > norm {
+				norm = a
+			}
+		}
+		for i := range want {
+			if diff := math.Sqrt(abs2(got[i] - want[i])); diff > 1e-10*norm {
+				t.Fatalf("case %d (n=%d k=%d): x[%d] = %v, direct %v, diff %g",
+					tc, n, k, i, got[i], want[i], diff)
+			}
+		}
+	}
+	if guarded > cases/2 {
+		t.Fatalf("guard fired on %d of %d complex cases", guarded, cases)
+	}
+}
+
+// TestSolveRankKZeroAllocs: the steady-state acceptance criterion — after
+// the first call grows the scratch, low-rank solves allocate nothing.
+func TestSolveRankKZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSystem(rng, 12)
+	if err := s.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	rows := []int{2, 5}
+	cols := []int{7, -1}
+	dg := []float64{0.5, 1.5}
+	dst := make([]float64, 12)
+	if err := s.SolveRankKInto(dst, rows, cols, dg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dg[0] = 0.5 + dg[0]*1e-6 // vary the perturbation as an impact ladder does
+		if err := s.SolveRankKInto(dst, rows, cols, dg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveRankKInto allocates %v/op in steady state, want 0", allocs)
+	}
+
+	cs := NewComplexSystem(8)
+	for i := 0; i < 8; i++ {
+		cs.Add(i, i, complex(10+float64(i), 1))
+		cs.AddRHS(i, complex(1, 0.5))
+	}
+	cs.StampAdmittance(0, 3, complex(0.5, 0.1))
+	if err := cs.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	cdst := make([]complex128, 8)
+	if err := cs.SolveRank1Into(cdst, 1, 4, complex(0.3, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := cs.SolveRank1Into(cdst, 1, 4, complex(0.3, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("complex SolveRank1Into allocates %v/op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/wave"
+)
+
+// lrLadder is a linear resistive ladder with a capacitor for the AC
+// path; the bridge fault is inserted by the test via fault.Bridge, so
+// these tests exercise the fault→sim integration end to end.
+func lrLadder() *circuit.Circuit {
+	c := circuit.New("lr-ladder")
+	node := func(i int) string { return fmt.Sprintf("n%d", i) }
+	c.Add(device.NewISource("Iin", node(1), "0", wave.DC(1e-3)))
+	for i := 1; i < 8; i++ {
+		c.Add(device.NewResistor(fmt.Sprintf("Rs%d", i), node(i), node(i+1), 1e3))
+	}
+	for i := 1; i <= 8; i++ {
+		c.Add(device.NewResistor(fmt.Sprintf("Rp%d", i), node(i), "0", 10e3))
+	}
+	c.Add(device.NewCapacitor("C1", node(4), "0", 1e-9))
+	return c
+}
+
+// lowRankEngine inserts the bridge, builds an engine, and registers the
+// fault's perturbation — the same wiring internal/core performs.
+func lowRankEngine(t *testing.T, f *fault.Bridge) *Engine {
+	t.Helper()
+	fc, err := f.Insert(lrLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols, vals, err := f.Perturbation(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableLowRank(Perturb{Device: f.ImpactDevice(), RowA: rows, RowB: cols, Vals: vals}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestWoodburyOPMatchesFull walks an impact ladder through the Woodbury
+// fast path and checks every solution against a freshly built engine on
+// an identically valued circuit.
+func TestWoodburyOPMatchesFull(t *testing.T) {
+	f := fault.NewBridge("n2", "n6", 10e3)
+	eng := lowRankEngine(t, f)
+
+	impacts := []float64{10e3, 20e3, 5e3, 80e3, 1e3, 640e3}
+	for _, r := range impacts {
+		if err := eng.Retarget(f.ImpactDevice(), r); err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.OperatingPoint()
+		if err != nil {
+			t.Fatalf("impact %g: %v", r, err)
+		}
+
+		ff := f.WithImpact(r)
+		fc, err := ff.Insert(lrLadder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(fc, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.OperatingPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("impact %g: x[%d] = %g, full path %g (diff %g)", r, i, got[i], want[i], d)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.WoodburySolves < uint64(len(impacts)) {
+		t.Errorf("WoodburySolves = %d, want ≥ %d", st.WoodburySolves, len(impacts))
+	}
+	if st.FaultyFactorAvoided < uint64(len(impacts)-1) {
+		t.Errorf("FaultyFactorAvoided = %d, want ≥ %d", st.FaultyFactorAvoided, len(impacts)-1)
+	}
+	if st.WoodburyFallbacks != 0 {
+		t.Errorf("unexpected fallbacks on a well-conditioned ladder: %d", st.WoodburyFallbacks)
+	}
+}
+
+// TestWoodburyFallbackGuard drives the guard: node n9 hangs off the rest
+// of the circuit only through the fault branch, so weakening the fault
+// toward an open floats the node and the update must fall back to the
+// full solve — which still succeeds (the direct pivot is tiny but
+// nonzero) and must agree with a fresh engine.
+func TestWoodburyFallbackGuard(t *testing.T) {
+	build := func() *circuit.Circuit {
+		c := lrLadder()
+		// A second device on the floating-prone node to keep the netlist
+		// check happy; a capacitor is open at DC, so the fault branch
+		// remains n9's only DC path.
+		c.Add(device.NewCapacitor("Chang", "n9", "0", 1e-12))
+		return c
+	}
+	f := fault.NewBridge("n2", "n9", 10e3)
+	fc, err := f.Insert(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols, vals, err := f.Perturbation(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableLowRank(Perturb{Device: f.ImpactDevice(), RowA: rows, RowB: cols, Vals: vals}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OperatingPoint(); err != nil {
+		t.Fatal(err)
+	}
+	const weak = 1e12
+	if err := eng.Retarget(f.ImpactDevice(), weak); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.OperatingPoint()
+	if err != nil {
+		t.Fatalf("fallback solve failed: %v", err)
+	}
+	st := eng.Stats()
+	if st.WoodburyFallbacks == 0 {
+		t.Fatal("near-open retarget did not trip the update guard")
+	}
+
+	ff := f.WithImpact(weak)
+	rc, err := ff.Insert(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(rc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fallback x[%d] = %g, fresh engine %g — fallback must be bit-identical", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWoodburyOPZeroAllocs: the engine-level half of the 0 allocs/op
+// acceptance criterion — a warm Retarget+OperatingPointInto cycle through
+// the fast path allocates nothing.
+func TestWoodburyOPZeroAllocs(t *testing.T) {
+	f := fault.NewBridge("n2", "n6", 10e3)
+	eng := lowRankEngine(t, f)
+	x := make([]float64, eng.Layout().Dim())
+	if err := eng.OperatingPointInto(x); err != nil {
+		t.Fatal(err)
+	}
+	r := 10e3
+	dev := f.ImpactDevice() // resolved once, as core's evaluator does
+	allocs := testing.AllocsPerRun(200, func() {
+		r *= 1.0001
+		if err := eng.Retarget(dev, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.OperatingPointInto(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("low-rank impact step allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// TestFaultACSweepMatchesFull: the retained complex bases must reproduce
+// a from-scratch AC analysis at every impact and frequency.
+func TestFaultACSweepMatchesFull(t *testing.T) {
+	f := fault.NewBridge("n2", "n6", 10e3)
+	eng := lowRankEngine(t, f)
+	xop, err := eng.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := LogSpace(1e3, 1e8, 16)
+	fs, err := eng.PrepareFaultAC(xop, "Iin", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := eng.Layout().Dim()
+	dst := make([][]complex128, len(freqs))
+	for i := range dst {
+		dst[i] = make([]complex128, n)
+	}
+	for _, r := range []float64{10e3, 3e3, 150e3, 1e3} {
+		if err := eng.Retarget(f.ImpactDevice(), r); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Solve(dst); err != nil {
+			t.Fatal(err)
+		}
+
+		ff := f.WithImpact(r)
+		fc, err := ff.Insert(lrLadder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(fc, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rxop, err := ref.OperatingPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.AC(rxop, "Iin", freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range freqs {
+			for j := 0; j < n; j++ {
+				want := res.solutions[i][j]
+				diff := cmplx.Abs(dst[i][j] - want)
+				if diff > 1e-9*math.Max(1, cmplx.Abs(want)) {
+					t.Fatalf("impact %g, f=%g Hz: x[%d] = %v, full AC %v (diff %g)",
+						r, freqs[i], j, dst[i][j], want, diff)
+				}
+			}
+		}
+	}
+	if st := eng.Stats(); st.WoodburySolves == 0 {
+		t.Error("AC fault sweep never used the update path")
+	}
+
+	// Steady-state AC re-solves allocate nothing.
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := fs.Solve(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fault AC sweep allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// TestRetargetInvalidatesBases: on a retained engine the full (restamp)
+// path after Retarget must be bit-identical to a fresh engine built on an
+// identically valued circuit — the contract the core fast path's
+// bit-identity rests on.
+func TestRetargetInvalidatesBases(t *testing.T) {
+	f := fault.NewBridge("n2", "n6", 10e3)
+	fc, err := f.Insert(lrLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No EnableLowRank: this is the plain retained-engine path.
+	if _, err := eng.OperatingPoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Retarget(f.ImpactDevice(), 44e3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ff := f.WithImpact(44e3)
+	rc, err := ff.Insert(lrLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(rc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retargeted engine x[%d] = %g, fresh engine %g — must be bit-identical", i, got[i], want[i])
+		}
+	}
+
+	if err := eng.Retarget("nope", 1); err == nil {
+		t.Error("retargeting an unknown device must fail")
+	}
+	if err := eng.Retarget(f.ImpactDevice(), -5); err == nil {
+		t.Error("retargeting to a negative resistance must fail")
+	}
+}

@@ -125,6 +125,10 @@ type Engine struct {
 
 	stats   Counters
 	flushed Counters // portion of stats already pushed to the totals
+
+	// lr is the registered low-rank fault perturbation, nil unless
+	// EnableLowRank was called (lowrank.go).
+	lr *lowRank
 }
 
 // New compiles the circuit (if needed) and returns an engine.
@@ -345,6 +349,18 @@ func (e *Engine) OperatingPoint() ([]float64, error) {
 func (e *Engine) OperatingPointInto(x []float64) error {
 	if h, t0, pre := e.traceStart(); h != nil {
 		defer e.traceEnd(h, "op", t0, pre)
+	}
+	if e.lr != nil && e.matrixInvariant() {
+		if err := e.woodburyOP(x); err == nil {
+			return nil
+		}
+		// Guard trip or singular base: drop the retained factorization and
+		// run the full strategy, which restamps at the current values.
+		e.stats.WoodburyFallbacks++
+		e.lr.facOK = false
+		for i := range x {
+			x[i] = 0
+		}
 	}
 	err := e.solveOperatingPoint(x)
 	if err == nil || len(e.opts.Recovery) == 0 {

@@ -29,6 +29,19 @@ type Counters struct {
 	RecoveryAttempts uint64
 	// Recoveries counts operating points rescued by a ladder rung.
 	Recoveries uint64
+	// WoodburySolves counts solves served by the Sherman–Morrison–
+	// Woodbury fast path against a retained factorization (lowrank.go).
+	WoodburySolves uint64
+	// WoodburyFallbacks counts eligible solves where the update guard
+	// tripped (or the update went non-finite) and the engine fell back to
+	// a full restamp+factor.
+	WoodburyFallbacks uint64
+	// FaultyFactorAvoided counts faulty-circuit factor-from-scratch
+	// cycles the low-rank machinery avoided: Woodbury solves served
+	// without refactoring the retained base, plus retained-evaluator
+	// evaluations upstream that skipped a full insert+compile+factor
+	// (see AddFaultyFactorAvoided).
+	FaultyFactorAvoided uint64
 }
 
 // Add accumulates d into c.
@@ -42,6 +55,9 @@ func (c *Counters) Add(d Counters) {
 	c.BaseHits += d.BaseHits
 	c.RecoveryAttempts += d.RecoveryAttempts
 	c.Recoveries += d.Recoveries
+	c.WoodburySolves += d.WoodburySolves
+	c.WoodburyFallbacks += d.WoodburyFallbacks
+	c.FaultyFactorAvoided += d.FaultyFactorAvoided
 }
 
 // sub returns c − d (no underflow checking; d is always a prefix of c).
@@ -56,6 +72,10 @@ func (c Counters) sub(d Counters) Counters {
 		BaseHits:         c.BaseHits - d.BaseHits,
 		RecoveryAttempts: c.RecoveryAttempts - d.RecoveryAttempts,
 		Recoveries:       c.Recoveries - d.Recoveries,
+
+		WoodburySolves:      c.WoodburySolves - d.WoodburySolves,
+		WoodburyFallbacks:   c.WoodburyFallbacks - d.WoodburyFallbacks,
+		FaultyFactorAvoided: c.FaultyFactorAvoided - d.FaultyFactorAvoided,
 	}
 }
 
@@ -73,6 +93,10 @@ var totals struct {
 	baseHits         atomic.Uint64
 	recoveryAttempts atomic.Uint64
 	recoveries       atomic.Uint64
+
+	woodburySolves      atomic.Uint64
+	woodburyFallbacks   atomic.Uint64
+	faultyFactorAvoided atomic.Uint64
 }
 
 // Totals returns the process-wide solver counters, summed over every
@@ -88,7 +112,19 @@ func Totals() Counters {
 		BaseHits:         totals.baseHits.Load(),
 		RecoveryAttempts: totals.recoveryAttempts.Load(),
 		Recoveries:       totals.recoveries.Load(),
+
+		WoodburySolves:      totals.woodburySolves.Load(),
+		WoodburyFallbacks:   totals.woodburyFallbacks.Load(),
+		FaultyFactorAvoided: totals.faultyFactorAvoided.Load(),
 	}
+}
+
+// AddFaultyFactorAvoided credits n avoided faulty factor-from-scratch
+// cycles to the process-wide totals. It is the hook for layers above the
+// kernel (the retained fault evaluators in internal/core) that avoid a
+// full insert+compile+factor without going through an Engine counter.
+func AddFaultyFactorAvoided(n uint64) {
+	totals.faultyFactorAvoided.Add(n)
 }
 
 // ResetTotals zeroes the process-wide counters (benchmarks, tests).
@@ -102,6 +138,9 @@ func ResetTotals() {
 	totals.baseHits.Store(0)
 	totals.recoveryAttempts.Store(0)
 	totals.recoveries.Store(0)
+	totals.woodburySolves.Store(0)
+	totals.woodburyFallbacks.Store(0)
+	totals.faultyFactorAvoided.Store(0)
 }
 
 // flushStats pushes the engine's counter delta since the previous flush
@@ -122,4 +161,7 @@ func (e *Engine) flushStats() {
 	totals.baseHits.Add(d.BaseHits)
 	totals.recoveryAttempts.Add(d.RecoveryAttempts)
 	totals.recoveries.Add(d.Recoveries)
+	totals.woodburySolves.Add(d.WoodburySolves)
+	totals.woodburyFallbacks.Add(d.WoodburyFallbacks)
+	totals.faultyFactorAvoided.Add(d.FaultyFactorAvoided)
 }

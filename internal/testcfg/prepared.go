@@ -1,0 +1,130 @@
+package testcfg
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// Prepared evaluation: the impact-search hot loop evaluates one
+// configuration on one faulty circuit hundreds of times, varying only
+// the fault resistance and the test parameters. Config.Run rebuilds the
+// world on every call — clone, compile, allocate an engine — which is
+// pure overhead when the circuit structure never changes. An Evaluator
+// amortizes that setup: the circuit is cloned and compiled once, the
+// engine is retained, and each evaluation only swaps the stimulus wave
+// (and, through Engine.Retarget, the fault resistance) before re-running
+// the recipe.
+//
+// Bit-identity is the design constraint, not an afterthought: a
+// configuration's run body is *derived* from its prep closure (see
+// preppedRunner), so the throwaway path and the retained path execute
+// the same statements on the same engine code. The retained engine's
+// snapshot caches are invalidated by Retarget and rebuilt by replaying
+// the same device stamps from a zeroed matrix, which the simulation
+// kernel guarantees to be bit-identical to a freshly built engine.
+
+// Evaluator is a retained-engine evaluation handle for one configuration
+// bound to one compiled circuit. It is not safe for concurrent use —
+// like the sim.Engine it wraps, it belongs to a single goroutine.
+type Evaluator struct {
+	cfg *Config
+	eng *sim.Engine
+	// run executes the configuration recipe exactly as Config.Run would:
+	// a cold solve with no state carried across calls.
+	run func(T []float64) ([]float64, error)
+	// runWarm, when non-nil, is the recipe with the previous solution as
+	// the Newton seed. Converges to the same fixed point within solver
+	// tolerance, but is not bit-identical to run; callers that need exact
+	// results must use Run.
+	runWarm func(T []float64) ([]float64, error)
+}
+
+// CanPrepare reports whether the configuration supports retained-engine
+// evaluation. Custom runners (NewCustom) do not.
+func (c *Config) CanPrepare() bool { return c.prep != nil }
+
+// Prepare validates the macro interface, clones the circuit once, and
+// builds a retained evaluator. The clone is owned by the evaluator; the
+// input circuit is never modified.
+func (c *Config) Prepare(ckt *circuit.Circuit) (*Evaluator, error) {
+	if c.prep == nil {
+		return nil, fmt.Errorf("testcfg %s: configuration has no prepared evaluator", c.Name)
+	}
+	if err := ValidateMacro(ckt); err != nil {
+		return nil, err
+	}
+	ev, err := c.prep(ckt.Clone())
+	if err != nil {
+		return nil, err
+	}
+	ev.cfg = c
+	return ev, nil
+}
+
+// Engine exposes the retained engine, the handle core needs to register
+// low-rank fault perturbations and resolve node indices once per fault.
+func (ev *Evaluator) Engine() *sim.Engine { return ev.eng }
+
+// Retarget changes the resistance of one resistor on the retained
+// circuit (the fault's impact device) and invalidates the engine's
+// snapshots accordingly.
+func (ev *Evaluator) Retarget(name string, r float64) error {
+	return ev.eng.Retarget(name, r)
+}
+
+// check mirrors Config.Run's parameter validation so the evaluator
+// errors exactly where the throwaway path would.
+func (ev *Evaluator) check(T []float64) error {
+	c := ev.cfg
+	if len(T) != len(c.Params) {
+		return fmt.Errorf("testcfg %s: parameter vector length %d, want %d", c.Name, len(T), len(c.Params))
+	}
+	for i, p := range c.Params {
+		if T[i] < p.Lo-1e-12 || T[i] > p.Hi+1e-12 {
+			return fmt.Errorf("testcfg %s: parameter %s=%g outside [%g, %g]", c.Name, p.Name, T[i], p.Lo, p.Hi)
+		}
+	}
+	return nil
+}
+
+// Run evaluates the configuration at T on the retained engine with cold
+// solver state: the result is bit-identical to Config.Run on an
+// identically valued circuit.
+func (ev *Evaluator) Run(T []float64) ([]float64, error) {
+	if err := ev.check(T); err != nil {
+		return nil, err
+	}
+	return ev.run(T)
+}
+
+// HasWarm reports whether the configuration has a warm-start recipe.
+func (ev *Evaluator) HasWarm() bool { return ev.runWarm != nil }
+
+// RunWarm evaluates at T reusing the previous solution as the Newton
+// seed. The result agrees with Run to solver tolerance but is not
+// bit-identical; configurations without a warm recipe fall back to Run.
+func (ev *Evaluator) RunWarm(T []float64) ([]float64, error) {
+	if ev.runWarm == nil {
+		return ev.Run(T)
+	}
+	if err := ev.check(T); err != nil {
+		return nil, err
+	}
+	return ev.runWarm(T)
+}
+
+// preppedRunner derives a throwaway Runner from a prep closure: build
+// the evaluator on the (already cloned) circuit and run it once. Using
+// the same closure for both paths is what makes retained evaluation
+// bit-identical to Config.Run by construction.
+func preppedRunner(prep func(*circuit.Circuit) (*Evaluator, error)) Runner {
+	return func(ckt *circuit.Circuit, T []float64) ([]float64, error) {
+		ev, err := prep(ckt)
+		if err != nil {
+			return nil, err
+		}
+		return ev.run(T)
+	}
+}

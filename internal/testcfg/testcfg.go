@@ -61,6 +61,11 @@ type Config struct {
 	Params  []Param
 	Returns []Return
 	run     Runner
+	// prep, when non-nil, builds a retained-engine evaluator for the
+	// impact-search fast path (see prepared.go). The run field of the
+	// built-in configurations is derived from prep, so both paths execute
+	// the same recipe code.
+	prep func(*circuit.Circuit) (*Evaluator, error)
 }
 
 // NewCustom builds a configuration around a caller-supplied runner. It
@@ -197,9 +202,50 @@ func ByID(cfgs []*Config, id int) *Config {
 	return nil
 }
 
+// opPrep builds the shared retained-evaluator skeleton of the two DC
+// operating-point configurations (#1, #2): an engine on the compiled
+// circuit, a cold recipe (zeroed Newton guess, bit-identical to a fresh
+// engine) and a warm recipe (previous solution as the seed). measure
+// reads the return values out of a solution vector.
+func opPrep(measure func(e *sim.Engine, x []float64) ([]float64, error)) func(*circuit.Circuit) (*Evaluator, error) {
+	return func(ckt *circuit.Circuit) (*Evaluator, error) {
+		e, err := sim.New(ckt, simOptions())
+		if err != nil {
+			return nil, err
+		}
+		x := make([]float64, e.Layout().Dim())
+		wx := make([]float64, e.Layout().Dim())
+		cold := func(T []float64) ([]float64, error) {
+			macros.SetInputWave(ckt, wave.DC(T[0]))
+			for i := range x {
+				x[i] = 0
+			}
+			if err := e.OperatingPointInto(x); err != nil {
+				return nil, err
+			}
+			return measure(e, x)
+		}
+		warm := func(T []float64) ([]float64, error) {
+			macros.SetInputWave(ckt, wave.DC(T[0]))
+			if err := e.OperatingPointInto(wx); err != nil {
+				// Don't leave a diverged iterate as the next seed.
+				for i := range wx {
+					wx[i] = 0
+				}
+				return nil, err
+			}
+			return measure(e, wx)
+		}
+		return &Evaluator{eng: e, run: cold, runWarm: warm}, nil
+	}
+}
+
 // dcOutConfig is configuration #1: a DC current level applied at Iin, DC
 // voltage measured at Vout. One parameter.
 func dcOutConfig() *Config {
+	prep := opPrep(func(e *sim.Engine, x []float64) ([]float64, error) {
+		return []float64{e.Voltage(x, macros.NodeVout)}, nil
+	})
 	return &Config{
 		ID:       1,
 		Name:     "dc-out",
@@ -210,24 +256,21 @@ func dcOutConfig() *Config {
 			{Name: "Iindc", Unit: "A", Lo: 0, Hi: 100e-6, Seed: 20e-6},
 		},
 		Returns: []Return{{Name: "V(Vout)", Unit: "V", Accuracy: 1e-3}},
-		run: func(ckt *circuit.Circuit, T []float64) ([]float64, error) {
-			macros.SetInputWave(ckt, wave.DC(T[0]))
-			e, err := sim.New(ckt, simOptions())
-			if err != nil {
-				return nil, err
-			}
-			x, err := e.OperatingPoint()
-			if err != nil {
-				return nil, err
-			}
-			return []float64{e.Voltage(x, macros.NodeVout)}, nil
-		},
+		run:     preppedRunner(prep),
+		prep:    prep,
 	}
 }
 
 // supplyCurrentConfig is configuration #2: a DC current level applied at
 // Iin, the Vdd supply current measured. One parameter.
 func supplyCurrentConfig() *Config {
+	prep := opPrep(func(e *sim.Engine, x []float64) ([]float64, error) {
+		i, err := e.BranchCurrent(x, macros.SupplySourceName)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{-i}, nil
+	})
 	return &Config{
 		ID:       2,
 		Name:     "supply-current",
@@ -238,22 +281,8 @@ func supplyCurrentConfig() *Config {
 			{Name: "Iindc", Unit: "A", Lo: 0, Hi: 100e-6, Seed: 20e-6},
 		},
 		Returns: []Return{{Name: "I(Vdd)", Unit: "A", Accuracy: 0.2e-6}},
-		run: func(ckt *circuit.Circuit, T []float64) ([]float64, error) {
-			macros.SetInputWave(ckt, wave.DC(T[0]))
-			e, err := sim.New(ckt, simOptions())
-			if err != nil {
-				return nil, err
-			}
-			x, err := e.OperatingPoint()
-			if err != nil {
-				return nil, err
-			}
-			i, err := e.BranchCurrent(x, macros.SupplySourceName)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{-i}, nil
-		},
+		run:     preppedRunner(prep),
+		prep:    prep,
 	}
 }
 
@@ -272,54 +301,71 @@ func thdConfig() *Config {
 			{Name: "freq", Unit: "Hz", Lo: 1e3, Hi: 100e3, Seed: 10e3},
 		},
 		Returns: []Return{{Name: "THD(Vout)", Unit: "%", Accuracy: 0.02}},
-		run: func(ckt *circuit.Circuit, T []float64) ([]float64, error) {
-			iindc, freq := T[0], T[1]
-			macros.SetInputWave(ckt, wave.Sine{Offset: iindc, Amplitude: 5e-6, Freq: freq})
-			e, err := sim.New(ckt, simOptions())
-			if err != nil {
-				return nil, err
-			}
-			period := 1 / freq
-			total := thdWarmPeriods + thdMeasurePeriods
-			dt := period / thdStepsPerPeriod
-			tr, err := e.Transient(float64(total)*period, dt, []string{macros.NodeVout})
-			if err != nil {
-				return nil, err
-			}
-			v := tr.Signal(macros.NodeVout)
-			n := thdMeasurePeriods * thdStepsPerPeriod
-			if len(v) < n {
-				return nil, fmt.Errorf("testcfg thd: trace too short (%d < %d)", len(v), n)
-			}
-			tail := v[len(v)-n:]
-			thd, err := dsp.THDPercent(tail, thdMeasurePeriods, thdMaxHarmonic)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{thd}, nil
-		},
+		run:     preppedRunner(thdPrep),
+		prep:    thdPrep,
 	}
 }
 
-// stepTransient runs the shared step stimulus of configurations #4/#5
-// and returns the 100 MHz Vout sample comb.
-func stepTransient(ckt *circuit.Circuit, base, elev float64) ([]float64, error) {
-	macros.SetInputWave(ckt, wave.Step{Base: base, Elev: elev, Delay: stepDelay, Rise: stepRise})
+// thdPrep is the retained-evaluator recipe of configuration #3. A
+// transient analysis keeps no state across calls (operating point, step
+// history and companion states are rebuilt per run), so the retained
+// path needs no cold/warm split: every run is exact.
+func thdPrep(ckt *circuit.Circuit) (*Evaluator, error) {
 	e, err := sim.New(ckt, simOptions())
 	if err != nil {
 		return nil, err
 	}
-	dt := 1 / stepSampleRate
-	tr, err := e.Transient(stepTestTime, dt, []string{macros.NodeVout})
-	if err != nil {
-		return nil, err
+	run := func(T []float64) ([]float64, error) {
+		iindc, freq := T[0], T[1]
+		macros.SetInputWave(ckt, wave.Sine{Offset: iindc, Amplitude: 5e-6, Freq: freq})
+		period := 1 / freq
+		total := thdWarmPeriods + thdMeasurePeriods
+		dt := period / thdStepsPerPeriod
+		tr, err := e.Transient(float64(total)*period, dt, []string{macros.NodeVout})
+		if err != nil {
+			return nil, err
+		}
+		v := tr.Signal(macros.NodeVout)
+		n := thdMeasurePeriods * thdStepsPerPeriod
+		if len(v) < n {
+			return nil, fmt.Errorf("testcfg thd: trace too short (%d < %d)", len(v), n)
+		}
+		tail := v[len(v)-n:]
+		thd, err := dsp.THDPercent(tail, thdMeasurePeriods, thdMaxHarmonic)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{thd}, nil
 	}
-	return tr.Signal(macros.NodeVout), nil
+	return &Evaluator{eng: e, run: run}, nil
+}
+
+// stepPrep builds the retained evaluator shared by configurations #4/#5:
+// the step stimulus and 100 MHz Vout sample comb, post-processed by
+// reduce.
+func stepPrep(reduce func(v []float64) float64) func(*circuit.Circuit) (*Evaluator, error) {
+	return func(ckt *circuit.Circuit) (*Evaluator, error) {
+		e, err := sim.New(ckt, simOptions())
+		if err != nil {
+			return nil, err
+		}
+		run := func(T []float64) ([]float64, error) {
+			macros.SetInputWave(ckt, wave.Step{Base: T[0], Elev: T[1], Delay: stepDelay, Rise: stepRise})
+			dt := 1 / stepSampleRate
+			tr, err := e.Transient(stepTestTime, dt, []string{macros.NodeVout})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{reduce(tr.Signal(macros.NodeVout))}, nil
+		}
+		return &Evaluator{eng: e, run: run}, nil
+	}
 }
 
 // stepIntegralConfig is configuration #4: step(base, elev), Vout sampled
 // at 100 MHz for 7.5 µs and accumulated (the ΣV return value of Fig. 1).
 func stepIntegralConfig() *Config {
+	prep := stepPrep(func(v []float64) float64 { return dsp.Accumulate(v, 1/stepSampleRate) })
 	return &Config{
 		ID:       4,
 		Name:     "step-integral",
@@ -331,19 +377,15 @@ func stepIntegralConfig() *Config {
 			{Name: "elev", Unit: "A", Lo: 0, Hi: 40e-6, Seed: 20e-6},
 		},
 		Returns: []Return{{Name: "SumV(Vout)", Unit: "V·s", Accuracy: 7.5e-9}},
-		run: func(ckt *circuit.Circuit, T []float64) ([]float64, error) {
-			v, err := stepTransient(ckt, T[0], T[1])
-			if err != nil {
-				return nil, err
-			}
-			return []float64{dsp.Accumulate(v, 1/stepSampleRate)}, nil
-		},
+		run:     preppedRunner(prep),
+		prep:    prep,
 	}
 }
 
 // stepPeakConfig is configuration #5: step(base, elev), the maximum Vout
 // sample reported (the Max(y1..yn) post-processing of Table 1).
 func stepPeakConfig() *Config {
+	prep := stepPrep(dsp.Max)
 	return &Config{
 		ID:       5,
 		Name:     "step-peak",
@@ -355,12 +397,7 @@ func stepPeakConfig() *Config {
 			{Name: "elev", Unit: "A", Lo: 0, Hi: 40e-6, Seed: 10e-6},
 		},
 		Returns: []Return{{Name: "Max(Vout)", Unit: "V", Accuracy: 5e-3}},
-		run: func(ckt *circuit.Circuit, T []float64) ([]float64, error) {
-			v, err := stepTransient(ckt, T[0], T[1])
-			if err != nil {
-				return nil, err
-			}
-			return []float64{dsp.Max(v)}, nil
-		},
+		run:     preppedRunner(prep),
+		prep:    prep,
 	}
 }

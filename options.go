@@ -123,3 +123,19 @@ func WithCacheEntries(n int) Option {
 // WithFastBoxes is shorthand for WithBoxMode(BoxSeed): seed-calibrated
 // tolerance boxes, the cheap setup used by tests and interactive runs.
 func WithFastBoxes() Option { return WithBoxMode(BoxSeed) }
+
+// WithLowRankDisabled turns off the Sherman–Morrison fast path for
+// faulty evaluations, forcing every impact-ladder step through the
+// throwaway insert→compile→factor route. The fast path is bit-identical
+// by construction, so this exists for A/B benchmarking and for
+// isolating the solver when debugging — not as a correctness knob.
+func WithLowRankDisabled() Option {
+	return optionFunc(func(c *core.Config) { c.DisableFastPath = true })
+}
+
+// WithCrossCheck replays every fast-path sensitivity through the
+// throwaway path and errors if the two disagree beyond 1e-9. Debug
+// mode: it doubles (or worse) the simulation cost.
+func WithCrossCheck() Option {
+	return optionFunc(func(c *core.Config) { c.CrossCheck = true })
+}

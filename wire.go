@@ -50,6 +50,9 @@ func FromRequest(req api.JobRequest) ([]Option, error) {
 	if o.OptTol > 0 {
 		opts = append(opts, WithOptTol(o.OptTol))
 	}
+	if o.DisableLowRank {
+		opts = append(opts, WithLowRankDisabled())
+	}
 	if o.Retries > 1 || o.AttemptTimeoutMS > 0 {
 		p := DefaultRetryPolicy()
 		if o.Retries > 1 {
@@ -155,6 +158,7 @@ func (s *System) SessionRequest() api.JobRequest {
 	}
 	req.Options.BoxGridN = cfg.BoxGridN
 	req.Options.OptTol = cfg.OptTol
+	req.Options.DisableLowRank = cfg.DisableFastPath
 	if cfg.Retry != nil {
 		req.Options.Retries = cfg.Retry.MaxAttempts
 		req.Options.AttemptTimeoutMS = cfg.Retry.AttemptTimeout.Milliseconds()
@@ -185,6 +189,10 @@ func WireMetrics(m Metrics) api.MetricsSnapshot {
 			BaseHits:         m.Solver.BaseHits,
 			RecoveryAttempts: m.Solver.RecoveryAttempts,
 			Recoveries:       m.Solver.Recoveries,
+
+			WoodburySolves:      m.Solver.WoodburySolves,
+			WoodburyFallbacks:   m.Solver.WoodburyFallbacks,
+			FaultyFactorAvoided: m.Solver.FaultyFactorAvoided,
 		},
 		TaskPanics: m.TaskPanics,
 	}
