@@ -231,6 +231,10 @@ type JobStatus struct {
 	// Attempts counts how many times this daemon (re)started the job
 	// (> 1 after a crash/drain resume).
 	Attempts int `json:"attempts,omitempty"`
+	// EventsDropped counts SSE events lost to slow subscribers of this
+	// job's stream (the journal file remains complete). Absent on
+	// records written before the histogram release.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
 // QuarantineInfo describes one isolated task panic.
@@ -292,11 +296,56 @@ type JobResult struct {
 	Coverage CoverageInfo `json:"coverage"`
 }
 
+// HistogramBucket is one non-empty bucket of a latency distribution:
+// Count observations with values in [Lo, Hi] inclusive (nanoseconds for
+// duration series). Buckets are non-cumulative and sorted ascending.
+type HistogramBucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"n"`
+}
+
+// HistogramSnapshot is the wire form of one latency (or value)
+// distribution: totals, extremes, precomputed percentiles, and the raw
+// log-linear buckets for consumers that re-aggregate (the Prometheus
+// exposition turns them cumulative). Percentiles are midpoint estimates
+// within the histogram's documented relative-error bound.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	P50     int64             `json:"p50"`
+	P90     int64             `json:"p90"`
+	P99     int64             `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when
+// empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// NamedHistogram pairs a distribution with its series name (e.g.
+// "sim.op", "sim.newton_iters").
+type NamedHistogram struct {
+	Name string `json:"name"`
+	HistogramSnapshot
+}
+
 // PhaseMetrics is the wire form of one engine phase's counters.
 type PhaseMetrics struct {
 	Name   string `json:"name"`
 	Count  int64  `json:"count"`
 	WallNS int64  `json:"wall_ns"`
+	// Latency is the phase's per-unit wall-time distribution. Nil on
+	// records written before schema additions in the histogram release
+	// (decoders must tolerate absence) and omitted when empty.
+	Latency *HistogramSnapshot `json:"latency,omitempty"`
 }
 
 // Avg returns the mean wall time per unit in nanoseconds.
@@ -354,6 +403,12 @@ type MetricsSnapshot struct {
 	Cache      CacheMetrics   `json:"cache"`
 	Solver     SolverMetrics  `json:"solver"`
 	TaskPanics int64          `json:"task_panics,omitempty"`
+	// Durations holds latency distributions from below the engine's
+	// phase accounting: the simulation kernel's per-analysis wall times
+	// ("sim.op", "sim.transient", ...) and its "sim.newton_iters" value
+	// histogram. Absent on records written before the histogram release;
+	// decoders tolerate absence.
+	Durations []NamedHistogram `json:"durations,omitempty"`
 }
 
 // ServerStatus is the daemon-level health envelope (/healthz and the
@@ -368,6 +423,10 @@ type ServerStatus struct {
 	QueueCap   int `json:"queue_cap"`
 	// Jobs counts jobs per lifecycle state.
 	Jobs map[JobState]int `json:"jobs"`
+	// EventsDropped totals SSE events lost to slow subscribers across
+	// all jobs this daemon knows of. Absent when zero; decoders
+	// tolerate absence.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
 // ErrorReply is the JSON error envelope of every non-2xx response.

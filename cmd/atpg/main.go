@@ -34,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -213,6 +214,13 @@ func run(ctx context.Context, o options) (err error) {
 			Addr:     o.listenAddr,
 			Metrics:  func() any { return sys.Metrics() },
 			Progress: prog.Snapshot,
+			// Prometheus scrapes (Accept: text/plain) get the engine series
+			// in text exposition format; JSON stays the default.
+			Prom: func(w io.Writer) {
+				p := &export.PromText{}
+				export.PromFromMetrics(p, repro.WireMetrics(sys.Metrics()))
+				_, _ = p.WriteTo(w)
+			},
 		})
 		if serr != nil {
 			return serr

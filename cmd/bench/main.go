@@ -17,7 +17,10 @@
 // -compare re-runs the suite and diffs it against a checked-in report:
 // any workload whose ns/op regresses by more than -tolerance (default
 // 10 %) fails the run with a nonzero exit, so CI catches perf
-// regressions instead of silently rewriting the JSON.
+// regressions instead of silently rewriting the JSON. Workloads that
+// record a latency distribution (impact_search) additionally carry a
+// p99, gated at twice the ns/op tolerance — tails are noisier than
+// means, but a blown tail is exactly what the mean hides.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -36,6 +40,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/macros"
 	"repro/internal/mna"
+	"repro/internal/obs/hist"
 	"repro/internal/sim"
 	"repro/internal/testcfg"
 	"repro/internal/wave"
@@ -65,11 +70,15 @@ type solverWork struct {
 // baselines apply: the historical pre-split numbers, and/or the
 // pre-lowrank throwaway path measured in the same run.
 type result struct {
-	Name               string     `json:"name"`
-	Desc               string     `json:"desc"`
-	NsPerOp            float64    `json:"ns_per_op"`
-	BytesPerOp         int64      `json:"bytes_per_op"`
-	AllocsPerOp        int64      `json:"allocs_per_op"`
+	Name        string  `json:"name"`
+	Desc        string  `json:"desc"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// P99NsPerOp is the tail of the per-op latency distribution, present
+	// only for workloads that record one (impact_search). The mean of a
+	// generation workload hides the impact-ladder tail; this doesn't.
+	P99NsPerOp         float64    `json:"p99_ns_per_op,omitempty"`
 	Baseline           *baseline  `json:"baseline_pre_split,omitempty"`
 	BaselinePreLowrank *baseline  `json:"baseline_pre_lowrank,omitempty"`
 	Speedup            float64    `json:"speedup"`
@@ -97,6 +106,9 @@ type workload struct {
 	base *baseline
 	fn   func(b *testing.B)
 	slow func(b *testing.B)
+	// lat, when non-nil, is the per-op latency histogram the body records
+	// into; its p99 lands in the JSON next to ns/op.
+	lat *hist.Histogram
 }
 
 func main() {
@@ -148,11 +160,20 @@ func main() {
 				AllocsPerOp: sres.AllocsPerOp(),
 			}
 		}
+		if w.lat != nil {
+			if s := w.lat.Snapshot(); s.Count > 0 {
+				r.P99NsPerOp = float64(s.P99())
+			}
+		}
 		if ref := r.reference(); ref != nil && r.NsPerOp > 0 {
 			r.Speedup = ref.NsPerOp / r.NsPerOp
 		}
-		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op   %.2fx vs baseline\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
+		tail := ""
+		if r.P99NsPerOp > 0 {
+			tail = fmt.Sprintf("   p99 %.0f ns", r.P99NsPerOp)
+		}
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op   %.2fx vs baseline%s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup, tail)
 		rep.Workloads = append(rep.Workloads, r)
 	}
 
@@ -204,9 +225,11 @@ func headCommit() string {
 }
 
 // compare diffs the fresh measurements against a checked-in report by
-// workload name and ns/op only (allocation counts and solver work are
-// informational). It returns an error listing every workload that
-// regressed beyond tol.
+// workload name: ns/op gated at tol, and — when both reports carry one
+// — p99 gated at twice tol, since the tail of a distribution is noisier
+// than its mean (allocation counts and solver work stay informational).
+// It returns an error listing every workload that regressed beyond its
+// bound.
 func compare(path string, fresh report, tol float64) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -216,23 +239,33 @@ func compare(path string, fresh report, tol float64) error {
 	if err := json.Unmarshal(buf, &old); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	oldNs := make(map[string]float64, len(old.Workloads))
+	oldBy := make(map[string]result, len(old.Workloads))
 	for _, w := range old.Workloads {
-		oldNs[w.Name] = w.NsPerOp
+		oldBy[w.Name] = w
 	}
 	var regressions []string
 	for _, w := range fresh.Workloads {
-		ref, ok := oldNs[w.Name]
-		if !ok || ref <= 0 {
+		prev, ok := oldBy[w.Name]
+		if !ok || prev.NsPerOp <= 0 {
 			fmt.Printf("%-24s not in %s, skipped\n", w.Name, path)
 			continue
 		}
-		ratio := w.NsPerOp/ref - 1
+		ratio := w.NsPerOp/prev.NsPerOp - 1
 		fmt.Printf("%-24s %12.0f ns/op vs %12.0f checked in  (%+.1f %%)\n",
-			w.Name, w.NsPerOp, ref, ratio*100)
+			w.Name, w.NsPerOp, prev.NsPerOp, ratio*100)
 		if ratio > tol {
 			regressions = append(regressions,
-				fmt.Sprintf("%s regressed %.1f %% (%.0f -> %.0f ns/op)", w.Name, ratio*100, ref, w.NsPerOp))
+				fmt.Sprintf("%s regressed %.1f %% (%.0f -> %.0f ns/op)", w.Name, ratio*100, prev.NsPerOp, w.NsPerOp))
+		}
+		if prev.P99NsPerOp > 0 && w.P99NsPerOp > 0 {
+			p99Tol := 2 * tol
+			p99Ratio := w.P99NsPerOp/prev.P99NsPerOp - 1
+			fmt.Printf("%-24s %12.0f p99   vs %12.0f checked in  (%+.1f %%, bound %.0f %%)\n",
+				w.Name, w.P99NsPerOp, prev.P99NsPerOp, p99Ratio*100, p99Tol*100)
+			if p99Ratio > p99Tol {
+				regressions = append(regressions,
+					fmt.Sprintf("%s p99 regressed %.1f %% (%.0f -> %.0f ns)", w.Name, p99Ratio*100, prev.P99NsPerOp, w.P99NsPerOp))
+			}
 		}
 	}
 	if len(regressions) > 0 {
@@ -322,8 +355,10 @@ func ladderCircuit() *circuit.Circuit {
 // through the throwaway insert+compile+factor route and is recorded as
 // baseline_pre_lowrank, so the JSON carries a machine-consistent before
 // and after of the same run. Workers=1 keeps the measurement a pure
-// single-thread comparison.
-func impactSearchBody(disableFast bool) func(b *testing.B) {
+// single-thread comparison. When h is non-nil, every Generate records
+// its latency, so the report carries the distribution tail (p99)
+// alongside the mean.
+func impactSearchBody(disableFast bool, h *hist.Histogram) func(b *testing.B) {
 	return func(b *testing.B) {
 		scfg := core.DefaultConfig()
 		scfg.BoxMode = core.BoxSeed
@@ -337,10 +372,28 @@ func impactSearchBody(disableFast bool) func(b *testing.B) {
 		b.ResetTimer()
 		sim.ResetTotals()
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			if _, err := s.Generate(f); err != nil {
 				b.Fatal(err)
 			}
+			if h != nil {
+				h.RecordDuration(time.Since(t0))
+			}
 		}
+	}
+}
+
+// impactSearchWorkload builds the impact_search row with its latency
+// histogram: the fast path records per-Generate latency (the slow
+// variant doesn't — its distribution isn't reported).
+func impactSearchWorkload() workload {
+	h := hist.New()
+	return workload{
+		name: "impact_search",
+		desc: "impact-ladder search for one feedback bridge (retained low-rank evaluators)",
+		fn:   impactSearchBody(false, h),
+		slow: impactSearchBody(true, nil),
+		lat:  h,
 	}
 }
 
@@ -493,12 +546,7 @@ func workloads() []workload {
 				}
 			},
 		},
-		{
-			name: "impact_search",
-			desc: "impact-ladder search for one feedback bridge (retained low-rank evaluators)",
-			fn:   impactSearchBody(false),
-			slow: impactSearchBody(true),
-		},
+		impactSearchWorkload(),
 		{
 			name: "coverage_dc",
 			desc: "DC fault-dictionary generation: 3 faults x 2 configs end to end",

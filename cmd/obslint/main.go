@@ -1,0 +1,102 @@
+// Command obslint validates observability artifacts in CI without
+// external tooling: Prometheus text expositions (format 0.0.4) through
+// the in-repo parser, and Chrome trace-event JSON produced by
+// tracereport -chrome.
+//
+// Usage:
+//
+//	obslint [-require fam1,fam2] exposition.txt
+//	obslint -chrome [-complete cat1,cat2] trace.json
+//
+// The default mode parses a text exposition (use "-" for stdin, the
+// shape of `curl -H 'Accept: text/plain' :6060/metrics | obslint -`)
+// and fails on any format violation — missing TYPE headers, broken
+// cumulative histogram invariants, bad escapes — plus any family named
+// in -require that is absent. -chrome switches to trace validation and
+// -complete lists categories that must each have at least one complete
+// ("X") event, which is how CI asserts every pipeline phase made it
+// into the timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs/chrometrace"
+	"repro/internal/obs/export"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	chrome := flag.Bool("chrome", false, "validate a Chrome trace-event JSON file instead of an exposition")
+	complete := flag.String("complete", "", "with -chrome: comma-separated categories that each need >= 1 complete event")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obslint [-require fams] [-chrome [-complete cats]] file|-")
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	name := flag.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	} else {
+		name = "<stdin>"
+	}
+
+	if *chrome {
+		st, err := chrometrace.Validate(r, split(*complete))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		cats := make([]string, 0, len(st.Complete))
+		for c := range st.Complete {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		fmt.Printf("%s: valid Chrome trace: %d events, complete slices in %d categories (%s)\n",
+			name, st.Events, len(cats), strings.Join(cats, ", "))
+		return
+	}
+
+	doc, err := export.ParseProm(r)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", name, err))
+	}
+	missing := []string{}
+	for _, fam := range split(*require) {
+		if len(doc.Family(fam)) == 0 {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		fail(fmt.Errorf("%s: required families missing: %s", name, strings.Join(missing, ", ")))
+	}
+	fmt.Printf("%s: valid Prometheus text exposition: %d samples across %d typed families\n",
+		name, len(doc.Samples), len(doc.Types))
+}
+
+// split parses a comma-separated flag value, dropping empty items.
+func split(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "obslint:", err)
+	os.Exit(1)
+}

@@ -7,12 +7,15 @@
 //
 // Usage:
 //
-//	tracereport [-top k] [-validate] run.jsonl
+//	tracereport [-top k] [-validate] [-chrome out.json] run.jsonl
 //
 // The journal is validated against the schema before reporting;
-// -validate stops after validation (the CI mode). A journal ending in
-// run_canceled is reported as a truncated-but-valid record of an
-// interrupted run.
+// -validate stops after validation (the CI mode). -chrome converts the
+// journal into Chrome trace-event JSON (phase lanes, per-fault slices,
+// instant events for quarantines and guard trips — see
+// internal/obs/chrometrace) and exits; the file opens directly in
+// Perfetto or chrome://tracing. A journal ending in run_canceled is
+// reported as a truncated-but-valid record of an interrupted run.
 package main
 
 import (
@@ -29,15 +32,17 @@ import (
 	"repro/api"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/chrometrace"
 	"repro/internal/report"
 )
 
 func main() {
 	top := flag.Int("top", 10, "list the k slowest optimization spans")
 	validateOnly := flag.Bool("validate", false, "validate the journal against the schema and exit")
+	chromeOut := flag.String("chrome", "", "write the journal as Chrome trace-event JSON to this file and exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracereport [-top k] [-validate] run.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-top k] [-validate] [-chrome out.json] run.jsonl")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -65,6 +70,15 @@ func main() {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		f.Close()
 		fail(err)
+	}
+	if *chromeOut != "" {
+		err := writeChrome(bufio.NewReader(f), *chromeOut)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Chrome trace %s (open in Perfetto or chrome://tracing)\n", *chromeOut)
+		return
 	}
 	rep, err := aggregate(bufio.NewReader(f))
 	f.Close()
@@ -95,6 +109,16 @@ type slowSpan struct {
 	attrs map[string]any
 }
 
+// faultAgg accumulates where one fault's time went: the wall time of
+// every span carrying its fault attribute, split by span name.
+type faultAgg struct {
+	fault   string
+	spans   int
+	wall    map[string]time.Duration
+	total   time.Duration
+	verdict string
+}
+
 // reportData is everything the renderer needs from one journal pass.
 type reportData struct {
 	runAttrs    map[string]any
@@ -102,6 +126,7 @@ type reportData struct {
 	terminal    string
 	termErr     string
 	byName      map[string]*spanAgg
+	perFault    map[string]*faultAgg
 	events      map[string]int
 	verdicts    []map[string]any
 	quarantines []map[string]any
@@ -112,8 +137,9 @@ type reportData struct {
 // aggregate runs the single reporting pass over a validated journal.
 func aggregate(r io.Reader) (*reportData, error) {
 	d := &reportData{
-		byName: make(map[string]*spanAgg),
-		events: make(map[string]int),
+		byName:   make(map[string]*spanAgg),
+		perFault: make(map[string]*faultAgg),
+		events:   make(map[string]int),
 	}
 	// open maps span IDs to their span_start attributes so the slow-span
 	// table can label a duration (known only at span_end) with the
@@ -158,12 +184,31 @@ func aggregate(r io.Reader) (*reportData, error) {
 				}
 				d.slow = append(d.slow, slowSpan{name: ev.Name, dur: dur, attrs: attrs})
 			}
+			// Per-fault attribution: any span whose start attributes name a
+			// fault contributes its wall time to that fault's breakdown.
+			if fault, ok := open[ev.Span]["fault"].(string); ok {
+				fa := d.perFault[fault]
+				if fa == nil {
+					fa = &faultAgg{fault: fault, wall: make(map[string]time.Duration)}
+					d.perFault[fault] = fa
+				}
+				fa.spans++
+				fa.wall[ev.Name] += dur
+				fa.total += dur
+			}
 			delete(open, ev.Span)
 		case obs.TypeEvent:
 			d.events[ev.Name]++
 			switch ev.Name {
 			case "fault_verdict":
 				d.verdicts = append(d.verdicts, ev.Attrs)
+				if fault, ok := ev.Attrs["fault"].(string); ok {
+					if fa := d.perFault[fault]; fa != nil {
+						if v, ok := ev.Attrs["verdict"].(string); ok {
+							fa.verdict = v
+						}
+					}
+				}
 			case "quarantine":
 				d.quarantines = append(d.quarantines, ev.Attrs)
 			}
@@ -263,6 +308,36 @@ func (d *reportData) render(w io.Writer, top int) {
 		_, _ = t.WriteTo(w)
 	}
 
+	if len(d.perFault) > 0 {
+		// Where the time went, per fault: every span carrying the fault's
+		// attribute, split into the optimization itself vs the impact
+		// ladder around it. The histogram percentiles of the same
+		// distribution appear in the engine metrics table (fault-e2e).
+		var total time.Duration
+		aggs := make([]*faultAgg, 0, len(d.perFault))
+		for _, fa := range d.perFault {
+			aggs = append(aggs, fa)
+			total += fa.total
+		}
+		sort.Slice(aggs, func(i, j int) bool { return aggs[i].total > aggs[j].total })
+		k := len(aggs)
+		if top > 0 && k > top {
+			k = top
+		}
+		fmt.Fprintf(w, "\nper-fault time attribution (%d of %d faults, by total wall):\n", k, len(aggs))
+		t := report.NewTable("fault", "verdict", "spans", "optimize", "impact-loop", "other", "total", "share")
+		for _, fa := range aggs[:k] {
+			other := fa.total - fa.wall["optimize"] - fa.wall["impact-loop"]
+			t.AddRow(fa.fault, orDash(fa.verdict), fa.spans,
+				fa.wall["optimize"].Round(time.Microsecond),
+				fa.wall["impact-loop"].Round(time.Microsecond),
+				other.Round(time.Microsecond),
+				fa.total.Round(time.Microsecond),
+				fmt.Sprintf("%.1f%%", 100*float64(fa.total)/float64(total)))
+		}
+		_, _ = t.WriteTo(w)
+	}
+
 	if len(d.slow) > 0 && top > 0 {
 		sort.Slice(d.slow, func(i, j int) bool { return d.slow[i].dur > d.slow[j].dur })
 		k := top
@@ -306,6 +381,28 @@ func decodeMetrics(v any) (api.MetricsSnapshot, bool) {
 		return api.MetricsSnapshot{}, false
 	}
 	return repro.WireMetrics(legacy), true
+}
+
+// writeChrome converts the (already schema-validated) journal into
+// Chrome trace-event JSON at path.
+func writeChrome(r io.Reader, path string) error {
+	tr, err := chrometrace.Convert(r)
+	if err != nil {
+		return err
+	}
+	out, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// orDash renders an empty string as "-".
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func compactJSON(v any) string {

@@ -46,4 +46,11 @@ const (
 	// PhaseCompact covers test-set compaction (δ screening), one unit
 	// per Compact call.
 	PhaseCompact = "compact"
+	// PhaseFaultE2E covers one fault's end-to-end generation time: from
+	// the start of its first configuration's optimization to the end of
+	// its selection loop, one unit per fault. Unlike PhaseOptimize and
+	// PhaseImpact (which partition the same work by step), this phase
+	// measures the per-fault latency a user waits on, so its histogram is
+	// the "which faults are slow" distribution.
+	PhaseFaultE2E = "fault-e2e"
 )

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -128,6 +129,7 @@ func (s *Session) Generate(f fault.Fault) (*Solution, error) {
 // Cancellation of ctx aborts both steps promptly with an error wrapping
 // ErrCanceled.
 func (s *Session) GenerateContext(ctx context.Context, f fault.Fault) (*Solution, error) {
+	defer s.eng.Time(PhaseFaultE2E)()
 	cands := make([]Candidate, len(s.configs))
 	err := s.eng.ForEach(ctx, len(s.configs), func(ctx context.Context, ci int) error {
 		c, err := s.optimizeCandidate(ctx, f, ci)
@@ -558,6 +560,11 @@ func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) 
 	s.prog.SetPhase(PhaseGenerate, len(faults)*nc+(len(faults)-nSkip))
 	cands := make([]Candidate, len(faults)*nc)
 	pending := make([]atomic.Int32, len(faults))
+	// starts[fi] is the wall-clock nanosecond at which the first task of
+	// fault fi began (CAS so only the first task wins); finishFault turns
+	// it into the fault's end-to-end latency. The fused schedule has no
+	// per-fault scope to defer a timer in, so the timestamp rides here.
+	starts := make([]atomic.Int64, len(faults))
 	for fi := range pending {
 		pending[fi].Store(int32(nc))
 	}
@@ -567,6 +574,7 @@ func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) 
 		if skip[fi] {
 			return nil
 		}
+		starts[fi].CompareAndSwap(0, time.Now().UnixNano())
 		err := s.eng.Recover(k, func() error {
 			c, err := s.optimizeCandidate(ctx, faults[fi], ci)
 			if err != nil {
@@ -585,7 +593,11 @@ func (s *Session) GenerateAllContext(ctx context.Context, faults []fault.Fault) 
 		if pending[fi].Add(-1) != 0 {
 			return nil
 		}
-		return s.finishFault(ctx, faults[fi], cands[fi*nc:(fi+1)*nc], sols, fi, cs)
+		ferr := s.finishFault(ctx, faults[fi], cands[fi*nc:(fi+1)*nc], sols, fi, cs)
+		if t0 := starts[fi].Load(); t0 != 0 {
+			s.eng.Observe(PhaseFaultE2E, time.Duration(time.Now().UnixNano()-t0))
+		}
+		return ferr
 	})
 	if err != nil {
 		flushCheckpoint(cs)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/hist"
 	"repro/internal/sim"
 	"repro/internal/testcfg"
 	"repro/internal/tolerance"
@@ -309,6 +310,14 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 	base := solverSnapshot()
 	s.eng.SetSolverSource(func() engine.SolverStats {
 		return solverSnapshot().Sub(base)
+	})
+	// Same scoping for the kernel's per-analysis latency histograms: the
+	// session reports the distribution of work done since it was built.
+	// Min/Max in the scoped snapshots remain process-lifetime extremes
+	// (they cannot be subtracted); counts, sums and buckets are exact.
+	histBase := sim.HistSnapshots()
+	s.eng.SetDurationSource(func() []hist.NamedSnapshot {
+		return hist.SubNamed(sim.HistSnapshots(), histBase)
 	})
 	boxes, err := s.buildBoxes(ctx)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/hist"
 )
 
 // ErrCanceled is returned (wrapped) by ForEach when the caller's context
@@ -46,12 +47,13 @@ type Options struct {
 // Engine is a reusable evaluation substrate: a worker pool, a response
 // cache and a metrics registry. An Engine is safe for concurrent use.
 type Engine struct {
-	workers   int
-	cache     *Cache
-	phases    sync.Map // string -> *phase
-	solverSrc atomic.Pointer[func() SolverStats]
-	tracer    atomic.Pointer[obs.Tracer]
-	panics    atomic.Int64
+	workers     int
+	cache       *Cache
+	phases      sync.Map // string -> *phase
+	solverSrc   atomic.Pointer[func() SolverStats]
+	durationSrc atomic.Pointer[func() []hist.NamedSnapshot]
+	tracer      atomic.Pointer[obs.Tracer]
+	panics      atomic.Int64
 }
 
 // SetTracer registers a span tracer. When set, ForEach opens one

@@ -4,24 +4,32 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/hist"
 )
 
-// phase accumulates one named phase's counters.
+// phase accumulates one named phase's counters and its latency
+// distribution.
 type phase struct {
 	count atomic.Int64
 	wall  atomic.Int64 // nanoseconds
+	lat   *hist.Histogram
 }
 
 // Observe records one completed unit of the named phase and the wall
-// time it took. Phases are created on first use.
+// time it took. Phases are created on first use. Beyond the running
+// count/wall totals, every observation lands in the phase's log-linear
+// latency histogram, so Metrics can report tail percentiles (the
+// impact-ladder searches that dominate a run are invisible in means).
 func (e *Engine) Observe(name string, d time.Duration) {
 	p, ok := e.phases.Load(name)
 	if !ok {
-		p, _ = e.phases.LoadOrStore(name, &phase{})
+		p, _ = e.phases.LoadOrStore(name, &phase{lat: hist.New()})
 	}
 	ph := p.(*phase)
 	ph.count.Add(1)
 	ph.wall.Add(int64(d))
+	ph.lat.RecordDuration(d)
 }
 
 // Time starts a timer for the named phase and returns the function that
@@ -44,6 +52,10 @@ type PhaseStats struct {
 	// parallel, so Wall can exceed the elapsed real time; it measures
 	// where the compute budget went.
 	Wall time.Duration
+	// Latency is the per-unit wall-time distribution (nanoseconds):
+	// count, sum, extremes and log-linear buckets, from which p50/p90/p99
+	// are derived. Means hide the slow tail this exists to expose.
+	Latency hist.Snapshot
 }
 
 // Avg returns the mean wall time per unit.
@@ -132,6 +144,11 @@ type Metrics struct {
 	// TaskPanics counts panics recovered at the task isolation boundary
 	// (Engine.Recover), whether they were quarantined or failed the run.
 	TaskPanics int64
+	// Durations holds latency distributions from layers below the engine
+	// (the simulation kernel's per-analysis wall times and Newton
+	// iteration counts), provided by the source registered with
+	// SetDurationSource. Nil when no source is registered.
+	Durations []hist.NamedSnapshot
 }
 
 // Phase returns the stats of the named phase (zero value when the phase
@@ -157,18 +174,34 @@ func (e *Engine) SetSolverSource(fn func() SolverStats) {
 	e.solverSrc.Store(&fn)
 }
 
+// SetDurationSource registers fn as the provider of sub-engine latency
+// distributions for Metrics snapshots (the simulation layer wires it to
+// its per-analysis histograms at session construction). Passing nil
+// clears the source. Safe for concurrent use with Metrics.
+func (e *Engine) SetDurationSource(fn func() []hist.NamedSnapshot) {
+	if fn == nil {
+		e.durationSrc.Store((*func() []hist.NamedSnapshot)(nil))
+		return
+	}
+	e.durationSrc.Store(&fn)
+}
+
 // Metrics snapshots the engine's phase and cache counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{Cache: e.cache.Stats(), TaskPanics: e.panics.Load()}
 	if p := e.solverSrc.Load(); p != nil && *p != nil {
 		m.Solver = (*p)()
 	}
+	if p := e.durationSrc.Load(); p != nil && *p != nil {
+		m.Durations = (*p)()
+	}
 	e.phases.Range(func(k, v any) bool {
 		ph := v.(*phase)
 		m.Phases = append(m.Phases, PhaseStats{
-			Name:  k.(string),
-			Count: ph.count.Load(),
-			Wall:  time.Duration(ph.wall.Load()),
+			Name:    k.(string),
+			Count:   ph.count.Load(),
+			Wall:    time.Duration(ph.wall.Load()),
+			Latency: ph.lat.Snapshot(),
 		})
 		return true
 	})

@@ -19,9 +19,11 @@ package export
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -38,10 +40,22 @@ type Options struct {
 	// Progress returns the run's progress snapshot. Nil disables
 	// /progress.
 	Progress func() obs.ProgressSnapshot
+	// Prom, when non-nil, enables Prometheus text exposition (format
+	// 0.0.4) on /metrics via Accept-header content negotiation: a request
+	// whose Accept header names text/plain (or the versioned exposition
+	// media type) gets the callback's output; everything else — including
+	// no Accept header at all — keeps the JSON snapshot, so existing
+	// scrapers see no change.
+	Prom func(w io.Writer)
 	// Health returns the process's health snapshot, marshaled as-is on
 	// /healthz with status 200 when ok is true and 503 when false. Nil
 	// enables a trivial always-ok /healthz.
 	Health func() (body any, ok bool)
+	// Ready, when non-nil, mounts /readyz: readiness as distinct from
+	// liveness. A draining job server is alive (healthz ok) but not
+	// accepting work (readyz 503), which is what load balancers and
+	// rolling restarts key on.
+	Ready func() (body any, ok bool)
 	// Index disables the "/" usage page when false-returning hosts want
 	// to own the root route. Serve always mounts it.
 	NoIndex bool
@@ -57,16 +71,25 @@ func Register(mux *http.ServeMux, o Options) {
 				return
 			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintf(w, "atpg observability\n\n/metrics   engine + solver counters (JSON)\n/progress  run progress (JSON)\n/healthz   liveness (JSON)\n/debug/pprof/  profiling\n")
+			fmt.Fprintf(w, "atpg observability\n\n/metrics   engine + solver counters (JSON; Prometheus text with Accept: text/plain)\n/progress  run progress (JSON)\n/healthz   liveness (JSON)\n/readyz    readiness (JSON; only on hosts that distinguish it)\n/debug/pprof/  profiling\n")
 		})
 	}
 	if o.Metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Snapshots are point-in-time by construction; a cached reply
+			// would defeat the endpoint.
+			w.Header().Set("Cache-Control", "no-store")
+			if o.Prom != nil && acceptsPromText(r.Header.Get("Accept")) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				o.Prom(w)
+				return
+			}
 			WriteJSON(w, o.Metrics())
 		})
 	}
 	if o.Progress != nil {
 		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Cache-Control", "no-store")
 			s := o.Progress()
 			// Augment the raw snapshot with human-friendly fields.
 			WriteJSON(w, map[string]any{
@@ -85,18 +108,24 @@ func Register(mux *http.ServeMux, o Options) {
 	if health == nil {
 		health = func() (any, bool) { return map[string]any{"status": "ok"}, true }
 	}
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		body, ok := health()
-		if !ok {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(body)
-			return
+	probe := func(check func() (any, bool)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			body, ok := check()
+			if !ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(body)
+				return
+			}
+			WriteJSON(w, body)
 		}
-		WriteJSON(w, body)
-	})
+	}
+	mux.HandleFunc("/healthz", probe(health))
+	if o.Ready != nil {
+		mux.HandleFunc("/readyz", probe(o.Ready))
+	}
 	// pprof on the private mux (the default mux may not be ours to own).
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -139,6 +168,21 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener and in-flight handlers.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// acceptsPromText reports whether the Accept header prefers the
+// Prometheus text exposition over JSON. Deliberately simple: any
+// mention of text/plain (what Prometheus scrapers send, with or without
+// the version parameter) opts in; absence, */* and application/json
+// keep the JSON default.
+func acceptsPromText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mt == "text/plain" {
+			return true
+		}
+	}
+	return false
+}
 
 // WriteJSON writes v as indented JSON with status 200 (the endpoints
 // are for humans and scrapers alike; indented JSON keeps curl output

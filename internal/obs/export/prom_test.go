@@ -1,0 +1,217 @@
+package export
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// sampleSnapshot builds a metrics snapshot with every series kind the
+// exposition renders: phases with latency histograms, sub-engine
+// durations (including the unitless newton_iters series), cache, solver
+// and panic counters.
+func sampleSnapshot() api.MetricsSnapshot {
+	lat := api.HistogramSnapshot{
+		Count: 3, Sum: 1600, Min: 100, Max: 1000, P50: 496, P90: 1008, P99: 1008,
+		Buckets: []api.HistogramBucket{
+			{Lo: 96, Hi: 99, Count: 1},
+			{Lo: 480, Hi: 495, Count: 1},
+			{Lo: 992, Hi: 1023, Count: 1},
+		},
+	}
+	return api.MetricsSnapshot{
+		V: api.Version,
+		Phases: []api.PhaseMetrics{
+			{Name: "optimize", Count: 3, WallNS: 1600, Latency: &lat},
+			{Name: "box-build", Count: 2, WallNS: 400},
+		},
+		Durations: []api.NamedHistogram{
+			{Name: "sim.op", HistogramSnapshot: lat},
+			{Name: "sim.newton_iters", HistogramSnapshot: api.HistogramSnapshot{
+				Count: 2, Sum: 9, Min: 4, Max: 5, P50: 4, P90: 5, P99: 5,
+				Buckets: []api.HistogramBucket{{Lo: 4, Hi: 4, Count: 1}, {Lo: 5, Hi: 5, Count: 1}},
+			}},
+		},
+		Cache:      api.CacheMetrics{Hits: 10, Misses: 4, Shared: 1, Evictions: 0, Entries: 4},
+		Solver:     api.SolverMetrics{Stamps: 100, Solves: 7, NewtonIterations: 9},
+		TaskPanics: 1,
+	}
+}
+
+// TestPromRoundTrip renders an exposition and re-parses it with the
+// in-repo parser: every histogram invariant (TYPE headers, cumulative
+// monotone buckets, le="+Inf" == _count) must validate, and the parsed
+// values must match what went in.
+func TestPromRoundTrip(t *testing.T) {
+	p := &PromText{}
+	PromFromMetrics(p, sampleSnapshot())
+	doc, err := ParseProm(bytes.NewReader(p.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, p.Bytes())
+	}
+	if doc.Types["atpg_duration_seconds"] != "histogram" {
+		t.Fatalf("atpg_duration_seconds type %q, want histogram", doc.Types["atpg_duration_seconds"])
+	}
+	fam := doc.Family("atpg_duration_seconds")
+	var buckets, sums, counts int
+	var phaseCount float64
+	for _, s := range fam {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			buckets++
+		case strings.HasSuffix(s.Name, "_sum"):
+			sums++
+		case strings.HasSuffix(s.Name, "_count"):
+			counts++
+			if s.Labels["series"] == "phase:optimize" {
+				phaseCount = s.Value
+			}
+		}
+	}
+	// Two series (phase:optimize, sim.op), 3 finite + 1 inf bucket each.
+	if buckets != 8 || sums != 2 || counts != 2 {
+		t.Fatalf("duration family: %d buckets, %d sums, %d counts", buckets, sums, counts)
+	}
+	if phaseCount != 3 {
+		t.Fatalf("phase:optimize _count = %v, want 3", phaseCount)
+	}
+	// Seconds scaling: the sim.op sum is 1600ns.
+	for _, s := range fam {
+		if strings.HasSuffix(s.Name, "_sum") && s.Labels["series"] == "sim.op" {
+			if math.Abs(s.Value-1600e-9) > 1e-15 {
+				t.Fatalf("sim.op _sum = %v, want 1.6e-06", s.Value)
+			}
+		}
+	}
+	// The unitless newton family must not be rescaled.
+	for _, s := range doc.Family("atpg_newton_iterations") {
+		if strings.HasSuffix(s.Name, "_sum") && s.Value != 9 {
+			t.Fatalf("newton _sum = %v, want 9", s.Value)
+		}
+	}
+	// Counters made it through with their values.
+	hit := false
+	for _, s := range doc.Samples {
+		if s.Name == "atpg_cache_hits_total" {
+			hit = true
+			if s.Value != 10 {
+				t.Fatalf("cache hits = %v, want 10", s.Value)
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("atpg_cache_hits_total missing")
+	}
+}
+
+// TestParsePromRejectsInvalid: the validator is not a rubber stamp.
+func TestParsePromRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"no type header": "orphan_total 3\n",
+		"decreasing cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+		"unterminated labels": "# TYPE c counter\nc_total{a=\"b 3\n",
+		"bad value":           "# TYPE c counter\nc_total wat\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestParsePromLabelEscapes: quoted commas, escaped quotes and
+// backslashes survive the round trip.
+func TestParsePromLabelEscapes(t *testing.T) {
+	p := &PromText{}
+	p.Counter("weird_total", "Labels with everything.",
+		PromLabels{{"a", `x,y"z\w`}, {"b", "line\nbreak"}}, 1)
+	doc, err := ParseProm(bytes.NewReader(p.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, p.Bytes())
+	}
+	s := doc.Samples[0]
+	if s.Labels["a"] != `x,y"z\w` || s.Labels["b"] != "line\nbreak" {
+		t.Fatalf("labels mangled: %q", s.Labels)
+	}
+}
+
+// TestMetricsContentNegotiation: text/plain gets the exposition with
+// the versioned content type, everything else keeps JSON, and both
+// carry Cache-Control: no-store.
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv, err := Serve(Options{
+		Addr:    "127.0.0.1:0",
+		Metrics: func() any { return map[string]any{"solves": 42} },
+		Prom: func(w io.Writer) {
+			p := &PromText{}
+			PromFromMetrics(p, sampleSnapshot())
+			_, _ = p.WriteTo(w)
+		},
+		Ready: func() (any, bool) { return map[string]any{"status": "ready"}, true },
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	fetch := func(accept string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", base+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		c := &http.Client{Timeout: 5 * time.Second}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, body
+	}
+
+	resp, body := fetch("text/plain")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("prom content type %q", ct)
+	}
+	if resp.Header.Get("Cache-Control") != "no-store" {
+		t.Fatalf("prom cache-control %q", resp.Header.Get("Cache-Control"))
+	}
+	if _, err := ParseProm(bytes.NewReader(body)); err != nil {
+		t.Fatalf("prom body invalid: %v", err)
+	}
+
+	// Prometheus-style Accept with parameters still negotiates to text.
+	resp, _ = fetch("text/plain;version=0.0.4;q=0.5, */*;q=0.1")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("versioned accept got %q", ct)
+	}
+
+	for _, accept := range []string{"", "application/json", "*/*"} {
+		resp, body := fetch(accept)
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("accept %q: content type %q, want JSON", accept, ct)
+		}
+		if !bytes.Contains(body, []byte("42")) {
+			t.Fatalf("accept %q: JSON body lost: %s", accept, body)
+		}
+	}
+
+	// /readyz mounts when a Ready provider exists.
+	code, body := get(t, base+"/readyz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("ready")) {
+		t.Fatalf("/readyz: %d %s", code, body)
+	}
+}

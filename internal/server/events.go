@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -11,10 +12,13 @@ import (
 // subscriber that stops draining loses events (its channel buffer
 // overflows and events are dropped), which is the right trade for a
 // monitoring stream riding on top of the authoritative journal file.
+// Dropped events are counted (Dropped), so a lossy stream is visible in
+// the job status instead of silently incomplete.
 type Hub struct {
-	mu     sync.Mutex
-	subs   map[chan obs.Event]struct{}
-	closed bool
+	mu      sync.Mutex
+	subs    map[chan obs.Event]struct{}
+	closed  bool
+	dropped atomic.Uint64
 }
 
 // NewHub returns an open hub with no subscribers.
@@ -32,10 +36,16 @@ func (h *Hub) Emit(ev obs.Event) {
 	for ch := range h.subs {
 		select {
 		case ch <- ev:
-		default: // slow subscriber: drop, never block the run
+		default:
+			// Slow subscriber: drop, never block the run.
+			h.dropped.Add(1)
 		}
 	}
 }
+
+// Dropped returns the number of events lost to slow subscribers over
+// the hub's lifetime.
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }
 
 // Subscribe registers a buffered event stream and returns it with its
 // cancel function. On a closed hub the returned channel is already

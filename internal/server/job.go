@@ -29,7 +29,11 @@ type Job struct {
 	attempts int
 	// resume forces checkpoint resume on the next start (set when the
 	// job is recovered from disk).
-	resume       bool
+	resume bool
+	// enqueued is when the job last entered the submission queue (zero
+	// for jobs rebuilt from disk in a terminal state); runJob turns it
+	// into the queue-wait observation.
+	enqueued     time.Time
 	userCanceled bool
 	verdicts     map[api.Verdict]int
 	quarantined  []api.QuarantineInfo
@@ -110,6 +114,9 @@ func (j *Job) Status() api.JobStatus {
 		Quarantined: j.quarantined,
 		Error:       j.errMsg,
 		Attempts:    j.attempts,
+	}
+	if j.hub != nil {
+		st.EventsDropped = j.hub.Dropped()
 	}
 	if j.state == api.StateRunning && j.prog != nil {
 		p := repro.WireProgress(j.prog.Snapshot())

@@ -1,0 +1,121 @@
+package server
+
+// The daemon's Prometheus surface: the latency middleware feeding the
+// per-route HTTP histograms, and the text exposition combining the
+// atpgd_* server series with the atpg_* engine series of the running
+// (or last finished) job.
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/api"
+	"repro/internal/obs/export"
+	"repro/internal/obs/hist"
+)
+
+// timed is the HTTP latency middleware: every request records its wall
+// time into the histogram of its route class. SSE streams ("events")
+// are included — their durations are connection lifetimes, which the
+// route label keeps out of the request-latency series.
+func (s *Server) timed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		next.ServeHTTP(w, r)
+		s.httpLat.Observe(routeClass(r), int64(time.Since(t0)))
+	})
+}
+
+// routeClass maps a request onto a bounded label set: path parameters
+// collapse to {id} so per-job URLs don't mint unbounded series, and
+// unknown paths share one bucket. (Classification is by prefix because
+// the mux match isn't observable from middleware on this Go version.)
+func routeClass(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/jobs":
+		return r.Method + " /v1/jobs"
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		rest := strings.TrimPrefix(p, "/v1/jobs/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch rest[i:] {
+			case "/result", "/events":
+				return r.Method + " /v1/jobs/{id}" + rest[i:]
+			}
+			return r.Method + " other"
+		}
+		return r.Method + " /v1/jobs/{id}"
+	case p == "/v1/server", p == "/metrics", p == "/progress",
+		p == "/healthz", p == "/readyz", p == "/":
+		return r.Method + " " + p
+	case strings.HasPrefix(p, "/debug/pprof/"):
+		return r.Method + " /debug/pprof/*"
+	default:
+		return r.Method + " other"
+	}
+}
+
+// wireHist converts a histogram snapshot into the wire shape the
+// exposition writer consumes.
+func wireHist(s hist.Snapshot) api.HistogramSnapshot {
+	out := api.HistogramSnapshot{
+		Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max,
+		P50: s.P50(), P90: s.P90(), P99: s.P99(),
+	}
+	for _, b := range s.Buckets {
+		out.Buckets = append(out.Buckets, api.HistogramBucket{Lo: b.Lower, Hi: b.Upper, Count: b.Count})
+	}
+	return out
+}
+
+// writeProm renders the daemon's text exposition (format 0.0.4): queue
+// and lifecycle gauges, the SSE drop counter, the queue-wait / job-
+// duration / HTTP-latency histograms, and the engine series of the
+// running job (or, when idle, of the last finished one).
+func (s *Server) writeProm(w io.Writer) {
+	p := &export.PromText{}
+	st := s.status()
+	p.Gauge("atpgd_uptime_seconds", "Daemon uptime.", nil, float64(st.UptimeMS)/1e3)
+	p.Gauge("atpgd_queue_depth", "Jobs waiting in the submission queue.", nil, float64(st.QueueDepth))
+	p.Gauge("atpgd_queue_cap", "Submission queue capacity.", nil, float64(st.QueueCap))
+	draining := 0.0
+	if st.State == "draining" {
+		draining = 1
+	}
+	p.Gauge("atpgd_draining", "1 while the daemon drains (readyz 503).", nil, draining)
+	states := make([]string, 0, len(st.Jobs))
+	for state := range st.Jobs {
+		states = append(states, string(state))
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		p.Gauge("atpgd_jobs", "Jobs per lifecycle state.",
+			export.PromLabels{{"state", state}}, float64(st.Jobs[api.JobState(state)]))
+	}
+	p.Counter("atpgd_sse_events_dropped_total", "SSE events lost to slow subscribers across all jobs.",
+		nil, float64(st.EventsDropped))
+	if qs := s.queueWait.Snapshot(); qs.Count > 0 {
+		p.Histogram("atpgd_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.",
+			nil, wireHist(qs), 1e-9)
+	}
+	if js := s.jobDur.Snapshot(); js.Count > 0 {
+		p.Histogram("atpgd_job_duration_seconds", "Wall time of job execution attempts.",
+			nil, wireHist(js), 1e-9)
+	}
+	for _, h := range s.httpLat.Snapshot() {
+		if h.Count == 0 {
+			continue
+		}
+		p.Histogram("atpgd_http_request_duration_seconds", "HTTP request latency per route class.",
+			export.PromLabels{{"route", h.Name}}, wireHist(h.Snapshot), 1e-9)
+	}
+	if fn := s.engineLive.Load(); fn != nil && *fn != nil {
+		export.PromFromMetrics(p, (*fn)())
+	} else if last := s.lastEngine.Load(); last != nil {
+		export.PromFromMetrics(p, *last)
+	}
+	_, _ = p.WriteTo(w)
+}

@@ -54,10 +54,14 @@ func (s *Server) execute(ctx context.Context, j *Job, resume bool) (err error) {
 	var sys *repro.System
 	// Seal the journal on every exit: run_canceled when the error wraps a
 	// context cancellation (DELETE or drain), run_end with the final
-	// metrics snapshot otherwise.
+	// metrics snapshot otherwise. The same final snapshot becomes the
+	// daemon's "last job" engine series on the Prometheus exposition.
 	defer func() {
+		s.engineLive.Store(nil)
 		if sys != nil {
-			tracer.Finish(err, obs.Any("metrics", repro.WireMetrics(sys.Metrics())))
+			final := repro.WireMetrics(sys.Metrics())
+			s.lastEngine.Store(&final)
+			tracer.Finish(err, obs.Any("metrics", final))
 		} else {
 			tracer.Finish(err)
 		}
@@ -71,6 +75,9 @@ func (s *Server) execute(ctx context.Context, j *Job, resume bool) (err error) {
 	if err != nil {
 		return err
 	}
+	// While the job runs, /metrics scrapes see its live engine series.
+	live := func() api.MetricsSnapshot { return repro.WireMetrics(sys.Metrics()) }
+	s.engineLive.Store(&live)
 
 	faults := sys.RequestFaults()
 	sols, err := sys.GenerateAllContext(ctx, faults)
@@ -119,10 +126,15 @@ func (s *Server) runJob(base context.Context, j *Job) {
 	j.attempts++
 	resume := j.resume || j.attempts > 1
 	j.cancel = cancel
+	if !j.enqueued.IsZero() {
+		s.queueWait.RecordDuration(time.Since(j.enqueued))
+	}
 	j.mu.Unlock()
 	s.saveJob(j)
 
+	t0 := time.Now()
 	err := s.execFn(ctx, j, resume)
+	s.jobDur.RecordDuration(time.Since(t0))
 
 	j.mu.Lock()
 	fin := time.Now().UTC()

@@ -27,7 +27,9 @@
 //	GET    /v1/jobs/{id}/events SSE stream of the job's trace events
 //	GET    /v1/server           daemon status (api.ServerStatus)
 //	GET    /healthz             liveness (503 while draining)
-//	GET    /metrics             daemon status snapshot
+//	GET    /readyz              readiness (queue-accepting state)
+//	GET    /metrics             daemon status snapshot (JSON; Prometheus
+//	                            text with Accept: text/plain)
 //	GET    /progress            progress of the currently running job
 //	GET    /debug/pprof/        profiling
 package server
@@ -46,6 +48,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
+	"repro/internal/obs/hist"
 )
 
 // Options wires a Server.
@@ -89,6 +92,20 @@ type Server struct {
 	stop     context.CancelFunc
 	baseCtx  context.Context
 
+	// Daemon-level latency histograms: queue wait, job duration, and
+	// per-route HTTP request latency (see routeClass). All nanoseconds.
+	queueWait *hist.Histogram
+	jobDur    *hist.Histogram
+	httpLat   *hist.Registry
+
+	// Engine series for the Prometheus exposition: a snapshot provider
+	// for the currently running job (nil when idle) and the sealed
+	// snapshot of the last finished one. With Workers > 1 the last
+	// writer wins — the exposition shows one job's engine at a time;
+	// per-job snapshots live in the journals.
+	engineLive atomic.Pointer[func() api.MetricsSnapshot]
+	lastEngine atomic.Pointer[api.MetricsSnapshot]
+
 	// execFn runs one job attempt; tests substitute stubs so queue and
 	// lifecycle behavior can be exercised without multi-second ATPG runs.
 	execFn func(ctx context.Context, j *Job, resume bool) error
@@ -127,13 +144,16 @@ func newServer(o Options) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opt:     o,
-		store:   store,
-		limiter: newRateLimiter(o.RatePerSec, o.RateBurst),
-		start:   time.Now(),
-		jobs:    make(map[string]*Job),
-		baseCtx: ctx,
-		stop:    cancel,
+		opt:       o,
+		store:     store,
+		limiter:   newRateLimiter(o.RatePerSec, o.RateBurst),
+		start:     time.Now(),
+		jobs:      make(map[string]*Job),
+		baseCtx:   ctx,
+		stop:      cancel,
+		queueWait: hist.New(),
+		jobDur:    hist.New(),
+		httpLat:   hist.NewRegistry(),
 	}
 	s.execFn = s.execute
 
@@ -147,6 +167,7 @@ func newServer(o Options) (*Server, error) {
 	// jobs can never be starved out by the backpressure path.
 	s.queue = make(chan *Job, o.QueueCap+len(recovered))
 	for _, j := range recovered {
+		j.enqueued = time.Now()
 		s.queue <- j
 	}
 
@@ -215,8 +236,9 @@ func (s *Server) workerLoop() {
 	}
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route mux wrapped in
+// the per-route latency middleware.
+func (s *Server) Handler() http.Handler { return s.timed(s.mux) }
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -244,6 +266,7 @@ func (s *Server) routes() {
 	export.Register(s.mux, export.Options{
 		NoIndex: true,
 		Metrics: func() any { return s.status() },
+		Prom:    s.writeProm,
 		Progress: func() obs.ProgressSnapshot {
 			if p := s.runningProgress(); p != nil {
 				return p.Snapshot()
@@ -253,6 +276,18 @@ func (s *Server) routes() {
 		Health: func() (any, bool) {
 			st := s.status()
 			return st, st.State == "serving"
+		},
+		// Readiness is the queue-accepting state: a draining daemon is
+		// still alive (and must stay reachable for status polls), but load
+		// balancers should stop routing submissions to it.
+		Ready: func() (any, bool) {
+			draining := s.draining.Load()
+			body := map[string]any{
+				"accepting":   !draining,
+				"queue_depth": len(s.queue),
+				"queue_cap":   s.opt.QueueCap,
+			}
+			return body, !draining
 		},
 	})
 }
@@ -273,6 +308,9 @@ func (s *Server) status() api.ServerStatus {
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		st.Jobs[j.State()]++
+		if j.hub != nil {
+			st.EventsDropped += j.hub.Dropped()
+		}
 	}
 	s.mu.Unlock()
 	return st
@@ -353,12 +391,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &Job{
-		ID:      id,
-		req:     req,
-		state:   api.StateQueued,
-		created: now,
-		hub:     NewHub(),
-		paths:   paths,
+		ID:       id,
+		req:      req,
+		state:    api.StateQueued,
+		created:  now,
+		enqueued: time.Now(),
+		hub:      NewHub(),
+		paths:    paths,
 	}
 	s.saveJob(j)
 	// Register before enqueueing: a worker may pick the job up (and a

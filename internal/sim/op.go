@@ -347,9 +347,8 @@ func (e *Engine) OperatingPoint() ([]float64, error) {
 // relaxed settings; the first converging rung wins. With a nil ladder
 // the behavior is identical to the pre-ladder solver.
 func (e *Engine) OperatingPointInto(x []float64) error {
-	if h, t0, pre := e.traceStart(); h != nil {
-		defer e.traceEnd(h, "op", t0, pre)
-	}
+	h, t0, pre := e.traceStart()
+	defer e.traceEnd(h, "op", t0, pre)
 	if e.lr != nil && e.matrixInvariant() {
 		if err := e.woodburyOP(x); err == nil {
 			return nil
@@ -448,9 +447,8 @@ func (e *Engine) solveOperatingPoint(x []float64) error {
 // Newton seed. Swapping the waveform only changes the right-hand side,
 // so the cached linear matrix survives the whole sweep.
 func (e *Engine) SweepDC(source string, values []float64) ([][]float64, error) {
-	if h, t0, pre := e.traceStart(); h != nil {
-		defer e.traceEnd(h, "dc-sweep", t0, pre)
-	}
+	h, t0, pre := e.traceStart()
+	defer e.traceEnd(h, "dc-sweep", t0, pre)
 	d := e.ckt.Device(source)
 	if d == nil {
 		return nil, fmt.Errorf("sim: sweep source %q not found", source)

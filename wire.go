@@ -8,6 +8,7 @@ import (
 
 	"repro/api"
 	"repro/internal/netlist"
+	"repro/internal/obs/hist"
 	"repro/internal/testcfg"
 )
 
@@ -197,9 +198,30 @@ func WireMetrics(m Metrics) api.MetricsSnapshot {
 		TaskPanics: m.TaskPanics,
 	}
 	for _, p := range m.Phases {
-		out.Phases = append(out.Phases, api.PhaseMetrics{
-			Name: p.Name, Count: p.Count, WallNS: int64(p.Wall),
+		pm := api.PhaseMetrics{Name: p.Name, Count: p.Count, WallNS: int64(p.Wall)}
+		if p.Latency.Count > 0 {
+			h := wireHistogram(p.Latency)
+			pm.Latency = &h
+		}
+		out.Phases = append(out.Phases, pm)
+	}
+	for _, d := range m.Durations {
+		out.Durations = append(out.Durations, api.NamedHistogram{
+			Name: d.Name, HistogramSnapshot: wireHistogram(d.Snapshot),
 		})
+	}
+	return out
+}
+
+// wireHistogram converts a latency distribution into its wire form,
+// precomputing the percentiles so consumers never need quantile logic.
+func wireHistogram(s hist.Snapshot) api.HistogramSnapshot {
+	out := api.HistogramSnapshot{
+		Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max,
+		P50: s.P50(), P90: s.P90(), P99: s.P99(),
+	}
+	for _, b := range s.Buckets {
+		out.Buckets = append(out.Buckets, api.HistogramBucket{Lo: b.Lower, Hi: b.Upper, Count: b.Count})
 	}
 	return out
 }
