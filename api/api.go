@@ -94,6 +94,20 @@ type RunOptions struct {
 	// fast path of the impact search. Results are bit-identical either
 	// way; the switch exists for benchmarking and debugging.
 	DisableLowRank bool `json:"disable_lowrank,omitempty"`
+	// StallTimeoutMS arms the stall watchdog: a fault×config optimizer
+	// task that produces no evaluations for this long is cancelled and
+	// quarantined with reason "stalled" (0: watchdog off).
+	StallTimeoutMS int64 `json:"stall_timeout_ms,omitempty"`
+	// BreakerFallbacks arms the low-rank circuit breaker: when more than
+	// this many Woodbury fallbacks land inside the breaker window, the
+	// session pins itself to the slow path for a cool-down (0: breaker
+	// off). Results are bit-identical either way — the two paths are
+	// numerically interchangeable; the breaker only stops wasted work.
+	BreakerFallbacks int `json:"breaker_fallbacks,omitempty"`
+	// BreakerWindowMS and BreakerCooldownMS tune the breaker's rate
+	// window and slow-path pin duration (0: defaults of 1s / 5s).
+	BreakerWindowMS   int64 `json:"breaker_window_ms,omitempty"`
+	BreakerCooldownMS int64 `json:"breaker_cooldown_ms,omitempty"`
 }
 
 // CompactSpec tunes test-set compaction.
@@ -153,6 +167,10 @@ func (r JobRequest) Validate() error {
 		return fmt.Errorf("api: compaction delta %g outside [0, 1)", r.Compact.Delta)
 	}
 	if r.Options.Workers < 0 || r.Options.Retries < 0 || r.Options.AttemptTimeoutMS < 0 {
+		return fmt.Errorf("api: negative run option")
+	}
+	if r.Options.StallTimeoutMS < 0 || r.Options.BreakerFallbacks < 0 ||
+		r.Options.BreakerWindowMS < 0 || r.Options.BreakerCooldownMS < 0 {
 		return fmt.Errorf("api: negative run option")
 	}
 	return nil
@@ -237,12 +255,16 @@ type JobStatus struct {
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
-// QuarantineInfo describes one isolated task panic.
+// QuarantineInfo describes one isolated fault×config task the runtime
+// took out of the run: a recovered panic or a stall-watchdog kill.
 type QuarantineInfo struct {
 	FaultID string `json:"fault_id"`
 	Config  int    `json:"config"` // -1: whole-fault selection loop
 	Phase   string `json:"phase"`
-	Panic   string `json:"panic"`
+	Panic   string `json:"panic,omitempty"`
+	// Reason classifies the quarantine: "panic" (default when absent on
+	// old records) or "stalled" (stall-watchdog cancellation).
+	Reason string `json:"reason,omitempty"`
 }
 
 // SolutionInfo is the wire form of one fault's generated test.
@@ -403,6 +425,11 @@ type MetricsSnapshot struct {
 	Cache      CacheMetrics   `json:"cache"`
 	Solver     SolverMetrics  `json:"solver"`
 	TaskPanics int64          `json:"task_panics,omitempty"`
+	// BreakerTrips counts low-rank circuit-breaker trips; BreakerOpen is
+	// true while the session is pinned to the slow path. Absent on runs
+	// without the breaker armed; decoders tolerate absence.
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+	BreakerOpen  bool   `json:"breaker_open,omitempty"`
 	// Durations holds latency distributions from below the engine's
 	// phase accounting: the simulation kernel's per-analysis wall times
 	// ("sim.op", "sim.transient", ...) and its "sim.newton_iters" value
@@ -427,6 +454,12 @@ type ServerStatus struct {
 	// all jobs this daemon knows of. Absent when zero; decoders
 	// tolerate absence.
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// MemShedding is true while the memory watermark monitor is
+	// rejecting submissions; MemShedTotal counts submissions shed since
+	// start. Absent when the monitor never shed; decoders tolerate
+	// absence.
+	MemShedding  bool   `json:"mem_shedding,omitempty"`
+	MemShedTotal uint64 `json:"mem_shed_total,omitempty"`
 }
 
 // ErrorReply is the JSON error envelope of every non-2xx response.

@@ -1,0 +1,50 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobRequestValidate hammers the submission path with arbitrary
+// bytes: whatever a client puts on the wire, Normalize+Validate must
+// never panic, and a request Validate accepts must round-trip through
+// Encode/Unmarshal without changing its validity — the server decodes
+// what it stored and must not suddenly reject it.
+func FuzzJobRequestValidate(f *testing.F) {
+	f.Add([]byte(`{"v":1,"faults":{"limit":6},"options":{"box_mode":"seed"}}`))
+	f.Add([]byte(`{"v":1,"macro":{"builtin":"iv-converter"},"compact":{"delta":0.05}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":99}`))
+	f.Add([]byte(`{"v":1,"options":{"workers":-3}}`))
+	f.Add([]byte(`{"v":1,"options":{"stall_timeout_ms":100,"breaker_fallbacks":5}}`))
+	f.Add([]byte(`{"v":1,"macro":{"builtin":"nope"}}`))
+	f.Add([]byte(`{"v":1,"compact":{"delta":1.5}}`))
+	f.Add([]byte(`{"v":-1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"v":1,"faults":{"limit":-9}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req JobRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // not a JobRequest; nothing to validate
+		}
+		req.Normalize()
+		if err := req.Validate(); err != nil {
+			return
+		}
+		// Accepted requests must survive the store/reload cycle.
+		b, err := Encode(req)
+		if err != nil {
+			t.Fatalf("Encode of a valid request failed: %v", err)
+		}
+		var back JobRequest
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("re-decode of a valid request failed: %v", err)
+		}
+		back.Normalize()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("request changed validity across Encode/decode: %v", err)
+		}
+	})
+}

@@ -13,6 +13,7 @@
 //
 //	atpgd [-listen :8723] [-data DIR] [-queue n] [-jobs n]
 //	      [-rate r] [-burst n] [-drain-timeout d]
+//	      [-mem-high bytes] [-mem-low bytes] [-failpoints SPEC]
 //
 // Quick start:
 //
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/server"
 )
 
@@ -46,16 +48,27 @@ func main() {
 		burst        = flag.Int("burst", 10, "per-client submission burst")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for running jobs to wind down on SIGTERM")
 		ckptEvery    = flag.Duration("checkpoint-every", 0, "per-job checkpoint debounce interval (0: 2s default)")
+		memHigh      = flag.Uint64("mem-high", 0, "live-heap high watermark in bytes; above it submissions are shed with 503 (0: disabled)")
+		memLow       = flag.Uint64("mem-low", 0, "live-heap low watermark in bytes; shedding stops below it (0: 80% of -mem-high)")
+		failpoints   = flag.String("failpoints", os.Getenv("ATPGD_FAILPOINTS"), "failpoint spec `site=action[:mod];...` for chaos testing (default $ATPGD_FAILPOINTS)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *dataDir, *queueCap, *jobWorkers, *rate, *burst, *drainTimeout, *ckptEvery); err != nil {
+	if *failpoints != "" {
+		if err := failpoint.Apply(*failpoints); err != nil {
+			fmt.Fprintln(os.Stderr, "atpgd: -failpoints:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "atpgd: failpoints armed: %s\n", *failpoints)
+	}
+
+	if err := run(*listen, *dataDir, *queueCap, *jobWorkers, *rate, *burst, *drainTimeout, *ckptEvery, *memHigh, *memLow); err != nil {
 		fmt.Fprintln(os.Stderr, "atpgd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, dataDir string, queueCap, jobWorkers int, rate float64, burst int, drainTimeout, ckptEvery time.Duration) error {
+func run(listen, dataDir string, queueCap, jobWorkers int, rate float64, burst int, drainTimeout, ckptEvery time.Duration, memHigh, memLow uint64) error {
 	srv, err := server.New(server.Options{
 		DataDir:         dataDir,
 		QueueCap:        queueCap,
@@ -63,6 +76,8 @@ func run(listen, dataDir string, queueCap, jobWorkers int, rate float64, burst i
 		RatePerSec:      rate,
 		RateBurst:       burst,
 		CheckpointEvery: ckptEvery,
+		MemHighWater:    memHigh,
+		MemLowWater:     memLow,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,515 @@
+// Command chaos is the deterministic soak harness for atpgd: it runs a
+// seeded failpoint schedule against a live in-process daemon and
+// asserts the three robustness invariants of the runtime:
+//
+//  1. the server never wedges — every step ends with the daemon
+//     answering /v1/server;
+//  2. every sealed journal on disk validates against its declared
+//     schema (the obslint contract);
+//  3. results that survive the chaos are byte-identical to an
+//     uninjected reference run of the same request — including jobs
+//     killed mid-flight and resumed from their checkpoints.
+//
+// The schedule is a pure function of -seed: two runs with the same
+// seed inject the same failures into the same jobs in the same order
+// (-print-schedule emits it without running, which is what the CI
+// determinism check diffs). Injections on regular jobs are
+// identity-safe — persistence and streaming failures that can never
+// change a result, only lose durability or events — plus daemon
+// kill/restart cycles. One designated victim job takes a task panic to
+// drive the quarantine machinery end to end.
+//
+// Usage:
+//
+//	chaos [-seed 1] [-jobs 20] [-data DIR] [-keep] [-print-schedule]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/api"
+	"repro/internal/failpoint"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		seed          = flag.Uint64("seed", 1, "chaos schedule seed")
+		jobs          = flag.Int("jobs", 20, "soak length in jobs")
+		dataRoot      = flag.String("data", "", "data directory (default: a temp dir, removed on success)")
+		keep          = flag.Bool("keep", false, "keep the data directory on success")
+		printSchedule = flag.Bool("print-schedule", false, "print the injection schedule and exit")
+	)
+	flag.Parse()
+
+	sched := buildSchedule(*seed, *jobs)
+	if *printSchedule {
+		for _, st := range sched {
+			fmt.Println(st)
+		}
+		return
+	}
+
+	root := *dataRoot
+	if root == "" {
+		dir, err := os.MkdirTemp("", "chaos-*")
+		if err != nil {
+			fatalf("temp dir: %v", err)
+		}
+		root = dir
+	}
+	fmt.Printf("chaos: seed %d, %d jobs, data in %s\n", *seed, *jobs, root)
+
+	failpoint.Seed(*seed)
+	if err := soak(root, sched); err != nil {
+		fatalf("%v", err)
+	}
+	if !*keep && *dataRoot == "" {
+		os.RemoveAll(root)
+	}
+	fmt.Println("chaos: soak passed")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// step is one entry of the soak schedule. Everything in it derives
+// from the seed alone.
+type step struct {
+	Index   int
+	Limit   int    // fault-dictionary prefix of the job request
+	Workers int    // session workers of the job request
+	Inject  string // failpoint assignments armed for this job ("" = none)
+	Kill    bool   // kill the daemon mid-job and restart over its data dir
+	Victim  bool   // task-panic victim: quarantine expected, no byte compare
+}
+
+func (s step) String() string {
+	b := fmt.Sprintf("step %02d: limit=%d workers=%d", s.Index, s.Limit, s.Workers)
+	if s.Inject != "" {
+		b += " inject=" + s.Inject
+	}
+	if s.Kill {
+		b += " kill"
+	}
+	if s.Victim {
+		b += " victim"
+	}
+	return b
+}
+
+func (s step) request() api.JobRequest {
+	return api.JobRequest{
+		V:       api.Version,
+		Macro:   api.MacroSpec{Builtin: api.MacroSimpleIVConverter},
+		Faults:  api.FaultSpec{Limit: s.Limit},
+		Options: api.RunOptions{BoxMode: api.BoxModeSeed, Workers: s.Workers},
+	}
+}
+
+// key identifies the reference result this step's job must match.
+func (s step) key() string { return fmt.Sprintf("limit%d-workers%d", s.Limit, s.Workers) }
+
+// identitySafe is the injection menu for regular jobs: failures in the
+// persistence and streaming planes, which degrade durability or event
+// delivery but can never change what the ATPG computes.
+var identitySafe = []string{
+	"ckpt.save.write=error(chaos disk gone):p(0.5)",
+	"ckpt.save.sync=error(chaos fsync lost):every(3)",
+	"ckpt.save.rename=error(chaos crash in rename):p(0.3)",
+	"server.sse.write=error(chaos slow client hangup):p(0.3)",
+	"server.sse.write=sleep(1ms):p(0.5)",
+	"server.save.record=error(chaos record store down):p(0.4)",
+	"server.save.record=sleep(2ms):every(2)",
+}
+
+// buildSchedule derives the soak schedule from the seed with a
+// splitmix64 stream — no global randomness, no time dependence. Two
+// calls with equal arguments return equal schedules.
+func buildSchedule(seed uint64, n int) []step {
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	victimAt := n / 2
+	sched := make([]step, n)
+	for i := range sched {
+		r := next()
+		st := step{
+			Index:   i,
+			Limit:   2 + int(r%2),
+			Workers: 1 + int((r>>8)%2),
+		}
+		switch {
+		case i == victimAt:
+			// The panic fires inside the objective evaluation — within the
+			// engine's per-task Recover boundary — so the core quarantines
+			// one fault×config and the run completes around the hole.
+			st.Victim = true
+			st.Inject = "core.opt.eval=panic(chaos victim):once"
+		case (r>>16)%100 < 45:
+			st.Inject = identitySafe[(r>>24)%uint64(len(identitySafe))]
+		}
+		// Every sixth job dies mid-flight and must resume. The victim is
+		// spared: its one-shot panic would otherwise be lost to the
+		// restart.
+		if i%6 == 5 && !st.Victim {
+			st.Kill = true
+		}
+		sched[i] = st
+	}
+	return sched
+}
+
+// daemon is one in-process atpgd instance bound to a loopback port.
+type daemon struct {
+	srv  *server.Server
+	hs   *http.Server
+	base string
+}
+
+func startDaemon(dataDir string) (*daemon, error) {
+	srv, err := server.New(server.Options{
+		DataDir:         dataDir,
+		RatePerSec:      -1, // the soak hammers from one host by design
+		Workers:         1,  // serial jobs: per-step failpoint arming stays scoped
+		CheckpointEvery: time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &daemon{srv: srv, hs: hs, base: "http://" + ln.Addr().String()}, nil
+}
+
+// kill simulates a crash: persistence freezes, running jobs are
+// cancelled, the listener drops. Nothing is drained.
+func (d *daemon) kill() {
+	d.srv.Kill()
+	d.hs.Close()
+}
+
+func (d *daemon) stop() error {
+	defer d.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	return d.srv.Shutdown(ctx)
+}
+
+func soak(root string, sched []step) error {
+	defer failpoint.Reset()
+
+	// Reference phase: one clean run per distinct request shape, no
+	// injections, separate data directory.
+	refDir := filepath.Join(root, "reference")
+	ref, err := startDaemon(refDir)
+	if err != nil {
+		return fmt.Errorf("reference daemon: %w", err)
+	}
+	want := map[string][]byte{}
+	for _, st := range sched {
+		if _, ok := want[st.key()]; ok {
+			continue
+		}
+		fmt.Printf("chaos: reference %s\n", st.key())
+		id, err := submit(ref.base, st.request())
+		if err != nil {
+			return fmt.Errorf("reference submit %s: %w", st.key(), err)
+		}
+		fin, err := waitTerminal(ref.base, id, 4*time.Minute)
+		if err != nil {
+			return err
+		}
+		if fin.State != api.StateSucceeded {
+			return fmt.Errorf("reference job %s ended %s: %s", st.key(), fin.State, fin.Error)
+		}
+		want[st.key()], err = resultBytes(ref.srv, id)
+		if err != nil {
+			return err
+		}
+	}
+	if err := ref.stop(); err != nil {
+		return fmt.Errorf("reference drain: %w", err)
+	}
+
+	// Chaos phase.
+	chaosDir := filepath.Join(root, "chaos")
+	d, err := startDaemon(chaosDir)
+	if err != nil {
+		return fmt.Errorf("chaos daemon: %w", err)
+	}
+	var succeeded, failed, lost, resumedOK int
+	victimJob := ""
+	for _, st := range sched {
+		failpoint.Reset()
+		if st.Inject != "" {
+			if err := failpoint.Apply(st.Inject); err != nil {
+				return fmt.Errorf("step %d: bad injection %q: %w", st.Index, st.Inject, err)
+			}
+		}
+		fmt.Printf("chaos: %s\n", st)
+		id, err := submit(d.base, st.request())
+		if err != nil {
+			return fmt.Errorf("step %d: submit: %w", st.Index, err)
+		}
+		if st.Victim {
+			victimJob = id
+		}
+
+		if st.Kill {
+			// Let the job get under way, then crash the daemon and bring
+			// a fresh one up over the same data directory. The job comes
+			// back interrupted and resumes from whatever checkpoint
+			// survived (possibly none — injections may have eaten it).
+			waitRunningOrDone(d.base, id, 30*time.Second)
+			time.Sleep(300 * time.Millisecond)
+			d.kill()
+			failpoint.Reset() // a crashed process takes its armed failpoints with it
+			d, err = startDaemon(chaosDir)
+			if err != nil {
+				return fmt.Errorf("step %d: restart: %w", st.Index, err)
+			}
+			// A persistence injection may have eaten every attempt to
+			// write the job record before the crash — the restarted
+			// daemon then has no durable trace of the job and correctly
+			// answers 404. That is a lost job, not a wedge: durability
+			// was the very thing the injection destroyed.
+			if _, serr := status(d.base, id); errors.Is(serr, errJobUnknown) {
+				lost++
+				fmt.Printf("chaos:   step %d: job record never became durable before the crash — lost\n", st.Index)
+				if err := probe(d.base); err != nil {
+					return fmt.Errorf("step %d: server wedged: %w", st.Index, err)
+				}
+				continue
+			}
+		}
+
+		fin, err := waitTerminal(d.base, id, 4*time.Minute)
+		if err != nil {
+			return fmt.Errorf("step %d: %w", st.Index, err)
+		}
+		switch {
+		case fin.State == api.StateSucceeded && !st.Victim:
+			succeeded++
+			got, err := resultBytes(d.srv, id)
+			if err != nil {
+				return fmt.Errorf("step %d: %w", st.Index, err)
+			}
+			if !bytes.Equal(got, want[st.key()]) {
+				return fmt.Errorf("step %d: result diverged from the uninjected reference (%s)", st.Index, st.key())
+			}
+			if st.Kill {
+				resumedOK++
+			}
+		case fin.State == api.StateSucceeded:
+			succeeded++
+		default:
+			// A failed job is a legitimate chaos outcome (an injected
+			// final-flush failure fails the run); a wedged one is not —
+			// waitTerminal above bounds that.
+			failed++
+			fmt.Printf("chaos:   step %d ended %s: %s\n", st.Index, fin.State, fin.Error)
+		}
+
+		// Invariant 1: the daemon answers after every step.
+		if err := probe(d.base); err != nil {
+			return fmt.Errorf("step %d: server wedged: %w", st.Index, err)
+		}
+	}
+	failpoint.Reset()
+
+	// The victim must have quarantined its panicking task and journaled
+	// it — that is the whole point of the victim.
+	if victimJob != "" {
+		paths, err := d.srv.Store().Job(victimJob)
+		if err != nil {
+			return err
+		}
+		j, err := os.ReadFile(paths.Journal)
+		if err != nil {
+			return fmt.Errorf("victim journal: %w", err)
+		}
+		if !bytes.Contains(j, []byte(`"quarantine"`)) {
+			return fmt.Errorf("victim job %s journaled no quarantine", victimJob)
+		}
+	}
+	if err := d.stop(); err != nil {
+		return fmt.Errorf("chaos drain: %w", err)
+	}
+
+	// Invariant 2: every journal on disk validates.
+	validated := 0
+	for _, dir := range []string{refDir, chaosDir} {
+		n, err := validateJournals(dir)
+		if err != nil {
+			return err
+		}
+		validated += n
+	}
+
+	// The soak is vacuous if chaos killed everything: require a healthy
+	// majority and at least one kill/resume survivor compared clean.
+	if succeeded*2 < len(sched) {
+		return fmt.Errorf("only %d/%d jobs succeeded — the soak lost its signal", succeeded, len(sched))
+	}
+	if resumedOK == 0 {
+		return fmt.Errorf("no kill/restart job survived to a byte-identical result")
+	}
+	fmt.Printf("chaos: %d succeeded (%d resumed bit-identical), %d failed-by-injection, %d lost-to-crash, %d journals validated\n",
+		succeeded, resumedOK, failed, lost, validated)
+	return nil
+}
+
+// validateJournals runs the obslint contract over every sealed journal
+// under a daemon data directory.
+func validateJournals(dataDir string) (int, error) {
+	pattern := filepath.Join(dataDir, "jobs", "*", "journal.jsonl")
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return 0, err
+		}
+		_, verr := obs.Validate(fh)
+		fh.Close()
+		if verr != nil {
+			return 0, fmt.Errorf("journal %s invalid: %w", f, verr)
+		}
+	}
+	return len(files), nil
+}
+
+// --- minimal HTTP client against the wire API ---
+
+var client = &http.Client{Timeout: 10 * time.Second}
+
+func submit(base string, req api.JobRequest) (string, error) {
+	body, err := api.Encode(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := readAll(resp)
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(b))
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// errJobUnknown marks a 404: the daemon is up but has no record of the
+// job (a crash outran every attempt to persist it).
+var errJobUnknown = errors.New("job unknown to the daemon")
+
+func status(base, id string) (api.JobStatus, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return api.JobStatus{}, fmt.Errorf("status %s: %w", id, errJobUnknown)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return api.JobStatus{}, fmt.Errorf("status %s: %s", id, resp.Status)
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return api.JobStatus{}, err
+	}
+	return st, nil
+}
+
+func waitTerminal(base, id string, timeout time.Duration) (api.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := status(base, id)
+		if err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			state := "unreachable"
+			if err == nil {
+				state = string(st.State)
+			}
+			return api.JobStatus{}, fmt.Errorf("job %s wedged in %s after %v", id, state, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func waitRunningOrDone(base, id string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := status(base, id)
+		if err == nil && (st.State == api.StateRunning || st.State.Terminal()) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func probe(base string) error {
+	resp, err := client.Get(base + "/v1/server")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/server: %s", resp.Status)
+	}
+	return nil
+}
+
+func resultBytes(srv *server.Server, id string) ([]byte, error) {
+	paths, err := srv.Store().Job(id)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(paths.Result)
+}
+
+func readAll(resp *http.Response) (string, error) {
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String(), nil
+		}
+	}
+}

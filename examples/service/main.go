@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/api"
 )
@@ -68,29 +71,65 @@ func main() {
 		res.Coverage.Detected, res.Coverage.Total, res.Coverage.Percent)
 }
 
-// submit posts the job and decodes the 202 status reply. A 429 carries
-// a versioned ErrorReply with Retry-After — a production client would
-// back off and retry; this example just reports it.
+// submit posts the job and decodes the 202 status reply. Overload
+// replies — 429 from the bounded queue or rate limiter, 503 from the
+// memory watermark shedder — carry a Retry-After header; the client
+// honors it, sleeping the server's hint (or a jittered exponential
+// backoff when the hint is absent) before retrying. Other failures
+// are terminal.
 func submit(addr string, req api.JobRequest) api.JobStatus {
 	body, err := api.Encode(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
+	backoff := 250 * time.Millisecond
+	const maxBackoff = 8 * time.Second
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var st api.JobStatus
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			return st
+		}
 		var e api.ErrorReply
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("submit: %s (%s)", resp.Status, e.Error)
+		retriable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retriable || attempt >= 8 {
+			log.Fatalf("submit: %s (%s)", resp.Status, e.Error)
+		}
+		d := retryDelay(resp, &backoff)
+		resp.Body.Close()
+		fmt.Printf("  overloaded (%s): retrying in %v (attempt %d)\n", resp.Status, d.Round(time.Millisecond), attempt)
+		time.Sleep(d)
 	}
-	var st api.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		log.Fatal(err)
+}
+
+// retryDelay picks the next submit delay: the server's Retry-After
+// seconds when present, otherwise the doubling backoff with ±25%
+// jitter so a herd of shed clients doesn't re-arrive in lockstep.
+func retryDelay(resp *http.Response, backoff *time.Duration) time.Duration {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			// Jitter up to +25% on top of the server hint.
+			return d + time.Duration(rand.Int63n(int64(d)/4+1))
+		}
 	}
-	return st
+	d := *backoff
+	*backoff *= 2
+	if *backoff > 8*time.Second {
+		*backoff = 8 * time.Second
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
 }
 
 // follow streams /v1/jobs/{id}/events and prints the interesting

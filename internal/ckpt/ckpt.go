@@ -18,6 +18,19 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
+)
+
+// Failpoint sites covering the three windows of the atomic-write
+// protocol. fpRename deliberately leaves a *torn* destination file
+// behind (the first half of the payload) before erroring: that is the
+// on-disk state a crash on a non-ordered filesystem produces, and it
+// is what the corrupt-checkpoint regression tests load against.
+var (
+	fpSaveWrite  = failpoint.At("ckpt.save.write")
+	fpSaveSync   = failpoint.At("ckpt.save.sync")
+	fpSaveRename = failpoint.At("ckpt.save.rename")
 )
 
 // Save atomically writes v as JSON to path.
@@ -33,9 +46,17 @@ func Save(path string, v any) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
+	if ferr := fpSaveWrite.Hit(); ferr != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: write %s: %w", tmpName, ferr)
+	}
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
 		return fmt.Errorf("ckpt: write %s: %w", tmpName, err)
+	}
+	if ferr := fpSaveSync.Hit(); ferr != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: fsync %s: %w", tmpName, ferr)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -43,6 +64,12 @@ func Save(path string, v any) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("ckpt: close %s: %w", tmpName, err)
+	}
+	if ferr := fpSaveRename.Hit(); ferr != nil {
+		// Simulate the crash this window exposes: the destination ends
+		// up with a truncated payload instead of either complete state.
+		_ = os.WriteFile(path, data[:len(data)/2], 0o644)
+		return fmt.Errorf("ckpt: rename: %w", ferr)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("ckpt: rename: %w", err)

@@ -141,7 +141,14 @@ func (s *Session) openCheckpoint(faults []fault.Fault) (*ckptState, map[string]*
 		// First run: nothing to resume.
 		return cs, resumed, nil
 	case err != nil:
-		return nil, nil, fmt.Errorf("core: resume: %w", err)
+		// Truncated or corrupt checkpoint — the torn-write residue of a
+		// crash. That is exactly the situation checkpoints exist for, so
+		// failing the job here would be self-defeating: log it and start
+		// fresh. The next debounced write replaces the damaged file.
+		s.tr.Emit("checkpoint_error",
+			obs.String("error", err.Error()),
+			obs.String("recovery", "corrupt checkpoint ignored; starting fresh"))
+		return cs, resumed, nil
 	case prev.Version != CheckpointVersion:
 		return nil, nil, fmt.Errorf("core: resume: checkpoint version %d, want %d", prev.Version, CheckpointVersion)
 	case prev.Fingerprint != fp:

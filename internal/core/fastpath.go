@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -64,6 +65,13 @@ type faultEval struct {
 // throwaway path, so a nil return is never an error.
 func (s *Session) newFaultEval(f fault.Fault, ci int) *faultEval {
 	if s.cfg.DisableFastPath {
+		return nil
+	}
+	// Circuit breaker: when guard-trip fallbacks are storming, pin the
+	// session to the throwaway path for the cool-down. Both paths are
+	// bit-identical (the transparency property above), so the gate can
+	// flip between evaluator constructions without changing results.
+	if s.brk != nil && !s.brk.allow(time.Now(), s.sessionFallbacks()) {
 		return nil
 	}
 	lrf, ok := f.(fault.LowRankFault)
@@ -145,6 +153,15 @@ func (fe *faultEval) eval(impact float64, T []float64, warm bool) (sf float64, r
 // Config.CrossCheck set it also runs the throwaway path and errors on
 // disagreement beyond 1e-9.
 func (fe *faultEval) sensitivity(impact float64, T []float64) (float64, error) {
+	// Breaker pulse: guard-trip fallbacks accrue during the evaluation
+	// loop, long after the evaluator was constructed, so the gate in
+	// newFaultEval alone could never observe a storm. Re-checking per
+	// evaluation lets the breaker trip mid-candidate and route the rest
+	// of the loop through the throwaway path — invisible in results,
+	// since the two paths are bit-identical.
+	if s := fe.s; s.brk != nil && !s.brk.allow(time.Now(), s.sessionFallbacks()) {
+		return s.Sensitivity(fe.ci, fe.f.WithImpact(impact), T)
+	}
 	sf, runErr, err := fe.eval(impact, T, false)
 	if err != nil {
 		return 0, err
@@ -177,6 +194,10 @@ func (fe *faultEval) sensitivity(impact float64, T []float64) (float64, error) {
 func (fe *faultEval) sensitivityWarm(impact float64, T []float64) (float64, bool, error) {
 	if !fe.ev.HasWarm() || fe.s.cfg.CrossCheck {
 		sf, err := fe.sensitivity(impact, T)
+		return sf, true, err
+	}
+	if s := fe.s; s.brk != nil && !s.brk.allow(time.Now(), s.sessionFallbacks()) {
+		sf, err := s.Sensitivity(fe.ci, fe.f.WithImpact(impact), T)
 		return sf, true, err
 	}
 	sf, runErr, err := fe.eval(impact, T, true)

@@ -10,10 +10,17 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/failpoint"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/opt"
 )
+
+// fpOptEval fires once per objective evaluation, before the simulation
+// pair. Arm it with a sleep to wedge an optimization attempt (exercising
+// the stall watchdog) or with an error to poison evaluation points. One
+// atomic load per evaluation — noise next to a simulation pair.
+var fpOptEval = failpoint.At("core.opt.eval")
 
 // Candidate is the optimized test of one configuration for one fault:
 // the result of minimizing S_f over the configuration's parameter box
@@ -163,6 +170,16 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 	fe := s.newFaultEval(soft, ci)
 	ctx, sp := s.tr.Start(ctx, "optimize",
 		obs.String("fault", f.ID()), obs.Int("config", c.ID))
+	// Every return path below ends the span with its own attributes — but
+	// a device-model panic unwinds straight to the engine's Recover
+	// boundary, where the pair is quarantined and the run completes. The
+	// sealed journal must not carry an open span for it.
+	ended := false
+	defer func() {
+		if !ended {
+			sp.End(obs.String("error", "panic"))
+		}
+	}()
 	box := c.Bounds()
 	evals := 0
 	var watch opt.IterObserver
@@ -184,11 +201,19 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 		if policy != nil && policy.AttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, policy.AttemptTimeout)
 		}
+		var wd *watchdog
+		if s.cfg.StallTimeout > 0 {
+			actx, wd = startWatchdog(actx, s.cfg.StallTimeout)
+		}
 		obj := func(T []float64) float64 {
 			if actx.Err() != nil {
 				// Poison every point so the optimizer retreats and returns
 				// quickly; cancellation is reported below, an expired
 				// attempt deadline counts as a stall.
+				return poisonSF
+			}
+			wd.touch()
+			if err := fpOptEval.Hit(); err != nil {
 				return poisonSF
 			}
 			evals++
@@ -203,7 +228,21 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 		res = opt.MinimizeObserved(obj, box, s.perturbedSeed(f.ID(), c.ID, attempt, box, c.Seeds()),
 			s.cfg.OptTol, watch)
 		cancel()
+		if wd != nil {
+			wd.stop()
+			if stalled(actx) {
+				// The watchdog killed this attempt: the task produced no
+				// progress for the configured deadline. Quarantine the pair
+				// (reason "stalled") instead of retrying — a wedged device
+				// model will wedge the retry too.
+				s.quarantineStall(PhaseOptimize, f.ID(), c.ID)
+				sp.End(obs.String("error", "stalled"))
+				return Candidate{ConfigIdx: ci, SoftS: poisonSF, Evals: evals,
+					Attempts: attempts, Quarantined: true}, nil
+			}
+		}
 		if err := ctx.Err(); err != nil {
+			ended = true
 			sp.End(obs.String("error", "canceled"))
 			return Candidate{}, fmt.Errorf("%w: optimization of %s under config #%d: %w",
 				ErrCanceled, f.ID(), c.ID, err)
@@ -222,6 +261,7 @@ func (s *Session) optimizeCandidate(ctx context.Context, f fault.Fault, ci int) 
 	if policy != nil && res.F >= poisonSF {
 		cand.Failed = true
 	}
+	ended = true
 	sp.End(obs.F64("soft_s", res.F), obs.Int("evals", evals), obs.Int("attempts", attempts))
 	return cand, nil
 }

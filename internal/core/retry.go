@@ -91,18 +91,33 @@ func (p *RetryPolicy) ladder() []sim.Relaxation {
 	return p.SimLadder
 }
 
-// QuarantineRecord describes one isolated task panic: which fault×config
-// pair died, what the panic value was, and where.
+// Quarantine reasons. A record's Reason tells the operator whether the
+// task died loudly (a panic caught at the isolation boundary) or
+// silently (the stall watchdog canceled it for producing no progress).
+const (
+	// QuarantinePanic: a panic in a device model (or other task code)
+	// was isolated to this fault×config task.
+	QuarantinePanic = "panic"
+	// QuarantineStalled: the stall watchdog canceled the task after it
+	// produced no objective evaluations for Config.StallTimeout.
+	QuarantineStalled = "stalled"
+)
+
+// QuarantineRecord describes one isolated fault×config task: which pair
+// died, why (panic or stall), and — for panics — the value and stack.
 type QuarantineRecord struct {
 	// FaultID identifies the fault ("" for non-generation tasks).
 	FaultID string `json:"fault_id"`
 	// ConfigID is the paper numbering of the configuration (-1 when the
 	// task was not config-specific, e.g. a selection loop).
 	ConfigID int `json:"config_id"`
-	// Phase names the phase the panic occurred in.
+	// Phase names the phase the failure occurred in.
 	Phase string `json:"phase"`
-	// Value is the stringified panic value.
-	Value string `json:"value"`
+	// Reason classifies the quarantine: QuarantinePanic or
+	// QuarantineStalled.
+	Reason string `json:"reason"`
+	// Value is the stringified panic value (panic quarantines only).
+	Value string `json:"value,omitempty"`
 	// Stack is the panicking goroutine's stack trace.
 	Stack string `json:"stack,omitempty"`
 }
@@ -114,6 +129,7 @@ func (s *Session) quarantine(phase, faultID string, configID int, pe *engine.Tas
 		FaultID:  faultID,
 		ConfigID: configID,
 		Phase:    phase,
+		Reason:   QuarantinePanic,
 		Value:    fmt.Sprint(pe.Value),
 		Stack:    string(pe.Stack),
 	}
@@ -125,7 +141,28 @@ func (s *Session) quarantine(phase, faultID string, configID int, pe *engine.Tas
 		obs.String("fault", faultID),
 		obs.Int("config", configID),
 		obs.String("phase", phase),
+		obs.String("reason", QuarantinePanic),
 		obs.String("panic", rec.Value))
+}
+
+// quarantineStall records a stall-watchdog quarantine: the task was
+// canceled for producing no progress, there is no panic value or stack.
+func (s *Session) quarantineStall(phase, faultID string, configID int) {
+	rec := QuarantineRecord{
+		FaultID:  faultID,
+		ConfigID: configID,
+		Phase:    phase,
+		Reason:   QuarantineStalled,
+	}
+	s.quarMu.Lock()
+	s.quarantined = append(s.quarantined, rec)
+	s.quarMu.Unlock()
+	s.prog.AddQuarantined(1)
+	s.tr.Emit("quarantine",
+		obs.String("fault", faultID),
+		obs.Int("config", configID),
+		obs.String("phase", phase),
+		obs.String("reason", QuarantineStalled))
 }
 
 // Quarantined returns the panics isolated so far, sorted by fault then

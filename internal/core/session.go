@@ -116,6 +116,21 @@ type Config struct {
 	// beyond 1e-9 — the debug mode backing the fast path's
 	// bit-transparency claim. Expensive; off by default.
 	CrossCheck bool
+	// StallTimeout arms the per-attempt stall watchdog: a fault×config
+	// optimization that produces no objective evaluations for this long
+	// is canceled and quarantined with reason "stalled". 0 (the default)
+	// disables the watchdog.
+	StallTimeout time.Duration
+	// BreakerFallbacks arms the low-rank circuit breaker: when the
+	// session's woodbury_fallbacks counter grows by at least this many
+	// within BreakerWindow, the session is pinned to the slow path for
+	// BreakerCooldown. 0 (the default) disables the breaker.
+	BreakerFallbacks int
+	// BreakerWindow is the breaker's rate window (default 1s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long a tripped breaker holds the session on
+	// the slow path (default 5s).
+	BreakerCooldown time.Duration
 }
 
 // DefaultConfig returns the settings used by the experiments.
@@ -153,6 +168,12 @@ type Session struct {
 	undetermined atomic.Int64
 	quarMu       sync.Mutex
 	quarantined  []QuarantineRecord
+
+	// solverBase is the kernel's process-wide totals at construction;
+	// session-scoped counters subtract it.
+	solverBase engine.SolverStats
+	// brk is the low-rank circuit breaker (nil when disarmed).
+	brk *breaker
 }
 
 // Stats summarizes the simulation effort a session has spent — the
@@ -308,9 +329,14 @@ func NewSessionContext(ctx context.Context, golden *circuit.Circuit, configs []*
 	// combined activity over the job's lifetime, which the server
 	// documents.
 	base := solverSnapshot()
+	s.solverBase = base
 	s.eng.SetSolverSource(func() engine.SolverStats {
 		return solverSnapshot().Sub(base)
 	})
+	if s.brk = newBreaker(s); s.brk != nil {
+		brk := s.brk
+		s.eng.SetBreakerSource(func() engine.BreakerStats { return brk.stats() })
+	}
 	// Same scoping for the kernel's per-analysis latency histograms: the
 	// session reports the distribution of work done since it was built.
 	// Min/Max in the scoped snapshots remain process-lifetime extremes

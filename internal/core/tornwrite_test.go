@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/failpoint"
+	"repro/internal/obs"
+)
+
+// TestTornCheckpointWriteResumesFresh is the torn-write regression
+// test: a writer killed in the rename window (the ckpt.save.rename
+// failpoint leaves the destination with half the payload, exactly the
+// residue of a crash on a non-ordered filesystem) must not poison the
+// next run. Resume over the torn file treats it as "no checkpoint",
+// journals the recovery, recomputes everything, and lands bit-identical
+// to an uninterrupted run.
+func TestTornCheckpointWriteResumesFresh(t *testing.T) {
+	faults := chaosFaults()
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+
+	baseline := chaosSession(t, chaosConfigs(nil), nil)
+	want, err := baseline.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: every checkpoint write dies mid-rename (a disk that
+	// went bad under the writer). Interim write failures degrade to
+	// journal events; the final flush failure is reported — and the
+	// file on disk is torn.
+	t.Cleanup(failpoint.Reset)
+	if err := failpoint.Apply("ckpt.save.rename=error(crash in rename window)"); err != nil {
+		t.Fatal(err)
+	}
+	s := chaosSession(t, chaosConfigs(nil), func(c *Config) { c.CheckpointPath = path })
+	if _, err := s.GenerateAll(faults); err == nil || !strings.Contains(err.Error(), "final checkpoint") {
+		t.Fatalf("torn final flush: err = %v, want final-checkpoint failure", err)
+	}
+	failpoint.Reset()
+	var cp Checkpoint
+	if err := ckpt.Load(path, &cp); err == nil {
+		t.Fatal("torn checkpoint loaded cleanly — the failpoint no longer tears the file")
+	}
+
+	// Resume over the torn file: no error, fresh computation,
+	// bit-identical results, and the journal records the recovery.
+	var buf bytes.Buffer
+	tr := obs.New(obs.NewJournal(&buf))
+	s = chaosSession(t, chaosConfigs(nil), func(c *Config) {
+		c.CheckpointPath = path
+		c.Resume = true
+		c.Tracer = tr
+	})
+	got, err := s.GenerateAll(faults)
+	if err != nil {
+		t.Fatalf("resume over a torn checkpoint failed: %v", err)
+	}
+	tr.Finish(nil)
+	if !reflect.DeepEqual(solutionRecords(want), solutionRecords(got)) {
+		t.Fatal("resume over a torn checkpoint diverged from the uninterrupted run")
+	}
+	for i, sol := range got {
+		if sol.Resumed {
+			t.Errorf("solution %d restored from a torn checkpoint", i)
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("corrupt checkpoint ignored")) {
+		t.Error("journal does not record the corrupt-checkpoint recovery")
+	}
+
+	// The recovered run rewrote the checkpoint; a second resume now
+	// restores everything from it.
+	s = chaosSession(t, chaosConfigs(nil), func(c *Config) {
+		c.CheckpointPath = path
+		c.Resume = true
+	})
+	got, err = s.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solutionRecords(want), solutionRecords(got)) {
+		t.Fatal("resume after recovery diverged")
+	}
+	for i, sol := range got {
+		if !sol.Resumed {
+			t.Errorf("solution %d recomputed despite a healed checkpoint", i)
+		}
+	}
+}

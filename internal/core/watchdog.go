@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errStalled is the cancel cause the stall watchdog attaches when it
+// kills an attempt. optimizeCandidate checks for it via context.Cause to
+// distinguish a watchdog kill (quarantine, reason "stalled") from an
+// ordinary deadline or caller cancellation.
+var errStalled = errors.New("core: optimizer attempt stalled (no progress before the watchdog deadline)")
+
+// watchdog cancels an optimizer attempt whose objective stops producing
+// evaluations. Cancellation is cooperative — the objective checks its
+// context between simulations — so a task wedged *inside* a single
+// simulation call is only reaped at its next context check; the watchdog
+// bounds silent inactivity, it cannot preempt running code.
+type watchdog struct {
+	last   atomic.Int64 // UnixNano of the last observed progress
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+}
+
+// touch records progress; the objective calls it once per evaluation.
+// Nil-safe so callers without a watchdog need no branch.
+func (w *watchdog) touch() {
+	if w == nil {
+		return
+	}
+	w.last.Store(time.Now().UnixNano())
+}
+
+// stop shuts the monitor goroutine down and releases the wrapped
+// context (a stall cause already attached wins over stop's nil cause).
+// Idempotent.
+func (w *watchdog) stop() {
+	select {
+	case <-w.done:
+	default:
+		close(w.done)
+	}
+	w.cancel(nil)
+}
+
+// startWatchdog wraps ctx with a cancel-cause and starts a monitor that
+// cancels it with errStalled when touch has not been called for deadline.
+// The caller must invoke the returned watchdog's stop (and the cancel is
+// folded into stop's cleanup by the caller's defer of cancel).
+func startWatchdog(ctx context.Context, deadline time.Duration) (context.Context, *watchdog) {
+	wctx, cancel := context.WithCancelCause(ctx)
+	w := &watchdog{cancel: cancel, done: make(chan struct{})}
+	w.touch()
+	// Poll at a fraction of the deadline so a stall is detected within
+	// ~1.25× the configured timeout, without a busy loop.
+	every := deadline / 4
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-wctx.Done():
+				return
+			case <-t.C:
+				if time.Since(time.Unix(0, w.last.Load())) > deadline {
+					cancel(errStalled)
+					return
+				}
+			}
+		}
+	}()
+	return wctx, w
+}
+
+// stalled reports whether ctx was killed by the stall watchdog.
+func stalled(ctx context.Context) bool {
+	return errors.Is(context.Cause(ctx), errStalled)
+}

@@ -21,9 +21,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/obs/hist"
 )
+
+// fpTaskStart fires at the top of every pool task, inside the Recover
+// boundary. Arm it with a panic to exercise quarantine, or with a sleep
+// to wedge a task and exercise the core's stall watchdog. An injected
+// error becomes the task's error like any fn failure.
+var fpTaskStart = failpoint.At("engine.task.start")
 
 // ErrCanceled is returned (wrapped) by ForEach when the caller's context
 // is canceled or its deadline expires before all tasks have run.
@@ -52,6 +59,7 @@ type Engine struct {
 	phases      sync.Map // string -> *phase
 	solverSrc   atomic.Pointer[func() SolverStats]
 	durationSrc atomic.Pointer[func() []hist.NamedSnapshot]
+	breakerSrc  atomic.Pointer[func() BreakerStats]
 	tracer      atomic.Pointer[obs.Tracer]
 	panics      atomic.Int64
 }
@@ -222,10 +230,20 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context
 // which catches the panic before it reaches this last-resort boundary.
 func (e *Engine) runTask(tr *obs.Tracer, ctx context.Context, fn func(context.Context, int) error, i, w int) error {
 	if tr == nil {
-		return e.Recover(i, func() error { return fn(ctx, i) })
+		return e.Recover(i, func() error {
+			if err := fpTaskStart.Hit(); err != nil {
+				return err
+			}
+			return fn(ctx, i)
+		})
 	}
 	tctx, sp := tr.Start(ctx, "engine.task", obs.Int("index", i), obs.Int("worker", w))
-	err := e.Recover(i, func() error { return fn(tctx, i) })
+	err := e.Recover(i, func() error {
+		if err := fpTaskStart.Hit(); err != nil {
+			return err
+		}
+		return fn(tctx, i)
+	})
 	if err != nil {
 		sp.End(obs.String("error", err.Error()))
 	} else {

@@ -129,6 +129,15 @@ func (s SolverStats) Sub(base SolverStats) SolverStats {
 	}
 }
 
+// BreakerStats is a snapshot of the session-level low-rank circuit
+// breaker (zero when no breaker is armed): how often the fallback-rate
+// threshold tripped it, and whether it is currently holding the session
+// on the slow path.
+type BreakerStats struct {
+	Trips uint64
+	Open  bool
+}
+
 // Metrics is a point-in-time snapshot of an engine's observability
 // counters: where simulation time went, how well the response cache is
 // working, and what the simulation kernel did for it.
@@ -149,6 +158,9 @@ type Metrics struct {
 	// iteration counts), provided by the source registered with
 	// SetDurationSource. Nil when no source is registered.
 	Durations []hist.NamedSnapshot
+	// Breaker carries the low-rank circuit breaker's state (zero when no
+	// source is registered — i.e. no breaker armed).
+	Breaker BreakerStats
 }
 
 // Phase returns the stats of the named phase (zero value when the phase
@@ -186,6 +198,18 @@ func (e *Engine) SetDurationSource(fn func() []hist.NamedSnapshot) {
 	e.durationSrc.Store(&fn)
 }
 
+// SetBreakerSource registers fn as the provider of circuit-breaker
+// state for Metrics snapshots (the core session wires it up when a
+// breaker is armed). Passing nil clears the source. Safe for concurrent
+// use with Metrics.
+func (e *Engine) SetBreakerSource(fn func() BreakerStats) {
+	if fn == nil {
+		e.breakerSrc.Store((*func() BreakerStats)(nil))
+		return
+	}
+	e.breakerSrc.Store(&fn)
+}
+
 // Metrics snapshots the engine's phase and cache counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{Cache: e.cache.Stats(), TaskPanics: e.panics.Load()}
@@ -194,6 +218,9 @@ func (e *Engine) Metrics() Metrics {
 	}
 	if p := e.durationSrc.Load(); p != nil && *p != nil {
 		m.Durations = (*p)()
+	}
+	if p := e.breakerSrc.Load(); p != nil && *p != nil {
+		m.Breaker = (*p)()
 	}
 	e.phases.Range(func(k, v any) bool {
 		ph := v.(*phase)

@@ -1,0 +1,404 @@
+// Package failpoint is a stdlib-only, deterministic fault-injection
+// registry. Production code declares named sites at the seams where
+// failures are interesting (checkpoint rename, Newton convergence,
+// task dispatch, ...) and tests or the chaos harness arm them with an
+// action. A disarmed site costs exactly one atomic pointer load — the
+// same budget as the tracing hooks in internal/sim — so sites can live
+// on hot paths (the overhead is benchmark-enforced in
+// failpoint_bench_test.go and by BenchmarkNewtonLinearSweep32).
+//
+// Determinism: probabilistic triggers draw from a per-site splitmix64
+// stream seeded from a single global seed XOR the site-name hash, so a
+// chaos schedule is fully replayable from one integer. The per-site
+// decision *sequence* is deterministic; which goroutine observes which
+// decision still depends on scheduling, which is exactly the degree of
+// freedom a chaos run wants to explore.
+package failpoint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the action a fired site performs.
+type Kind int
+
+const (
+	// KindError makes Hit return an injected *Error.
+	KindError Kind = iota
+	// KindPanic makes Hit panic with an *Error value.
+	KindPanic
+	// KindSleep makes Hit block for the configured duration, then
+	// return nil (the caller proceeds normally, just late).
+	KindSleep
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindSleep:
+		return "sleep"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Error is the value returned (KindError) or panicked (KindPanic) by a
+// fired site. Callers can detect injected failures with
+// errors.Is(err, ErrInjected).
+type Error struct {
+	Site string // site name
+	Msg  string // message from the arming spec
+}
+
+func (e *Error) Error() string {
+	return "failpoint " + e.Site + ": " + e.Msg
+}
+
+// Is makes errors.Is(err, ErrInjected) true for every injected error.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// ErrInjected is the errors.Is target matching every failpoint *Error.
+var ErrInjected = &sentinel{}
+
+type sentinel struct{}
+
+func (*sentinel) Error() string { return "failpoint: injected failure" }
+
+// Spec describes how an armed site behaves. The zero value of the
+// trigger fields means "fire on every hit".
+type Spec struct {
+	Kind  Kind
+	Msg   string        // error / panic message
+	Sleep time.Duration // KindSleep duration
+
+	Every int     // fire on every Nth hit (0 or 1: every hit)
+	Prob  float64 // fire with this probability (0: always)
+	Times int     // total fires before auto-disarm (0: unlimited; 1: one-shot)
+}
+
+// arming is the immutable armed state plus its mutable counters. The
+// site holds it behind an atomic pointer so disarmed sites pay one
+// nil-check load and armed state swaps are race-free.
+type arming struct {
+	spec      Spec
+	hits      atomic.Uint64 // evaluations since arming
+	fires     atomic.Uint64 // times the action ran
+	remaining atomic.Int64  // fires left before auto-disarm (<0: unlimited)
+	rng       atomic.Uint64 // splitmix64 stream state
+}
+
+// Site is a named injection point. Resolve it once with At (package
+// init or constructor) and call Hit on the hot path.
+type Site struct {
+	name  string
+	armed atomic.Pointer[arming]
+}
+
+// Name returns the site's registry name.
+func (s *Site) Name() string { return s.name }
+
+// Hit evaluates the site. Disarmed (the common case) it is a single
+// atomic load returning nil. Armed, it applies the spec's trigger and
+// either returns nil (not selected this hit) or performs the action:
+// KindError returns an *Error, KindPanic panics with one, KindSleep
+// blocks and returns nil.
+func (s *Site) Hit() error {
+	a := s.armed.Load()
+	if a == nil {
+		return nil
+	}
+	return s.fire(a)
+}
+
+// fire is the armed slow path, kept out of Hit so the disarmed path
+// stays trivially inlinable.
+func (s *Site) fire(a *arming) error {
+	hits := a.hits.Add(1)
+	if p := a.spec.Prob; p > 0 && p < 1 {
+		if u01(a.rng.Add(0x9e3779b97f4a7c15)) >= p {
+			return nil
+		}
+	}
+	if n := a.spec.Every; n > 1 && hits%uint64(n) != 0 {
+		return nil
+	}
+	if a.spec.Times > 0 {
+		left := a.remaining.Add(-1)
+		if left < 0 {
+			return nil
+		}
+		if left == 0 {
+			// Last permitted fire: auto-disarm, but only if this arming
+			// is still current (a concurrent re-arm wins).
+			s.armed.CompareAndSwap(a, nil)
+		}
+	}
+	a.fires.Add(1)
+	switch a.spec.Kind {
+	case KindPanic:
+		panic(&Error{Site: s.name, Msg: a.spec.Msg})
+	case KindSleep:
+		time.Sleep(a.spec.Sleep)
+		return nil
+	default:
+		return &Error{Site: s.name, Msg: a.spec.Msg}
+	}
+}
+
+// Arm installs spec on the site, replacing any previous arming and
+// resetting its counters. The trigger PRNG is seeded from the global
+// seed and the site name, so a fixed Seed yields a fixed decision
+// sequence regardless of arming order.
+func (s *Site) Arm(spec Spec) {
+	if spec.Kind == KindError && spec.Msg == "" {
+		spec.Msg = "injected error"
+	}
+	a := &arming{spec: spec}
+	if spec.Times > 0 {
+		a.remaining.Store(int64(spec.Times))
+	} else {
+		a.remaining.Store(-1)
+	}
+	a.rng.Store(splitmix64(globalSeed.Load() ^ fnv64(s.name)))
+	s.armed.Store(a)
+}
+
+// Disarm removes the site's arming; subsequent Hits are free again.
+func (s *Site) Disarm() { s.armed.Store(nil) }
+
+// Status is a point-in-time view of one armed site (List output).
+type Status struct {
+	Name  string
+	Spec  Spec
+	Hits  uint64
+	Fires uint64
+}
+
+// --- registry ----------------------------------------------------------
+
+var (
+	registry   sync.Map // name -> *Site
+	globalSeed atomic.Uint64
+)
+
+// At returns the site registered under name, creating it on first use.
+// Call it once per site (package var or constructor), not per hit.
+func At(name string) *Site {
+	if v, ok := registry.Load(name); ok {
+		return v.(*Site)
+	}
+	v, _ := registry.LoadOrStore(name, &Site{name: name})
+	return v.(*Site)
+}
+
+// Arm arms the named site (creating it if production code has not
+// declared it yet — arming before the site's package loads is legal).
+func Arm(name string, spec Spec) { At(name).Arm(spec) }
+
+// Disarm disarms the named site if it exists.
+func Disarm(name string) {
+	if v, ok := registry.Load(name); ok {
+		v.(*Site).Disarm()
+	}
+}
+
+// Reset disarms every site. Tests should defer this after arming.
+func Reset() {
+	registry.Range(func(_, v any) bool {
+		v.(*Site).Disarm()
+		return true
+	})
+}
+
+// Seed sets the global chaos seed used (XOR site-name hash) to seed
+// each site's trigger PRNG at Arm time. Set it before arming; it does
+// not retroactively reseed already-armed sites.
+func Seed(seed uint64) { globalSeed.Store(seed) }
+
+// List returns the currently armed sites, sorted by name.
+func List() []Status {
+	var out []Status
+	registry.Range(func(_, v any) bool {
+		s := v.(*Site)
+		if a := s.armed.Load(); a != nil {
+			out = append(out, Status{
+				Name:  s.name,
+				Spec:  a.spec,
+				Hits:  a.hits.Load(),
+				Fires: a.fires.Load(),
+			})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- spec strings ------------------------------------------------------
+
+// ParseSpec parses the textual arming grammar used by CLI flags and
+// the chaos schedule:
+//
+//	spec     = action *( ":" modifier )
+//	action   = "error(" msg ")" | "panic(" msg ")" | "sleep(" duration ")"
+//	modifier = "once" | "every(" n ")" | "p(" x ")" | "times(" n ")"
+//
+// Examples: "error(disk full)", "sleep(250ms):p(0.1)",
+// "panic(boom):once", "error(torn write):every(3):times(2)".
+func ParseSpec(text string) (Spec, error) {
+	var spec Spec
+	parts := strings.Split(text, ":")
+	head, arg, err := term(parts[0])
+	if err != nil {
+		return spec, err
+	}
+	switch head {
+	case "error":
+		spec.Kind = KindError
+		spec.Msg = arg
+	case "panic":
+		spec.Kind = KindPanic
+		if arg == "" {
+			arg = "injected panic"
+		}
+		spec.Msg = arg
+	case "sleep":
+		spec.Kind = KindSleep
+		d, derr := time.ParseDuration(arg)
+		if derr != nil {
+			return spec, fmt.Errorf("failpoint: sleep duration %q: %w", arg, derr)
+		}
+		spec.Sleep = d
+	default:
+		return spec, fmt.Errorf("failpoint: unknown action %q", head)
+	}
+	for _, p := range parts[1:] {
+		name, arg, err := term(p)
+		if err != nil {
+			return spec, err
+		}
+		switch name {
+		case "once":
+			spec.Times = 1
+		case "times":
+			n, nerr := strconv.Atoi(arg)
+			if nerr != nil || n < 1 {
+				return spec, fmt.Errorf("failpoint: times(%s): want positive integer", arg)
+			}
+			spec.Times = n
+		case "every":
+			n, nerr := strconv.Atoi(arg)
+			if nerr != nil || n < 1 {
+				return spec, fmt.Errorf("failpoint: every(%s): want positive integer", arg)
+			}
+			spec.Every = n
+		case "p":
+			x, xerr := strconv.ParseFloat(arg, 64)
+			if xerr != nil || x <= 0 || x > 1 {
+				return spec, fmt.Errorf("failpoint: p(%s): want probability in (0,1]", arg)
+			}
+			spec.Prob = x
+		default:
+			return spec, fmt.Errorf("failpoint: unknown modifier %q", name)
+		}
+	}
+	return spec, nil
+}
+
+// String renders the spec back into the ParseSpec grammar.
+func (s Spec) String() string {
+	var b strings.Builder
+	switch s.Kind {
+	case KindSleep:
+		fmt.Fprintf(&b, "sleep(%s)", s.Sleep)
+	default:
+		fmt.Fprintf(&b, "%s(%s)", s.Kind, s.Msg)
+	}
+	if s.Prob > 0 && s.Prob < 1 {
+		fmt.Fprintf(&b, ":p(%g)", s.Prob)
+	}
+	if s.Every > 1 {
+		fmt.Fprintf(&b, ":every(%d)", s.Every)
+	}
+	switch {
+	case s.Times == 1:
+		b.WriteString(":once")
+	case s.Times > 1:
+		fmt.Fprintf(&b, ":times(%d)", s.Times)
+	}
+	return b.String()
+}
+
+// term splits "name(arg)" or bare "name" into its pieces.
+func term(s string) (name, arg string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("failpoint: malformed term %q", s)
+	}
+	return s[:open], s[open+1 : len(s)-1], nil
+}
+
+// Apply parses and arms a semicolon-separated list of "site=spec"
+// assignments, e.g. the atpgd -failpoints flag:
+//
+//	ckpt.save.rename=error(torn write):once;engine.task.start=sleep(1s):p(0.01)
+func Apply(assignments string) error {
+	if strings.TrimSpace(assignments) == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(assignments, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, specText, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: assignment %q: want site=spec", pair)
+		}
+		spec, err := ParseSpec(strings.TrimSpace(specText))
+		if err != nil {
+			return err
+		}
+		Arm(strings.TrimSpace(name), spec)
+	}
+	return nil
+}
+
+// --- deterministic PRNG ------------------------------------------------
+
+// splitmix64 is the finalizer of the splitmix64 generator — the same
+// mix the optimizer's seed-perturbation uses, so one chaos seed drives
+// one reproducible stream per site.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps a raw state increment through the mixer onto [0,1).
+func u01(state uint64) float64 {
+	return float64(splitmix64(state)>>11) / (1 << 53)
+}
+
+// fnv64 is FNV-1a, used to derive per-site seeds from names.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,248 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedSiteReturnsNil(t *testing.T) {
+	s := At("test.disarmed")
+	for i := 0; i < 100; i++ {
+		if err := s.Hit(); err != nil {
+			t.Fatalf("disarmed site fired: %v", err)
+		}
+	}
+}
+
+func TestErrorActionAndSentinel(t *testing.T) {
+	defer Reset()
+	s := At("test.error")
+	s.Arm(Spec{Kind: KindError, Msg: "disk full"})
+	err := s.Hit()
+	if err == nil {
+		t.Fatal("armed error site returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(err, ErrInjected) = false for %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "test.error" || fe.Msg != "disk full" {
+		t.Fatalf("unexpected error payload: %#v", err)
+	}
+}
+
+func TestOneShotAutoDisarms(t *testing.T) {
+	defer Reset()
+	s := At("test.once")
+	s.Arm(Spec{Kind: KindError, Times: 1})
+	if err := s.Hit(); err == nil {
+		t.Fatal("one-shot site did not fire on first hit")
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Hit(); err != nil {
+			t.Fatalf("one-shot site fired twice: %v", err)
+		}
+	}
+	if got := List(); len(got) != 0 {
+		t.Fatalf("one-shot site still listed as armed: %+v", got)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Reset()
+	s := At("test.every")
+	s.Arm(Spec{Kind: KindError, Every: 3})
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if s.Hit() != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("every(3) fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("every(3) fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTimesLimit(t *testing.T) {
+	defer Reset()
+	s := At("test.times")
+	s.Arm(Spec{Kind: KindError, Times: 3})
+	n := 0
+	for i := 0; i < 50; i++ {
+		if s.Hit() != nil {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("times(3) fired %d times", n)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	s := At("test.panic")
+	s.Arm(Spec{Kind: KindPanic, Msg: "boom"})
+	defer func() {
+		r := recover()
+		fe, ok := r.(*Error)
+		if !ok || fe.Msg != "boom" {
+			t.Fatalf("panic value = %#v, want *Error{Msg: boom}", r)
+		}
+	}()
+	_ = s.Hit()
+	t.Fatal("armed panic site did not panic")
+}
+
+func TestSleepAction(t *testing.T) {
+	defer Reset()
+	s := At("test.sleep")
+	s.Arm(Spec{Kind: KindSleep, Sleep: 30 * time.Millisecond})
+	t0 := time.Now()
+	if err := s.Hit(); err != nil {
+		t.Fatalf("sleep action returned error: %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("sleep action returned after %v, want >=30ms", d)
+	}
+}
+
+// TestProbabilityDeterministic pins the contract the chaos harness
+// depends on: a fixed global seed yields the identical fire/skip
+// decision sequence at a site, run after run.
+func TestProbabilityDeterministic(t *testing.T) {
+	defer Reset()
+	defer Seed(0)
+	run := func() []bool {
+		Seed(42)
+		s := At("test.prob")
+		s.Arm(Spec{Kind: KindError, Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Hit() != nil
+		}
+		s.Disarm()
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// ~30% of 200 with generous slack: the point is determinism, but a
+	// grossly skewed rate would mean the trigger is broken.
+	if fired < 30 || fired > 90 {
+		t.Fatalf("p(0.3) fired %d/200 times", fired)
+	}
+
+	Seed(43)
+	s := At("test.prob")
+	s.Arm(Spec{Kind: KindError, Prob: 0.3})
+	diff := false
+	for i := range a {
+		if (s.Hit() != nil) != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced the identical decision sequence")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"error(disk full)",
+		"panic(boom):once",
+		"sleep(250ms):p(0.1)",
+		"error(torn write):every(3):times(2)",
+	}
+	for _, text := range cases {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", spec.String(), text, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip %q: %+v != %+v", text, back, spec)
+		}
+	}
+	for _, bad := range []string{"", "explode(x)", "error(x):p(2)", "sleep(abc)", "error(x):every(0)", "error(x:y"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	defer Reset()
+	err := Apply("test.apply.a=error(one):once; test.apply.b=sleep(1ms)")
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	got := List()
+	if len(got) != 2 || got[0].Name != "test.apply.a" || got[1].Name != "test.apply.b" {
+		t.Fatalf("List after Apply = %+v", got)
+	}
+	if err := Apply("missing-equals"); err == nil {
+		t.Fatal("Apply accepted assignment without '='")
+	}
+	if err := Apply(""); err != nil {
+		t.Fatalf("Apply(\"\") = %v", err)
+	}
+}
+
+func TestListCounters(t *testing.T) {
+	defer Reset()
+	s := At("test.counters")
+	s.Arm(Spec{Kind: KindError, Every: 2})
+	for i := 0; i < 10; i++ {
+		_ = s.Hit()
+	}
+	got := List()
+	if len(got) != 1 {
+		t.Fatalf("List = %+v", got)
+	}
+	if got[0].Hits != 10 || got[0].Fires != 5 {
+		t.Fatalf("counters = hits %d fires %d, want 10/5", got[0].Hits, got[0].Fires)
+	}
+}
+
+// BenchmarkSiteDisabled enforces the zero-overhead contract: a
+// disarmed hit is one atomic load (sub-nanosecond on current
+// hardware). Regressions here show up directly in the <2% budget on
+// BenchmarkNewtonLinearSweep32.
+func BenchmarkSiteDisabled(b *testing.B) {
+	s := At("bench.disabled")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Hit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSiteArmedSkip measures the armed-but-not-selected path
+// (probability trigger that misses), the worst case a soak run pays.
+func BenchmarkSiteArmedSkip(b *testing.B) {
+	defer Reset()
+	s := At("bench.armed")
+	s.Arm(Spec{Kind: KindError, Prob: 1e-12})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Hit()
+	}
+}

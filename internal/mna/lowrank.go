@@ -4,7 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/failpoint"
 )
+
+// fpGuardTrip forces the capacitance solve's stability guard to trip,
+// driving callers down the full-refactor fallback exactly as a real
+// cancellation would. Chaos runs arm it to provoke fallback storms for
+// the session circuit breaker.
+var fpGuardTrip = failpoint.At("mna.lowrank.guard")
 
 // This file implements Sherman–Morrison–Woodbury solves against a
 // retained factorization: given A = L·U already factored and a rank-k
@@ -212,6 +220,9 @@ func (s *System) SolveRankKInto(dst []float64, rows, cols []int, dg []float64) e
 // magnitude: a pivot that small relative to the matrix means the
 // Woodbury denominator canceled and the update is untrustworthy.
 func solveCapacitance(c, t []float64, k int) error {
+	if fpGuardTrip.Hit() != nil {
+		return ErrUpdateUnstable
+	}
 	scale := 1.0
 	for _, v := range c {
 		if a := math.Abs(v); a > scale {

@@ -70,6 +70,8 @@ var instantScoped = map[string]bool{
 	"checkpoint_write": true,
 	"checkpoint_error": true,
 	"fault_verdict":    true,
+	"breaker_trip":     true,
+	"breaker_reset":    true,
 }
 
 // dropped are the high-frequency point events excluded from the trace.

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournalValidate feeds arbitrary bytes to the journal validator:
+// atpgd validates sealed journals from disk after crashes and chaos
+// runs, so no input — truncated, interleaved, binary garbage — may
+// panic it. Validation must also be deterministic: the same bytes give
+// the same verdict on a second pass.
+func FuzzJournalValidate(f *testing.F) {
+	f.Add([]byte(`{"ts":0,"type":"run_start","v":1}
+{"ts":5,"type":"span_start","id":1,"name":"optimize"}
+{"ts":9,"type":"span_end","id":1}
+{"ts":20,"type":"run_end"}
+`))
+	f.Add([]byte(`{"ts":0,"type":"run_start","v":2}
+{"ts":10,"type":"event","name":"quarantine","attrs":{"fault":"x","reason":"panic"}}
+{"ts":20,"type":"run_end"}
+`))
+	f.Add([]byte(`{"ts":0,"type":"run_start","v":3}
+{"ts":10,"type":"event","name":"breaker_trip","attrs":{"threshold":5}}
+{"ts":12,"type":"event","name":"breaker_reset","attrs":{"trips":1}}
+{"ts":20,"type":"run_end"}
+`))
+	f.Add([]byte(`{"ts":0,"type":"run_start","v":4}`))
+	f.Add([]byte(`{"ts":0,"type":"run_start","v":1}
+{"ts":1,"type":"span_start","id":1,"name":"x"}`))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("{\"ts\":0,\"type\":\"run_start\",\"v\":1}\n\x00\xff\xfe\n"))
+	f.Add([]byte(`{"ts":0,"type":"run_start","v":1}
+{"ts":10,"type":"run_canceled"}
+`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st1, err1 := Validate(bytes.NewReader(data))
+		st2, err2 := Validate(bytes.NewReader(data))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("validation verdict flapped: %v vs %v", err1, err2)
+		}
+		if err1 == nil && st1 != st2 {
+			t.Fatalf("validation stats flapped: %+v vs %+v", st1, st2)
+		}
+	})
+}

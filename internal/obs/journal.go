@@ -146,6 +146,14 @@ var v2EventNames = map[string]bool{
 	"resume":           true,
 }
 
+// v3EventNames are the resource-governance point-event names added in
+// schema v3 (the circuit breaker's state transitions). Journals that
+// declare v1 or v2 must not contain them.
+var v3EventNames = map[string]bool{
+	"breaker_trip":  true,
+	"breaker_reset": true,
+}
+
 // schemaRules is the per-version validation vocabulary. Validation
 // dispatches on the run_start version explicitly — v1 journals written
 // before the fault-tolerant runtime stay first-class citizens instead
@@ -158,7 +166,7 @@ type schemaRules struct {
 // schema version, or an error for versions this reader does not speak.
 func rulesForVersion(v int) (schemaRules, error) {
 	switch v {
-	case 1, 2:
+	case 1, 2, 3:
 		return schemaRules{version: v}, nil
 	default:
 		return schemaRules{}, fmt.Errorf("unsupported schema version %d (this reader speaks v1..v%d)", v, SchemaVersion)
@@ -169,6 +177,9 @@ func rulesForVersion(v int) (schemaRules, error) {
 func (r schemaRules) checkEvent(ev Event) error {
 	if r.version < 2 && ev.Type == TypeEvent && v2EventNames[ev.Name] {
 		return fmt.Errorf("event %q requires schema v2, journal declares v%d", ev.Name, r.version)
+	}
+	if r.version < 3 && ev.Type == TypeEvent && v3EventNames[ev.Name] {
+		return fmt.Errorf("event %q requires schema v3, journal declares v%d", ev.Name, r.version)
 	}
 	return nil
 }

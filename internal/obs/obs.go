@@ -34,7 +34,10 @@ import (
 //	    "checkpoint_write", "resume", and a "verdict" attribute on
 //	    "fault_verdict". Purely additive; v1 readers that ignore unknown
 //	    event names can still consume v2 journals.
-const SchemaVersion = 2
+//	3 — resource-governance events: "breaker_trip", "breaker_reset",
+//	    and a "reason" attribute on "quarantine" ("panic" or "stalled").
+//	    Purely additive over v2.
+const SchemaVersion = 3
 
 // Record types of the journal schema (Event.Type).
 const (

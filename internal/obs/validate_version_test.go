@@ -64,12 +64,22 @@ func TestValidateVersionDispatch(t *testing.T) {
 		t.Fatalf("wrong error: %v", err)
 	}
 
-	future := `{"ts":0,"type":"run_start","v":3}
+	v2WithBreaker := `{"ts":0,"type":"run_start","v":2}
+{"ts":10,"type":"event","name":"breaker_trip","attrs":{"threshold":5}}
+{"ts":20,"type":"run_end"}
+`
+	if _, err := Validate(strings.NewReader(v2WithBreaker)); err == nil {
+		t.Fatal("v2 journal with a v3-only event validated")
+	} else if !strings.Contains(err.Error(), "requires schema v3") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	future := `{"ts":0,"type":"run_start","v":4}
 {"ts":20,"type":"run_end"}
 `
 	if _, err := Validate(strings.NewReader(future)); err == nil {
 		t.Fatal("future-version journal validated")
-	} else if !strings.Contains(err.Error(), "unsupported schema version 3") {
+	} else if !strings.Contains(err.Error(), "unsupported schema version 4") {
 		t.Fatalf("wrong error: %v", err)
 	}
 

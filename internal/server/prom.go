@@ -97,6 +97,18 @@ func (s *Server) writeProm(w io.Writer) {
 	}
 	p.Counter("atpgd_sse_events_dropped_total", "SSE events lost to slow subscribers across all jobs.",
 		nil, float64(st.EventsDropped))
+	p.Counter("atpgd_memory_shed_total", "Submissions rejected by the memory watermark monitor.",
+		nil, float64(st.MemShedTotal))
+	shedding := 0.0
+	if st.MemShedding {
+		shedding = 1
+	}
+	p.Gauge("atpgd_memory_shedding", "1 while the heap is over the high watermark and submissions are shed.",
+		nil, shedding)
+	if s.opt.MemHighWater > 0 {
+		p.Gauge("atpgd_heap_bytes", "Live heap as last sampled by the memory monitor.",
+			nil, float64(s.heapBytes.Load()))
+	}
 	if qs := s.queueWait.Snapshot(); qs.Count > 0 {
 		p.Histogram("atpgd_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.",
 			nil, wireHist(qs), 1e-9)

@@ -40,15 +40,27 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/api"
 	"repro/internal/ckpt"
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
 	"repro/internal/obs/hist"
+)
+
+// Failpoint sites on the daemon's backpressure seams: fpSubmitFull
+// forces the queue-full rejection path, fpSSEWrite simulates a slow
+// SSE client (arm with a sleep to build hub backpressure and provoke
+// drops), and fpSaveRecord injects persistence failures.
+var (
+	fpSubmitFull = failpoint.At("server.submit.full")
+	fpSSEWrite   = failpoint.At("server.sse.write")
+	fpSaveRecord = failpoint.At("server.save.record")
 )
 
 // Options wires a Server.
@@ -70,6 +82,13 @@ type Options struct {
 	// CheckpointEvery debounces per-job checkpoint writes (0: the ckpt
 	// package default of 2s).
 	CheckpointEvery time.Duration
+	// MemHighWater and MemLowWater (bytes of live heap) drive the memory
+	// watermark monitor: above the high watermark the daemon sheds new
+	// submissions with 503 + Retry-After until the heap drops below the
+	// low watermark. Zero disables the monitor. MemLowWater defaults to
+	// 80% of MemHighWater.
+	MemHighWater uint64
+	MemLowWater  uint64
 }
 
 // Server is the job daemon. Create with New, mount Handler on an
@@ -91,6 +110,21 @@ type Server struct {
 	workers  sync.WaitGroup
 	stop     context.CancelFunc
 	baseCtx  context.Context
+
+	// killed simulates a crash for the chaos harness: once set, the
+	// daemon stops persisting state (a dead process writes nothing), so
+	// on-disk records freeze at their pre-kill values and the next New
+	// over the data directory exercises real crash recovery.
+	killed atomic.Bool
+
+	// Memory watermark monitor state: shedding flips above/below the
+	// configured watermarks, shedTotal counts submissions rejected while
+	// shedding, heapBytes is the sampler's last observation. memFn is
+	// the heap probe (tests substitute a stub).
+	shedding  atomic.Bool
+	shedTotal atomic.Uint64
+	heapBytes atomic.Uint64
+	memFn     func() uint64
 
 	// Daemon-level latency histograms: queue wait, job duration, and
 	// per-route HTTP request latency (see routeClass). All nanoseconds.
@@ -156,6 +190,10 @@ func newServer(o Options) (*Server, error) {
 		httpLat:   hist.NewRegistry(),
 	}
 	s.execFn = s.execute
+	s.memFn = liveHeapBytes
+	if s.opt.MemHighWater > 0 && s.opt.MemLowWater == 0 {
+		s.opt.MemLowWater = s.opt.MemHighWater / 5 * 4
+	}
 
 	recovered, err := s.recover()
 	if err != nil {
@@ -175,12 +213,64 @@ func newServer(o Options) (*Server, error) {
 	return s, nil
 }
 
-// startWorkers launches the worker pool.
+// startWorkers launches the worker pool and, when watermarks are
+// configured, the memory monitor.
 func (s *Server) startWorkers() {
 	s.workers.Add(s.opt.Workers)
 	for i := 0; i < s.opt.Workers; i++ {
 		go s.workerLoop()
 	}
+	if s.opt.MemHighWater > 0 {
+		go s.memLoop(250 * time.Millisecond)
+	}
+}
+
+// liveHeapBytes is the production heap probe of the memory monitor.
+func liveHeapBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// memLoop samples the live heap and flips the shedding flag with
+// hysteresis: shed above the high watermark, resume below the low one.
+// Shedding rejects *new* submissions (503 + Retry-After); jobs already
+// accepted keep running — their state is durable and dropping them
+// would trade a memory spike for lost work.
+func (s *Server) memLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			heap := s.memFn()
+			s.heapBytes.Store(heap)
+			switch {
+			case heap > s.opt.MemHighWater:
+				if s.shedding.CompareAndSwap(false, true) {
+					fmt.Fprintf(os.Stderr, "atpgd: heap %d over high watermark %d: shedding submissions\n", heap, s.opt.MemHighWater)
+				}
+			case heap < s.opt.MemLowWater:
+				if s.shedding.CompareAndSwap(true, false) {
+					fmt.Fprintf(os.Stderr, "atpgd: heap %d under low watermark %d: accepting submissions\n", heap, s.opt.MemLowWater)
+				}
+			}
+		}
+	}
+}
+
+// Kill simulates a crash of the daemon for chaos testing: persistence
+// stops first (so on-disk state freezes exactly where a dead process
+// would leave it), every running job's context is cancelled, and the
+// worker pool is awaited so the data directory has a single owner
+// before a new Server is constructed over it. No job states are
+// persisted by the teardown — that is the point.
+func (s *Server) Kill() {
+	s.killed.Store(true)
+	s.stop()
+	s.workers.Wait()
 }
 
 // recover scans the data directory and rebuilds the registry: terminal
@@ -196,8 +286,10 @@ func (s *Server) recover() ([]*Job, error) {
 	for _, id := range ids {
 		var rec jobRecord
 		if err := s.store.LoadRecord(id, &rec); err != nil {
-			// A corrupt record is not worth refusing to boot over; the
-			// job's files stay on disk for manual inspection.
+			// A truncated or corrupt record — torn-write residue of a
+			// crash — is not worth refusing to boot over; log it and
+			// leave the job's files on disk for manual inspection.
+			fmt.Fprintf(os.Stderr, "atpgd: skipping job %s: corrupt record: %v\n", id, err)
 			continue
 		}
 		paths, perr := s.store.Job(id)
@@ -277,17 +369,25 @@ func (s *Server) routes() {
 			st := s.status()
 			return st, st.State == "serving"
 		},
-		// Readiness is the queue-accepting state: a draining daemon is
-		// still alive (and must stay reachable for status polls), but load
-		// balancers should stop routing submissions to it.
+		// Readiness is the queue-accepting state: a draining or
+		// load-shedding daemon is still alive (and must stay reachable
+		// for status polls), but load balancers should stop routing
+		// submissions to it.
 		Ready: func() (any, bool) {
 			draining := s.draining.Load()
+			shedding := s.shedding.Load()
 			body := map[string]any{
-				"accepting":   !draining,
-				"queue_depth": len(s.queue),
-				"queue_cap":   s.opt.QueueCap,
+				"accepting":    !draining && !shedding,
+				"queue_depth":  len(s.queue),
+				"queue_cap":    s.opt.QueueCap,
+				"mem_shedding": shedding,
 			}
-			return body, !draining
+			if s.opt.MemHighWater > 0 {
+				body["heap_bytes"] = s.heapBytes.Load()
+				body["mem_high_water"] = s.opt.MemHighWater
+				body["mem_low_water"] = s.opt.MemLowWater
+			}
+			return body, !draining && !shedding
 		},
 	})
 }
@@ -305,6 +405,8 @@ func (s *Server) status() api.ServerStatus {
 	if s.draining.Load() {
 		st.State = "draining"
 	}
+	st.MemShedding = s.shedding.Load()
+	st.MemShedTotal = s.shedTotal.Load()
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		st.Jobs[j.State()]++
@@ -333,8 +435,16 @@ func (s *Server) runningProgress() *obs.Progress {
 }
 
 // saveJob persists the job's durable projection; persistence failures
-// are reported on stderr but never take the daemon down.
+// are reported on stderr but never take the daemon down. A killed
+// daemon persists nothing — crash simulation must freeze disk state.
 func (s *Server) saveJob(j *Job) {
+	if s.killed.Load() {
+		return
+	}
+	if err := fpSaveRecord.Hit(); err != nil {
+		fmt.Fprintf(os.Stderr, "atpgd: persist job %s: %v\n", j.ID, err)
+		return
+	}
 	if err := s.store.SaveRecord(j.ID, j.record()); err != nil {
 		fmt.Fprintf(os.Stderr, "atpgd: persist job %s: %v\n", j.ID, err)
 	}
@@ -363,6 +473,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
 		return
 	}
+	if s.shedding.Load() {
+		// Memory watermark breach: shed the submission with a retry
+		// hint. The monitor clears the flag once the heap recedes below
+		// the low watermark.
+		s.shedTotal.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is shedding load (memory high watermark)", 5*time.Second)
+		return
+	}
 	var req api.JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -378,6 +497,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// The queue bound is enforced on depth, not channel capacity: the
 	// channel is oversized to hold recovered jobs (see New).
+	if ferr := fpSubmitFull.Hit(); ferr != nil {
+		writeError(w, http.StatusTooManyRequests, "job queue is full", time.Second)
+		return
+	}
 	if len(s.queue) >= s.opt.QueueCap {
 		writeError(w, http.StatusTooManyRequests, "job queue is full", time.Second)
 		return
@@ -544,6 +667,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				fl.Flush()
 				return
 			}
+			// Slow-client injection point: armed with a sleep, this
+			// stalls the subscriber so the hub's bounded buffer fills and
+			// drops (atpgd_sse_events_dropped_total) become observable.
+			_ = fpSSEWrite.Hit()
 			writeSSE(w, ev.Type, ev)
 			fl.Flush()
 		}

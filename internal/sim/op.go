@@ -18,8 +18,18 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/failpoint"
 	"repro/internal/mna"
 )
+
+// fpOpNoConv forces operating-point non-convergence. Armed ":once" the
+// first solve fails and the recovery ladder's first rung succeeds
+// (exercising recovery); armed without a limit every rung fails too,
+// exhausting the ladder. The site sits at the top of the three-stage
+// strategy — one atomic load per OP solve, nothing per Newton
+// iteration — so the disabled cost stays inside the <2% budget of
+// BenchmarkNewtonLinearSweep32.
+var fpOpNoConv = failpoint.At("sim.op.noconv")
 
 // ErrNoConvergence is returned when Newton iteration fails to converge
 // even with gmin and source stepping.
@@ -386,6 +396,9 @@ func (e *Engine) OperatingPointInto(x []float64) error {
 // solveOperatingPoint is the classic three-stage strategy: plain Newton
 // from the given guess, then gmin stepping, then source stepping.
 func (e *Engine) solveOperatingPoint(x []float64) error {
+	if ferr := fpOpNoConv.Hit(); ferr != nil {
+		return fmt.Errorf("%w: %s", ErrNoConvergence, ferr)
+	}
 	ctx := &e.ctx
 	*ctx = device.Context{Mode: device.OP, SrcScale: 1, Gmin: e.opts.GminFloor}
 	if err := e.solveNewton(x, nil, ctx, 0); err == nil {

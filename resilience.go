@@ -32,6 +32,12 @@ const (
 	VerdictQuarantined  = core.VerdictQuarantined
 )
 
+// Quarantine reasons (QuarantineRecord.Reason).
+const (
+	QuarantinePanic   = core.QuarantinePanic
+	QuarantineStalled = core.QuarantineStalled
+)
+
 // DefaultRetryPolicy returns three optimizer attempts with the standard
 // simulation recovery ladder and no per-attempt deadline.
 func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
@@ -55,6 +61,32 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // Quarantined returns the task panics isolated during this system's
 // runs, sorted by fault then configuration.
 func (s *System) Quarantined() []QuarantineRecord { return s.session.Quarantined() }
+
+// WithStallTimeout arms the per-attempt stall watchdog: a fault×config
+// optimization whose objective produces no evaluations for d is canceled
+// and quarantined with reason "stalled" (core.QuarantineStalled) instead
+// of wedging the run. Cancellation is cooperative — the watchdog bounds
+// silent inactivity between simulations, it cannot preempt code stuck
+// inside one. d <= 0 disables the watchdog (the default).
+func WithStallTimeout(d time.Duration) Option {
+	return optionFunc(func(c *core.Config) { c.StallTimeout = d })
+}
+
+// WithBreaker arms the low-rank circuit breaker: when the session's
+// woodbury_fallbacks counter grows by at least fallbacks within window,
+// the session is pinned to the throwaway (slow) evaluation path for
+// cooldown, then re-admitted. Both paths are bit-identical, so tripping
+// never changes results — it only stops paying fast-path setup costs
+// that guard trips keep throwing away. Trips and resets are journaled
+// (breaker_trip / breaker_reset) and surfaced in Metrics. fallbacks <= 0
+// disables the breaker; window/cooldown <= 0 select 1s/5s.
+func WithBreaker(fallbacks int, window, cooldown time.Duration) Option {
+	return optionFunc(func(c *core.Config) {
+		c.BreakerFallbacks = fallbacks
+		c.BreakerWindow = window
+		c.BreakerCooldown = cooldown
+	})
+}
 
 // WithCheckpoint enables crash-safe checkpointing of per-fault
 // generation results to path: every write is atomic (temp file + fsync +

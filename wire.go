@@ -62,6 +62,14 @@ func FromRequest(req api.JobRequest) ([]Option, error) {
 		p.AttemptTimeout = time.Duration(o.AttemptTimeoutMS) * time.Millisecond
 		opts = append(opts, WithRetryPolicy(p))
 	}
+	if o.StallTimeoutMS > 0 {
+		opts = append(opts, WithStallTimeout(time.Duration(o.StallTimeoutMS)*time.Millisecond))
+	}
+	if o.BreakerFallbacks > 0 {
+		opts = append(opts, WithBreaker(o.BreakerFallbacks,
+			time.Duration(o.BreakerWindowMS)*time.Millisecond,
+			time.Duration(o.BreakerCooldownMS)*time.Millisecond))
+	}
 	return opts, nil
 }
 
@@ -164,6 +172,12 @@ func (s *System) SessionRequest() api.JobRequest {
 		req.Options.Retries = cfg.Retry.MaxAttempts
 		req.Options.AttemptTimeoutMS = cfg.Retry.AttemptTimeout.Milliseconds()
 	}
+	req.Options.StallTimeoutMS = cfg.StallTimeout.Milliseconds()
+	if cfg.BreakerFallbacks > 0 {
+		req.Options.BreakerFallbacks = cfg.BreakerFallbacks
+		req.Options.BreakerWindowMS = cfg.BreakerWindow.Milliseconds()
+		req.Options.BreakerCooldownMS = cfg.BreakerCooldown.Milliseconds()
+	}
 	return req
 }
 
@@ -195,7 +209,9 @@ func WireMetrics(m Metrics) api.MetricsSnapshot {
 			WoodburyFallbacks:   m.Solver.WoodburyFallbacks,
 			FaultyFactorAvoided: m.Solver.FaultyFactorAvoided,
 		},
-		TaskPanics: m.TaskPanics,
+		TaskPanics:   m.TaskPanics,
+		BreakerTrips: m.Breaker.Trips,
+		BreakerOpen:  m.Breaker.Open,
 	}
 	for _, p := range m.Phases {
 		pm := api.PhaseMetrics{Name: p.Name, Count: p.Count, WallNS: int64(p.Wall)}
@@ -253,7 +269,8 @@ func WireQuarantines(recs []QuarantineRecord) []api.QuarantineInfo {
 	out := make([]api.QuarantineInfo, len(recs))
 	for i, r := range recs {
 		out[i] = api.QuarantineInfo{
-			FaultID: r.FaultID, Config: r.ConfigID, Phase: r.Phase, Panic: r.Value,
+			FaultID: r.FaultID, Config: r.ConfigID, Phase: r.Phase,
+			Reason: r.Reason, Panic: r.Value,
 		}
 	}
 	return out
