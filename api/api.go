@@ -460,6 +460,13 @@ type ServerStatus struct {
 	// absence.
 	MemShedding  bool   `json:"mem_shedding,omitempty"`
 	MemShedTotal uint64 `json:"mem_shed_total,omitempty"`
+	// Distributed is true when this daemon coordinates shard workers;
+	// Workers counts the currently registered fleet and ShardsPending
+	// the shards queued for assignment. Absent on single-node daemons;
+	// decoders tolerate absence.
+	Distributed   bool `json:"distributed,omitempty"`
+	Workers       int  `json:"workers,omitempty"`
+	ShardsPending int  `json:"shards_pending,omitempty"`
 }
 
 // ErrorReply is the JSON error envelope of every non-2xx response.

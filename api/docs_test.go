@@ -1,0 +1,98 @@
+package api_test
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/api"
+)
+
+// docExample is one annotated JSON block of docs/wire-api.md.
+type docExample struct {
+	kind string
+	line int
+	json string
+}
+
+// parseWireDoc extracts every `<!-- api:Kind -->`-annotated ```json
+// block from the wire reference.
+func parseWireDoc(t *testing.T, path string) []docExample {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open wire reference: %v", err)
+	}
+	defer f.Close()
+
+	var (
+		examples []docExample
+		kind     string
+		kindLine int
+		inBlock  bool
+		body     strings.Builder
+		line     int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(text, "<!-- api:") && strings.HasSuffix(text, "-->"):
+			kind = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "<!-- api:"), "-->"))
+			kindLine = line
+		case text == "```json" && kind != "":
+			inBlock = true
+			body.Reset()
+		case text == "```" && inBlock:
+			examples = append(examples, docExample{kind: kind, line: kindLine, json: body.String()})
+			kind, inBlock = "", false
+		case inBlock:
+			body.WriteString(sc.Text())
+			body.WriteString("\n")
+		case kind != "" && text != "":
+			// Prose between the annotation and its fence is fine; any
+			// other fenced block consumes the annotation so it cannot
+			// leak onto a later example.
+			if strings.HasPrefix(text, "```") {
+				kind = ""
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan wire reference: %v", err)
+	}
+	return examples
+}
+
+// TestWireDocExamplesValidate round-trips every annotated example of
+// docs/wire-api.md through api.Validate with strict decoding, so the
+// documentation cannot drift from the schema: a stale field name, a
+// removed field, or an invalid value fails this test.
+func TestWireDocExamplesValidate(t *testing.T) {
+	examples := parseWireDoc(t, "../docs/wire-api.md")
+	if len(examples) == 0 {
+		t.Fatal("docs/wire-api.md has no annotated examples")
+	}
+	covered := map[string]bool{}
+	for _, ex := range examples {
+		if err := api.Validate(ex.kind, []byte(ex.json)); err != nil {
+			t.Errorf("docs/wire-api.md:%d: %s example rejected: %v", ex.line, ex.kind, err)
+		}
+		covered[ex.kind] = true
+	}
+	// Every top-level wire message must have at least one documented,
+	// validated example.
+	for _, kind := range []string{
+		"JobRequest", "JobStatus", "JobResult", "MetricsSnapshot",
+		"ServerStatus", "ErrorReply",
+		"WorkerHello", "WorkerWelcome", "WorkerHeartbeat",
+		"ShardRequest", "ShardResult",
+	} {
+		if !covered[kind] {
+			t.Errorf("docs/wire-api.md documents no %s example", kind)
+		}
+	}
+}

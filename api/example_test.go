@@ -1,0 +1,42 @@
+package api_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/api"
+)
+
+// ExampleEncode shows the canonical wire encoding: two-space
+// indentation, declaration field order, trailing newline. Every
+// deterministic artifact of the system — CLI -result-json files, the
+// server's result endpoint, shard payloads — encodes through this one
+// function, which is what makes byte-for-byte comparison between them
+// meaningful.
+func ExampleEncode() {
+	req := api.JobRequest{
+		V:       1,
+		Macro:   api.MacroSpec{Builtin: api.MacroIVConverter},
+		Faults:  api.FaultSpec{Limit: 6},
+		Options: api.RunOptions{BoxMode: api.BoxModeSeed},
+	}
+	data, err := api.Encode(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(data))
+	// Output:
+	// {
+	//   "v": 1,
+	//   "macro": {
+	//     "builtin": "iv-converter"
+	//   },
+	//   "faults": {
+	//     "limit": 6
+	//   },
+	//   "options": {
+	//     "box_mode": "seed"
+	//   },
+	//   "compact": {}
+	// }
+}

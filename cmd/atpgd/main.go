@@ -9,19 +9,37 @@
 // journals sealed — and persisted as interrupted for the next instance
 // to resume. A clean drain exits 0.
 //
+// With -dist the daemon becomes a shard coordinator: each job's fault
+// list is partitioned into shards and fanned out to worker processes
+// that registered over HTTP, and the merged result is byte-identical
+// to a single-node run of the same request. Workers are the same
+// binary started with -worker -join; they hold no durable state, so
+// killing one mid-shard costs a shard retry, never the job.
+//
 // Usage:
 //
 //	atpgd [-listen :8723] [-data DIR] [-queue n] [-jobs n]
 //	      [-rate r] [-burst n] [-drain-timeout d]
 //	      [-mem-high bytes] [-mem-low bytes] [-failpoints SPEC]
+//	      [-dist] [-shard-size n] [-worker-lease d] [-poll-wait d]
+//	      [-fallback-grace d]
+//	atpgd -worker -join URL [-worker-name NAME] [-failpoints SPEC]
 //
-// Quick start:
+// Quick start (single node):
 //
 //	atpgd -data /var/lib/atpgd &
 //	curl -X POST localhost:8723/v1/jobs -d '{"v":1,"faults":{"limit":6},
 //	     "options":{"box_mode":"seed"}}'
 //	curl localhost:8723/v1/jobs/<id>
 //	curl localhost:8723/v1/jobs/<id>/result
+//
+// Distributed:
+//
+//	atpgd -dist -data /var/lib/atpgd &
+//	atpgd -worker -join http://localhost:8723 -worker-name w1 &
+//	atpgd -worker -join http://localhost:8723 -worker-name w2 &
+//	curl -X POST localhost:8723/v1/jobs -d '{"v":1,"faults":{"limit":6},
+//	     "options":{"box_mode":"seed"}}'
 package main
 
 import (
@@ -51,8 +69,27 @@ func main() {
 		memHigh      = flag.Uint64("mem-high", 0, "live-heap high watermark in bytes; above it submissions are shed with 503 (0: disabled)")
 		memLow       = flag.Uint64("mem-low", 0, "live-heap low watermark in bytes; shedding stops below it (0: 80% of -mem-high)")
 		failpoints   = flag.String("failpoints", os.Getenv("ATPGD_FAILPOINTS"), "failpoint spec `site=action[:mod];...` for chaos testing (default $ATPGD_FAILPOINTS)")
+
+		dist          = flag.Bool("dist", false, "coordinate jobs across registered shard workers")
+		shardSize     = flag.Int("shard-size", 8, "faults per shard in distributed mode")
+		workerLease   = flag.Duration("worker-lease", 10*time.Second, "shard lease; a worker silent this long forfeits its shard")
+		pollWait      = flag.Duration("poll-wait", 20*time.Second, "long-poll window of the worker shard poll")
+		fallbackGrace = flag.Duration("fallback-grace", 2*time.Second, "how long a job tolerates an empty worker fleet before the coordinator runs shards itself")
+
+		workerMode = flag.Bool("worker", false, "run as a shard worker instead of a daemon")
+		join       = flag.String("join", "", "coordinator base URL to join (worker mode, e.g. http://host:8723)")
+		workerName = flag.String("worker-name", "", "worker label for metrics and journal attribution (default: coordinator-assigned)")
 	)
 	flag.Parse()
+
+	// atpgd takes no positional arguments. Rejecting strays matters
+	// because the flag package stops parsing at the first non-flag
+	// argument: `atpgd -dist 2 -shard-size 4` would otherwise silently
+	// drop -shard-size (-dist is boolean; "2" ends parsing).
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "atpgd: unexpected argument %q (flags after it were ignored; -dist takes no value)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	if *failpoints != "" {
 		if err := failpoint.Apply(*failpoints); err != nil {
@@ -62,23 +99,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "atpgd: failpoints armed: %s\n", *failpoints)
 	}
 
-	if err := run(*listen, *dataDir, *queueCap, *jobWorkers, *rate, *burst, *drainTimeout, *ckptEvery, *memHigh, *memLow); err != nil {
+	if *workerMode {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "atpgd: -worker requires -join URL")
+			os.Exit(2)
+		}
+		if err := runWorker(*join, *workerName); err != nil {
+			fmt.Fprintln(os.Stderr, "atpgd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opt := server.Options{
+		DataDir:         *dataDir,
+		QueueCap:        *queueCap,
+		Workers:         *jobWorkers,
+		RatePerSec:      *rate,
+		RateBurst:       *burst,
+		CheckpointEvery: *ckptEvery,
+		MemHighWater:    *memHigh,
+		MemLowWater:     *memLow,
+		Distributed:     *dist,
+		ShardSize:       *shardSize,
+		WorkerLease:     *workerLease,
+		PollWait:        *pollWait,
+		FallbackGrace:   *fallbackGrace,
+	}
+	if err := run(*listen, opt, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "atpgd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, dataDir string, queueCap, jobWorkers int, rate float64, burst int, drainTimeout, ckptEvery time.Duration, memHigh, memLow uint64) error {
-	srv, err := server.New(server.Options{
-		DataDir:         dataDir,
-		QueueCap:        queueCap,
-		Workers:         jobWorkers,
-		RatePerSec:      rate,
-		RateBurst:       burst,
-		CheckpointEvery: ckptEvery,
-		MemHighWater:    memHigh,
-		MemLowWater:     memLow,
-	})
+// runWorker runs the shard-worker loop until SIGTERM/SIGINT.
+func runWorker(join, name string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("atpgd: worker joining %s\n", join)
+	err := server.RunWorker(ctx, server.WorkerOptions{Coordinator: join, Name: name})
+	if err == context.Canceled {
+		fmt.Println("atpgd: worker stopped")
+		return nil
+	}
+	return err
+}
+
+func run(listen string, opt server.Options, drainTimeout time.Duration) error {
+	srv, err := server.New(opt)
 	if err != nil {
 		return err
 	}
@@ -98,7 +166,11 @@ func run(listen, dataDir string, queueCap, jobWorkers int, rate float64, burst i
 			errc <- err
 		}
 	}()
-	fmt.Printf("atpgd: serving on %s, data in %s\n", listen, dataDir)
+	mode := ""
+	if opt.Distributed {
+		mode = " (distributed coordinator)"
+	}
+	fmt.Printf("atpgd: serving on %s, data in %s%s\n", listen, opt.DataDir, mode)
 
 	select {
 	case err := <-errc:

@@ -19,9 +19,18 @@
 // kill/restart cycles. One designated victim job takes a task panic to
 // drive the quarantine machinery end to end.
 //
+// With -dist n the soak runs the daemon as a shard coordinator with n
+// in-process workers. The schedule then also kills workers mid-shard
+// (a replacement joins immediately) and injects failures into the
+// shard RPC paths — poll, assignment, result delivery — all of which
+// must cost at most a shard retry. The byte-identity reference stays a
+// single-node daemon: every distributed result is compared against the
+// bytes a plain run of the same request produces.
+//
 // Usage:
 //
 //	chaos [-seed 1] [-jobs 20] [-data DIR] [-keep] [-print-schedule]
+//	      [-dist n]
 package main
 
 import (
@@ -51,10 +60,11 @@ func main() {
 		dataRoot      = flag.String("data", "", "data directory (default: a temp dir, removed on success)")
 		keep          = flag.Bool("keep", false, "keep the data directory on success")
 		printSchedule = flag.Bool("print-schedule", false, "print the injection schedule and exit")
+		distWorkers   = flag.Int("dist", 0, "run the chaos daemon as a shard coordinator with n in-process workers (0: single-node)")
 	)
 	flag.Parse()
 
-	sched := buildSchedule(*seed, *jobs)
+	sched := buildSchedule(*seed, *jobs, *distWorkers > 0)
 	if *printSchedule {
 		for _, st := range sched {
 			fmt.Println(st)
@@ -73,7 +83,7 @@ func main() {
 	fmt.Printf("chaos: seed %d, %d jobs, data in %s\n", *seed, *jobs, root)
 
 	failpoint.Seed(*seed)
-	if err := soak(root, sched); err != nil {
+	if err := soak(root, sched, *distWorkers); err != nil {
 		fatalf("%v", err)
 	}
 	if !*keep && *dataRoot == "" {
@@ -90,12 +100,13 @@ func fatalf(format string, args ...any) {
 // step is one entry of the soak schedule. Everything in it derives
 // from the seed alone.
 type step struct {
-	Index   int
-	Limit   int    // fault-dictionary prefix of the job request
-	Workers int    // session workers of the job request
-	Inject  string // failpoint assignments armed for this job ("" = none)
-	Kill    bool   // kill the daemon mid-job and restart over its data dir
-	Victim  bool   // task-panic victim: quarantine expected, no byte compare
+	Index      int
+	Limit      int    // fault-dictionary prefix of the job request
+	Workers    int    // session workers of the job request
+	Inject     string // failpoint assignments armed for this job ("" = none)
+	Kill       bool   // kill the daemon mid-job and restart over its data dir
+	KillWorker bool   // kill one shard worker mid-job (distributed runs only)
+	Victim     bool   // task-panic victim: quarantine expected, no byte compare
 }
 
 func (s step) String() string {
@@ -105,6 +116,9 @@ func (s step) String() string {
 	}
 	if s.Kill {
 		b += " kill"
+	}
+	if s.KillWorker {
+		b += " kill-worker"
 	}
 	if s.Victim {
 		b += " victim"
@@ -137,10 +151,21 @@ var identitySafe = []string{
 	"server.save.record=sleep(2ms):every(2)",
 }
 
+// distSafe extends the menu on distributed runs: failures in the shard
+// RPC planes. Each costs at most a retry — a refused assignment polls
+// again, a dropped poll re-registers, a lost result lets the lease
+// expire and re-queues the shard — so byte identity must survive them
+// all.
+var distSafe = []string{
+	"server.shard.assign=error(chaos assign refused):p(0.3)",
+	"worker.shard.poll=error(chaos poll dropped):p(0.3)",
+	"worker.shard.post=error(chaos result lost):every(3)",
+}
+
 // buildSchedule derives the soak schedule from the seed with a
 // splitmix64 stream — no global randomness, no time dependence. Two
 // calls with equal arguments return equal schedules.
-func buildSchedule(seed uint64, n int) []step {
+func buildSchedule(seed uint64, n int, dist bool) []step {
 	state := seed
 	next := func() uint64 {
 		state += 0x9e3779b97f4a7c15
@@ -166,7 +191,11 @@ func buildSchedule(seed uint64, n int) []step {
 			st.Victim = true
 			st.Inject = "core.opt.eval=panic(chaos victim):once"
 		case (r>>16)%100 < 45:
-			st.Inject = identitySafe[(r>>24)%uint64(len(identitySafe))]
+			menu := identitySafe
+			if dist {
+				menu = append(append([]string{}, identitySafe...), distSafe...)
+			}
+			st.Inject = menu[(r>>24)%uint64(len(menu))]
 		}
 		// Every sixth job dies mid-flight and must resume. The victim is
 		// spared: its one-shot panic would otherwise be lost to the
@@ -174,24 +203,47 @@ func buildSchedule(seed uint64, n int) []step {
 		if i%6 == 5 && !st.Victim {
 			st.Kill = true
 		}
+		// On distributed runs, every fourth job loses a shard worker
+		// mid-flight; a replacement joins and the re-queued shard must
+		// leave the result byte-identical.
+		if dist && i%4 == 2 && !st.Victim && !st.Kill {
+			st.KillWorker = true
+		}
 		sched[i] = st
 	}
 	return sched
 }
 
-// daemon is one in-process atpgd instance bound to a loopback port.
+// daemon is one in-process atpgd instance bound to a loopback port,
+// plus (on distributed runs) its fleet of in-process shard workers.
 type daemon struct {
-	srv  *server.Server
-	hs   *http.Server
-	base string
+	srv     *server.Server
+	hs      *http.Server
+	base    string
+	workers []*chaosWorker
 }
 
-func startDaemon(dataDir string) (*daemon, error) {
+// chaosWorker is one in-process shard worker the soak can kill.
+type chaosWorker struct {
+	name   string
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// workerSeq numbers workers across restarts so Prometheus series and
+// journal attributions stay distinct.
+var workerSeq int
+
+func startDaemon(dataDir string, dist int) (*daemon, error) {
 	srv, err := server.New(server.Options{
 		DataDir:         dataDir,
 		RatePerSec:      -1, // the soak hammers from one host by design
 		Workers:         1,  // serial jobs: per-step failpoint arming stays scoped
 		CheckpointEvery: time.Millisecond,
+		Distributed:     dist > 0,
+		ShardSize:       1, // every fault its own shard: maximal reassignment surface
+		WorkerLease:     time.Second,
+		PollWait:        2 * time.Second,
 	})
 	if err != nil {
 		return nil, err
@@ -202,30 +254,84 @@ func startDaemon(dataDir string) (*daemon, error) {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
-	return &daemon{srv: srv, hs: hs, base: "http://" + ln.Addr().String()}, nil
+	d := &daemon{srv: srv, hs: hs, base: "http://" + ln.Addr().String()}
+	for i := 0; i < dist; i++ {
+		d.startWorker()
+	}
+	return d, nil
+}
+
+// startWorker launches one in-process shard worker against the daemon.
+func (d *daemon) startWorker() {
+	workerSeq++
+	w := &chaosWorker{
+		name: fmt.Sprintf("cw%d", workerSeq),
+		done: make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w.cancel = cancel
+	go func() {
+		defer close(w.done)
+		_ = server.RunWorker(ctx, server.WorkerOptions{
+			Coordinator: d.base,
+			Name:        w.name,
+			Logf:        func(string, ...any) {}, // worker churn is the point; keep the soak log readable
+		})
+	}()
+	d.workers = append(d.workers, w)
+}
+
+// killWorker kills the oldest live shard worker mid-whatever-it-was-
+// doing and starts a replacement, so the fleet size stays constant
+// while the coordinator sees a death.
+func (d *daemon) killWorker() {
+	if len(d.workers) == 0 {
+		return
+	}
+	w := d.workers[0]
+	d.workers = d.workers[1:]
+	w.cancel()
+	<-w.done
+	d.startWorker()
+}
+
+// stopWorkers winds the fleet down (soak teardown, daemon kill).
+func (d *daemon) stopWorkers() {
+	for _, w := range d.workers {
+		w.cancel()
+	}
+	for _, w := range d.workers {
+		<-w.done
+	}
+	d.workers = nil
 }
 
 // kill simulates a crash: persistence freezes, running jobs are
-// cancelled, the listener drops. Nothing is drained.
+// cancelled, the listener drops. Nothing is drained. Workers die with
+// their coordinator — the restarted daemon gets a fresh fleet.
 func (d *daemon) kill() {
+	d.stopWorkers()
 	d.srv.Kill()
 	d.hs.Close()
 }
 
 func (d *daemon) stop() error {
 	defer d.hs.Close()
+	d.stopWorkers()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	return d.srv.Shutdown(ctx)
 }
 
-func soak(root string, sched []step) error {
+func soak(root string, sched []step, dist int) error {
 	defer failpoint.Reset()
 
 	// Reference phase: one clean run per distinct request shape, no
-	// injections, separate data directory.
+	// injections, separate data directory. The reference is always
+	// single-node — on distributed soaks that IS the invariant: sharded
+	// results must match plain-run bytes.
 	refDir := filepath.Join(root, "reference")
-	ref, err := startDaemon(refDir)
+	ref, err := startDaemon(refDir, 0)
 	if err != nil {
 		return fmt.Errorf("reference daemon: %w", err)
 	}
@@ -257,11 +363,11 @@ func soak(root string, sched []step) error {
 
 	// Chaos phase.
 	chaosDir := filepath.Join(root, "chaos")
-	d, err := startDaemon(chaosDir)
+	d, err := startDaemon(chaosDir, dist)
 	if err != nil {
 		return fmt.Errorf("chaos daemon: %w", err)
 	}
-	var succeeded, failed, lost, resumedOK int
+	var succeeded, failed, lost, resumedOK, workerKills int
 	victimJob := ""
 	for _, st := range sched {
 		failpoint.Reset()
@@ -288,7 +394,7 @@ func soak(root string, sched []step) error {
 			time.Sleep(300 * time.Millisecond)
 			d.kill()
 			failpoint.Reset() // a crashed process takes its armed failpoints with it
-			d, err = startDaemon(chaosDir)
+			d, err = startDaemon(chaosDir, dist)
 			if err != nil {
 				return fmt.Errorf("step %d: restart: %w", st.Index, err)
 			}
@@ -305,6 +411,16 @@ func soak(root string, sched []step) error {
 				}
 				continue
 			}
+		}
+
+		if st.KillWorker {
+			// Let a shard land on a worker, then kill it. The lease
+			// expires, the shard re-queues, and the replacement (or a
+			// surviving peer) recomputes it.
+			waitRunningOrDone(d.base, id, 30*time.Second)
+			time.Sleep(150 * time.Millisecond)
+			d.killWorker()
+			workerKills++
 		}
 
 		fin, err := waitTerminal(d.base, id, 4*time.Minute)
@@ -377,6 +493,11 @@ func soak(root string, sched []step) error {
 	}
 	if resumedOK == 0 {
 		return fmt.Errorf("no kill/restart job survived to a byte-identical result")
+	}
+	if dist > 0 {
+		_, _, assigned, requeued, completed := d.srv.DistStats()
+		fmt.Printf("chaos: distributed: %d shards assigned, %d requeued, %d completed, %d workers killed\n",
+			assigned, requeued, completed, workerKills)
 	}
 	fmt.Printf("chaos: %d succeeded (%d resumed bit-identical), %d failed-by-injection, %d lost-to-crash, %d journals validated\n",
 		succeeded, resumedOK, failed, lost, validated)

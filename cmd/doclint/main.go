@@ -1,0 +1,185 @@
+// Command doclint fails when an exported identifier lacks a doc
+// comment. It gates the packages whose exported surface is
+// documentation: the wire schema (api/), the public facade (the repo
+// root), and the observability layer (internal/obs and its
+// subpackages). CI runs it so the godoc of those packages can never
+// silently rot.
+//
+// Usage:
+//
+//	doclint [-v] PKGDIR...
+//
+// Each PKGDIR is a directory containing one Go package; _test.go files
+// are ignored. Exit status is 1 when any finding is reported, 2 on
+// usage or parse errors.
+//
+// What must carry a doc comment: every exported top-level type, func,
+// and method, and every exported const/var — where a doc comment on a
+// grouped declaration block covers the whole group (the standard
+// library convention for enum-style const blocks). Struct fields and
+// interface methods are exempt: their enclosing type's comment is the
+// natural home for that prose, and gating them produces boilerplate,
+// not documentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every checked identifier, not only findings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doclint [-v] PKGDIR...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var findings []string
+	checked := 0
+	for _, dir := range flag.Args() {
+		f, n, err := lintDir(dir, *verbose)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+		checked += n
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) without doc comments (%d checked)\n", len(findings), checked)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifiers documented\n", checked)
+	}
+}
+
+// lintDir parses every non-test .go file of one package directory and
+// returns a finding per undocumented exported identifier.
+func lintDir(dir string, verbose bool) (findings []string, checked int, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, 0, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || receiverUnexported(d) {
+						continue
+					}
+					checked++
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, funcName(d))
+					} else if verbose {
+						fmt.Printf("ok %s\n", funcName(d))
+					}
+				case *ast.GenDecl:
+					findings, checked = lintGenDecl(d, report, findings, checked, verbose)
+				}
+			}
+		}
+	}
+	return findings, checked, nil
+}
+
+// lintGenDecl checks one const/var/type declaration. A doc comment on
+// the grouped block covers every spec inside it; an undocumented block
+// requires per-spec comments.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string), findings []string, checked int, verbose bool) ([]string, int) {
+	groupDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			checked++
+			if !groupDocumented && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			} else if verbose {
+				fmt.Printf("ok %s\n", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				checked++
+				if !groupDocumented && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), kind, name.Name)
+				} else if verbose {
+					fmt.Printf("ok %s\n", name.Name)
+				}
+			}
+		}
+	}
+	return findings, checked
+}
+
+// receiverUnexported reports whether a method hangs off an unexported
+// receiver type — its whole method set is internal, doc or not.
+func receiverUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return !id.IsExported()
+	}
+	return false
+}
+
+// funcName renders "Recv.Name" for methods and "Name" for functions.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

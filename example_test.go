@@ -10,7 +10,7 @@ import (
 // ExampleNewIVConverterSystem shows the minimal generate-and-detect flow
 // on one fault.
 func ExampleNewIVConverterSystem() {
-	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func ExampleNewIVConverterSystem() {
 // ExampleSystem_Sensitivity evaluates the paper's cost function for one
 // fault at chosen test parameters.
 func ExampleSystem_Sensitivity() {
-	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,6 +43,38 @@ func ExampleSystem_Sensitivity() {
 	fmt.Println("detected:", sf < 0)
 	// Output:
 	// detected: true
+}
+
+// ExampleNewIVConverterSystem_options shows the functional-options
+// constructor patterns: granular options compose left to right, and a
+// legacy SessionConfig bundle migrates by becoming the first option
+// (repro.WithConfig) with granular options layered after it.
+func ExampleNewIVConverterSystem_options() {
+	// The idiomatic shape: independent options, any order.
+	sys, err := repro.NewIVConverterSystem(
+		repro.WithFastBoxes(), // seed-calibrated boxes (fast; grid is the default)
+		repro.WithWorkers(2),  // bound evaluation parallelism
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("faults:", len(sys.Faults()))
+
+	// Migrating a stored legacy bundle: WithConfig replaces the whole
+	// configuration, so it must come first; granular options then
+	// override individual fields.
+	cfg := repro.FastSetup()
+	sys2, err := repro.NewIVConverterSystem(
+		repro.WithConfig(cfg),
+		repro.WithWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("configs:", len(sys2.Configs()))
+	// Output:
+	// faults: 55
+	// configs: 5
 }
 
 // ExampleParseTestConfigString builds a runnable test configuration from

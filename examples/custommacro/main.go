@@ -52,7 +52,7 @@ func main() {
 	fmt.Printf("parsed macro %q: %d devices, %d nodes\n",
 		ckt.Name(), len(ckt.Devices()), len(ckt.AllNodes()))
 
-	sys, err := repro.NewSystem(ckt, repro.IVConfigs(), repro.FastSetup())
+	sys, err := repro.NewSystem(ckt, repro.IVConfigs(), repro.WithFastBoxes())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 
 	// The same stimulus as a test: configuration #4 return value for the
 	// golden and a faulty macro.
-	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 	if err != nil {
 		log.Fatal(err)
 	}

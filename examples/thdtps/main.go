@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	sys, err := repro.NewIVConverterSystem(repro.FastSetup())
+	sys, err := repro.NewIVConverterSystem(repro.WithFastBoxes())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,36 @@
+package hist_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs/hist"
+)
+
+// ExampleRegistry shows the session-scoping pattern used throughout the
+// codebase: record into process-wide named histograms, snapshot at
+// session start, and subtract that baseline at session end so the
+// report covers only the session's own observations.
+func ExampleRegistry() {
+	reg := hist.NewRegistry()
+
+	// Earlier work by other sessions lands in the same registry.
+	reg.Observe("sim.op", int64(3*time.Millisecond))
+
+	base := reg.Snapshot() // session start
+
+	for _, d := range []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 8 * time.Millisecond,
+	} {
+		reg.Get("sim.op").RecordDuration(d)
+	}
+
+	for _, ns := range hist.SubNamed(reg.Snapshot(), base) {
+		s := ns.Snapshot
+		fmt.Printf("%s: n=%d min=%v max=%v\n",
+			ns.Name, s.Count,
+			time.Duration(s.Min), time.Duration(s.Max))
+	}
+	// Output:
+	// sim.op: n=3 min=1ms max=8ms
+}

@@ -257,9 +257,13 @@ func (s Snapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
-// P50, P90 and P99 are the conventional telemetry percentiles.
+// P50 is the conventional median telemetry percentile.
 func (s Snapshot) P50() int64 { return s.Quantile(0.50) }
+
+// P90 is the conventional tail telemetry percentile.
 func (s Snapshot) P90() int64 { return s.Quantile(0.90) }
+
+// P99 is the conventional extreme-tail telemetry percentile.
 func (s Snapshot) P99() int64 { return s.Quantile(0.99) }
 
 // Sub returns s minus base, bucket by bucket — the scoping operation a

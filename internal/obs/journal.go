@@ -154,6 +154,18 @@ var v3EventNames = map[string]bool{
 	"breaker_reset": true,
 }
 
+// v4EventNames are the distributed-execution point-event names added in
+// schema v4: worker lifecycle and shard assignment/merge records
+// emitted by a coordinating atpgd. Journals that declare v1..v3 must
+// not contain them.
+var v4EventNames = map[string]bool{
+	"worker_join":   true,
+	"worker_lost":   true,
+	"shard_assign":  true,
+	"shard_done":    true,
+	"shard_requeue": true,
+}
+
 // schemaRules is the per-version validation vocabulary. Validation
 // dispatches on the run_start version explicitly — v1 journals written
 // before the fault-tolerant runtime stay first-class citizens instead
@@ -166,7 +178,7 @@ type schemaRules struct {
 // schema version, or an error for versions this reader does not speak.
 func rulesForVersion(v int) (schemaRules, error) {
 	switch v {
-	case 1, 2, 3:
+	case 1, 2, 3, 4:
 		return schemaRules{version: v}, nil
 	default:
 		return schemaRules{}, fmt.Errorf("unsupported schema version %d (this reader speaks v1..v%d)", v, SchemaVersion)
@@ -180,6 +192,9 @@ func (r schemaRules) checkEvent(ev Event) error {
 	}
 	if r.version < 3 && ev.Type == TypeEvent && v3EventNames[ev.Name] {
 		return fmt.Errorf("event %q requires schema v3, journal declares v%d", ev.Name, r.version)
+	}
+	if r.version < 4 && ev.Type == TypeEvent && v4EventNames[ev.Name] {
+		return fmt.Errorf("event %q requires schema v4, journal declares v%d", ev.Name, r.version)
 	}
 	return nil
 }

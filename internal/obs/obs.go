@@ -37,7 +37,11 @@ import (
 //	3 — resource-governance events: "breaker_trip", "breaker_reset",
 //	    and a "reason" attribute on "quarantine" ("panic" or "stalled").
 //	    Purely additive over v2.
-const SchemaVersion = 3
+//	4 — distributed-execution events: "worker_join", "worker_lost",
+//	    "shard_assign", "shard_done", "shard_requeue", plus a "shard"
+//	    attribute on records stitched in from worker journals. Purely
+//	    additive over v3.
+const SchemaVersion = 4
 
 // Record types of the journal schema (Event.Type).
 const (

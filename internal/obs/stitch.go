@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ShardJournal is one worker shard's sealed journal plus the metadata
+// Stitch needs to fold it into the coordinator's journal.
+type ShardJournal struct {
+	// Shard is the shard ID, stamped as a "shard" attribute on every
+	// stitched span_start and event record.
+	Shard string
+	// Worker is the computing worker's ID, stamped as a "worker"
+	// attribute alongside Shard.
+	Worker string
+	// OffsetNS shifts the shard's timestamps onto the coordinator's
+	// epoch — typically the assignment time of the shard. Must be
+	// non-negative.
+	OffsetNS int64
+	// Data is the shard's complete JSONL journal, run_start through
+	// run_end. A journal sealed by anything other than run_end is
+	// rejected: it may contain open spans, which would make the stitched
+	// completed journal invalid.
+	Data []byte
+}
+
+// Stitch merges a coordinator journal and per-shard worker journals
+// into one journal that passes Validate: the coordinator's records come
+// first (minus its terminal record), then each shard's records in the
+// given order (minus their run_start and run_end), then the
+// coordinator's terminal record. Shard span IDs are remapped past the
+// previously used maximum so IDs stay unique, shard timestamps are
+// shifted by OffsetNS onto the coordinator's epoch, and every stitched
+// span_start/event record gains "shard" and "worker" attributes.
+//
+// Callers pass shards in a deterministic order (shard sequence, not
+// completion order) so the stitched journal of a distributed job is
+// reproducible run to run up to timing values.
+func Stitch(w io.Writer, coordinator []byte, shards []ShardJournal) error {
+	coord, err := parseJournal(coordinator)
+	if err != nil {
+		return fmt.Errorf("obs: stitch: coordinator journal: %w", err)
+	}
+	last := coord[len(coord)-1]
+	if last.Type != TypeRunEnd && last.Type != TypeRunCanceled {
+		return fmt.Errorf("obs: stitch: coordinator journal ends with %q, want a terminal record", last.Type)
+	}
+	body := coord[:len(coord)-1]
+
+	bw := bufio.NewWriterSize(w, 64<<10)
+	offset := uint64(0)
+	for _, ev := range coord {
+		if ev.Span > offset {
+			offset = ev.Span
+		}
+		if ev.Parent > offset {
+			offset = ev.Parent
+		}
+	}
+	for _, ev := range body {
+		if err := writeEvent(bw, ev); err != nil {
+			return err
+		}
+	}
+	for _, sh := range shards {
+		if sh.OffsetNS < 0 {
+			return fmt.Errorf("obs: stitch: shard %q: negative time offset %d", sh.Shard, sh.OffsetNS)
+		}
+		evs, err := parseJournal(sh.Data)
+		if err != nil {
+			return fmt.Errorf("obs: stitch: shard %q journal: %w", sh.Shard, err)
+		}
+		if evs[0].Type != TypeRunStart {
+			return fmt.Errorf("obs: stitch: shard %q journal starts with %q, want %q", sh.Shard, evs[0].Type, TypeRunStart)
+		}
+		if evs[len(evs)-1].Type != TypeRunEnd {
+			return fmt.Errorf("obs: stitch: shard %q journal ends with %q, want %q", sh.Shard, evs[len(evs)-1].Type, TypeRunEnd)
+		}
+		next := offset
+		for _, ev := range evs[1 : len(evs)-1] {
+			if ev.Span != 0 {
+				ev.Span += offset
+				if ev.Span > next {
+					next = ev.Span
+				}
+			}
+			if ev.Parent != 0 {
+				ev.Parent += offset
+				if ev.Parent > next {
+					next = ev.Parent
+				}
+			}
+			ev.TS += sh.OffsetNS
+			if ev.Type == TypeSpanStart || ev.Type == TypeEvent {
+				if ev.Attrs == nil {
+					ev.Attrs = make(map[string]any, 2)
+				}
+				ev.Attrs["shard"] = sh.Shard
+				if sh.Worker != "" {
+					ev.Attrs["worker"] = sh.Worker
+				}
+			}
+			if err := writeEvent(bw, ev); err != nil {
+				return err
+			}
+		}
+		offset = next
+	}
+	if err := writeEvent(bw, last); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// parseJournal decodes a JSONL journal into events, requiring at least
+// one record.
+func parseJournal(data []byte) ([]Event, error) {
+	var evs []Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		line++
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("line %d: invalid JSON: %w", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("empty journal")
+	}
+	return evs, nil
+}
+
+// writeEvent appends one record line to the stitched journal.
+func writeEvent(bw *bufio.Writer, ev Event) error {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("obs: stitch: marshal record: %w", err)
+	}
+	if _, err := bw.Write(line); err != nil {
+		return fmt.Errorf("obs: stitch: %w", err)
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("obs: stitch: %w", err)
+	}
+	return nil
+}

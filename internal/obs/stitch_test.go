@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// sealedJournal runs fn against a fresh tracer and returns the sealed
+// JSONL bytes.
+func sealedJournal(t *testing.T, fn func(tr *Tracer)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	tr := New(j)
+	fn(tr)
+	tr.Finish(nil)
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestStitchProducesValidJournal(t *testing.T) {
+	coord := sealedJournal(t, func(tr *Tracer) {
+		ctx, sp := tr.Start(context.Background(), "run")
+		tr.Event(ctx, "shard_assign", String("shard", "j/s0"))
+		tr.Event(ctx, "shard_assign", String("shard", "j/s1"))
+		sp.End()
+	})
+	shardA := sealedJournal(t, func(tr *Tracer) {
+		ctx, sp := tr.Start(context.Background(), "shard")
+		_, inner := tr.Start(ctx, "optimize")
+		inner.End()
+		sp.End()
+	})
+	shardB := sealedJournal(t, func(tr *Tracer) {
+		_, sp := tr.Start(context.Background(), "shard")
+		sp.End()
+	})
+
+	var out bytes.Buffer
+	err := Stitch(&out, coord, []ShardJournal{
+		{Shard: "j/s0", Worker: "w1", OffsetNS: 1000, Data: shardA},
+		{Shard: "j/s1", Worker: "w2", OffsetNS: 2000, Data: shardB},
+	})
+	if err != nil {
+		t.Fatalf("stitch: %v", err)
+	}
+
+	st, err := Validate(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("stitched journal invalid: %v\n%s", err, out.Bytes())
+	}
+	if st.Version != SchemaVersion {
+		t.Fatalf("stitched version %d, want %d", st.Version, SchemaVersion)
+	}
+	if st.Terminal != TypeRunEnd {
+		t.Fatalf("stitched terminal %q", st.Terminal)
+	}
+	// 1 coordinator span + 2 shard-A spans + 1 shard-B span.
+	if st.Spans != 4 {
+		t.Fatalf("stitched spans %d, want 4", st.Spans)
+	}
+	text := out.String()
+	if !strings.Contains(text, `"shard":"j/s0"`) || !strings.Contains(text, `"shard":"j/s1"`) {
+		t.Fatalf("stitched journal missing shard tags:\n%s", text)
+	}
+	if !strings.Contains(text, `"worker":"w1"`) {
+		t.Fatalf("stitched journal missing worker tag:\n%s", text)
+	}
+	if strings.Count(text, `"type":"run_start"`) != 1 {
+		t.Fatalf("stitched journal must contain exactly one run_start:\n%s", text)
+	}
+	if strings.Count(text, `"type":"run_end"`) != 1 {
+		t.Fatalf("stitched journal must contain exactly one run_end:\n%s", text)
+	}
+}
+
+func TestStitchShiftsShardTimestamps(t *testing.T) {
+	coord := sealedJournal(t, func(tr *Tracer) {})
+	shard := []byte(`{"ts":0,"type":"run_start","v":4}
+{"ts":5,"type":"span_start","name":"shard","span":1}
+{"ts":9,"type":"span_end","name":"shard","span":1,"dur_ns":4}
+{"ts":10,"type":"run_end"}
+`)
+	var out bytes.Buffer
+	if err := Stitch(&out, coord, []ShardJournal{{Shard: "s", OffsetNS: 100, Data: shard}}); err != nil {
+		t.Fatalf("stitch: %v", err)
+	}
+	if !strings.Contains(out.String(), `"ts":105`) || !strings.Contains(out.String(), `"ts":109`) {
+		t.Fatalf("timestamps not shifted:\n%s", out.String())
+	}
+}
+
+func TestStitchRejectsBadInputs(t *testing.T) {
+	coord := sealedJournal(t, func(tr *Tracer) {})
+	unsealed := []byte(`{"ts":0,"type":"run_start","v":4}
+{"ts":5,"type":"span_start","name":"shard","span":1}
+`)
+	if err := Stitch(&bytes.Buffer{}, coord, []ShardJournal{{Shard: "s", Data: unsealed}}); err == nil {
+		t.Fatal("unsealed shard journal accepted")
+	}
+	canceled := []byte(`{"ts":0,"type":"run_start","v":4}
+{"ts":5,"type":"run_canceled"}
+`)
+	if err := Stitch(&bytes.Buffer{}, coord, []ShardJournal{{Shard: "s", Data: canceled}}); err == nil {
+		t.Fatal("canceled shard journal accepted")
+	}
+	if err := Stitch(&bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("empty coordinator journal accepted")
+	}
+	headless := []byte(`{"ts":5,"type":"span_start","name":"x","span":1}
+{"ts":9,"type":"run_end"}
+`)
+	if err := Stitch(&bytes.Buffer{}, coord, []ShardJournal{{Shard: "s", Data: headless}}); err == nil {
+		t.Fatal("shard journal without run_start accepted")
+	}
+	if err := Stitch(&bytes.Buffer{}, coord, []ShardJournal{{Shard: "s", OffsetNS: -1, Data: canceled}}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}

@@ -74,12 +74,22 @@ func TestValidateVersionDispatch(t *testing.T) {
 		t.Fatalf("wrong error: %v", err)
 	}
 
-	future := `{"ts":0,"type":"run_start","v":4}
+	v3WithShard := `{"ts":0,"type":"run_start","v":3}
+{"ts":10,"type":"event","name":"shard_assign","attrs":{"shard":"j/s0"}}
+{"ts":20,"type":"run_end"}
+`
+	if _, err := Validate(strings.NewReader(v3WithShard)); err == nil {
+		t.Fatal("v3 journal with a v4-only event validated")
+	} else if !strings.Contains(err.Error(), "requires schema v4") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	future := `{"ts":0,"type":"run_start","v":5}
 {"ts":20,"type":"run_end"}
 `
 	if _, err := Validate(strings.NewReader(future)); err == nil {
 		t.Fatal("future-version journal validated")
-	} else if !strings.Contains(err.Error(), "unsupported schema version 4") {
+	} else if !strings.Contains(err.Error(), "unsupported schema version 5") {
 		t.Fatalf("wrong error: %v", err)
 	}
 

@@ -1,0 +1,397 @@
+package server
+
+// Acceptance tests of distributed mode. The contract under test is the
+// one DESIGN.md §15 states: a coordinator + workers run of a request
+// produces result bytes identical to a single-node run — including
+// with a worker killed mid-shard, with no workers at all (local
+// scavenging), and across a coordinator crash/restart (checkpoint-aware
+// resharding). All tests run real ATPG on the reduced macro and are
+// skipped under -short.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/obs"
+)
+
+// distRequest is the shared small-but-real job of the distributed
+// tests (same shape as the resume tests).
+func distRequest() api.JobRequest { return resumeRequest() }
+
+// waitSucceeded waits with real-ATPG patience (waitState's 10s budget
+// fits stub executors, not -race engine runs).
+func waitSucceeded(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(4 * time.Minute)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.State == api.StateSucceeded {
+			return
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want succeeded", id, st.State, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s never succeeded", id)
+}
+
+// distReference computes (once per test process) the single-node
+// result bytes of distRequest — the identity target every distributed
+// variant must hit.
+var (
+	distRefOnce  sync.Once
+	distRefBytes []byte
+)
+
+func distReference(t *testing.T) []byte {
+	t.Helper()
+	distRefOnce.Do(func() {
+		dir, err := os.MkdirTemp(t.TempDir(), "ref")
+		if err != nil {
+			return
+		}
+		s, err := New(Options{DataDir: dir, RatePerSec: -1, CheckpointEvery: time.Millisecond})
+		if err != nil {
+			return
+		}
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+		st := submit(t, hs.URL, distRequest())
+		waitSucceeded(t, hs.URL, st.ID)
+		paths, err := s.Store().Job(st.ID)
+		if err != nil {
+			return
+		}
+		distRefBytes, _ = os.ReadFile(paths.Result)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	if len(distRefBytes) == 0 {
+		t.Fatal("single-node reference run failed")
+	}
+	return distRefBytes
+}
+
+// distOptions is the coordinator configuration of the tests: two
+// faults per shard (so a four-fault job still exercises partitioning
+// and merge without paying four cold sessions), and a lease generous
+// enough that heartbeat starvation on a loaded single-core -race box
+// never fakes a worker death — the worker-death test kills its victim
+// explicitly rather than by lease pressure.
+func distOptions(dir string) Options {
+	return Options{
+		DataDir:         dir,
+		RatePerSec:      -1,
+		CheckpointEvery: time.Millisecond,
+		Distributed:     true,
+		ShardSize:       2,
+		WorkerLease:     15 * time.Second,
+		PollWait:        time.Second,
+		FallbackGrace:   time.Hour, // scavenging off unless a test wants it
+	}
+}
+
+// startTestWorker runs one shard worker against base until the
+// returned cancel fires (the test's way of killing a worker).
+func startTestWorker(t *testing.T, base, name string, client *http.Client) (context.CancelFunc, <-chan struct{}) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = RunWorker(ctx, WorkerOptions{
+			Coordinator: base,
+			Name:        name,
+			Client:      client,
+			Logf:        func(format string, args ...any) { t.Logf("worker %s: "+format, append([]any{name}, args...)...) },
+		})
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return cancel, done
+}
+
+// TestDistributedBitIdentical is the tentpole acceptance test: a
+// coordinator with two workers produces result bytes identical to the
+// single-node run, and the stitched journal validates with shard-tagged
+// spans attributed to both workers.
+func TestDistributedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real ATPG runs; skipped under -short")
+	}
+	want := distReference(t)
+
+	s, err := New(distOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	startTestWorker(t, hs.URL, "alpha", nil)
+	startTestWorker(t, hs.URL, "beta", nil)
+
+	st := submit(t, hs.URL, distRequest())
+	waitSucceeded(t, hs.URL, st.ID)
+
+	paths, err := s.Store().Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(paths.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed result differs from single-node run:\ndist:   %d bytes\nsingle: %d bytes", len(got), len(want))
+	}
+
+	// The stitched journal must validate and attribute shard work.
+	jf, err := os.Open(paths.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	stats, err := obs.Validate(jf)
+	if err != nil {
+		t.Fatalf("stitched journal invalid: %v", err)
+	}
+	if stats.Version != obs.SchemaVersion {
+		t.Fatalf("journal version %d, want %d", stats.Version, obs.SchemaVersion)
+	}
+	raw, err := os.ReadFile(paths.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, wantSub := range []string{`"worker_join"`, `"shard_assign"`, `"shard_done"`, `"shard":"` + st.ID + `/s0"`} {
+		if !strings.Contains(text, wantSub) {
+			t.Errorf("stitched journal missing %s", wantSub)
+		}
+	}
+	// Two two-fault shards across two workers: scheduling may be
+	// lopsided, so only require that at least one named worker shows up.
+	if !strings.Contains(text, `"worker":"alpha"`) && !strings.Contains(text, `"worker":"beta"`) {
+		t.Error("stitched journal attributes no spans to any worker")
+	}
+
+	workers, _, assigned, _, completed := s.DistStats()
+	if workers != 2 {
+		t.Errorf("DistStats workers = %d, want 2", workers)
+	}
+	if assigned < 2 || completed < 2 {
+		t.Errorf("DistStats assigned/completed = %d/%d, want >= 2 each", assigned, completed)
+	}
+}
+
+// crashingTransport fails every shard-result delivery and kills its
+// worker on the first attempt — a deterministic "worker dies between
+// computing a shard and delivering it".
+type crashingTransport struct {
+	kill    context.CancelFunc
+	crashed atomic.Bool
+}
+
+func (ct *crashingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(r.URL.Path, "/result") {
+		ct.crashed.Store(true)
+		ct.kill()
+		return nil, errors.New("worker crashed mid-delivery")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// TestDistributedWorkerDeathRequeues kills a worker mid-shard and
+// requires the lease reaper to re-queue its shard, a surviving worker
+// to recompute it, and the final bytes to stay identical.
+func TestDistributedWorkerDeathRequeues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real ATPG runs; skipped under -short")
+	}
+	want := distReference(t)
+
+	s, err := New(distOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	// The victim computes its first shard, then dies delivering it.
+	ct := &crashingTransport{}
+	cancelVictim, _ := startTestWorker(t, hs.URL, "victim", &http.Client{Transport: ct})
+	ct.kill = cancelVictim
+	startTestWorker(t, hs.URL, "survivor", nil)
+
+	st := submit(t, hs.URL, distRequest())
+	waitSucceeded(t, hs.URL, st.ID)
+
+	if !ct.crashed.Load() {
+		t.Log("victim never got a shard (survivor took them all) — requeue not exercised")
+	} else {
+		_, _, _, requeued, _ := s.DistStats()
+		if requeued < 1 {
+			t.Errorf("DistStats requeued = %d, want >= 1 after worker death", requeued)
+		}
+	}
+
+	paths, err := s.Store().Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(paths.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("result after worker death differs from single-node run")
+	}
+	jf, err := os.Open(paths.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if _, err := obs.Validate(jf); err != nil {
+		t.Fatalf("journal invalid after worker death: %v", err)
+	}
+}
+
+// TestDistributedScavengeFallback runs a distributed daemon with no
+// workers at all: after FallbackGrace the coordinator must pull the
+// shards back and run them itself, still byte-identical.
+func TestDistributedScavengeFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real ATPG runs; skipped under -short")
+	}
+	want := distReference(t)
+
+	opt := distOptions(t.TempDir())
+	opt.FallbackGrace = 200 * time.Millisecond
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	st := submit(t, hs.URL, distRequest())
+	waitSucceeded(t, hs.URL, st.ID)
+
+	paths, err := s.Store().Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(paths.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scavenged result differs from single-node run")
+	}
+	raw, err := os.ReadFile(paths.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"worker":"local"`) {
+		t.Error("journal does not attribute scavenged shards to the local fallback")
+	}
+	if _, err := obs.Validate(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("journal invalid after scavenging: %v", err)
+	}
+}
+
+// TestDistributedCoordinatorRestartReshards crashes the coordinator
+// mid-job and restarts it over the same data directory: the merge
+// checkpoint must confine resharding to the unsolved remainder and the
+// final bytes must match the single-node run.
+func TestDistributedCoordinatorRestartReshards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real ATPG runs; skipped under -short")
+	}
+	want := distReference(t)
+
+	dir := t.TempDir()
+	s1, err := New(distOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	cancelW1, _ := startTestWorker(t, hs1.URL, "gen1", nil)
+
+	st := submit(t, hs1.URL, distRequest())
+	paths, err := s1.Store().Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash once the first merged shard has been checkpointed (or the
+	// job finished first — then the restart path simply serves it).
+	deadline := time.Now().Add(4 * time.Minute)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(paths.Checkpoint); err == nil {
+			break
+		}
+		if getStatus(t, hs1.URL, st.ID).State.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancelW1()
+	s1.Kill()
+	hs1.Close()
+
+	s2, err := New(distOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s2.Shutdown(ctx)
+	}()
+	startTestWorker(t, hs2.URL, "gen2", nil)
+
+	waitSucceeded(t, hs2.URL, st.ID)
+	got, err := os.ReadFile(paths.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restarted coordinator result differs from single-node run")
+	}
+	jf, err := os.Open(paths.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if _, err := obs.Validate(jf); err != nil {
+		t.Fatalf("journal invalid after coordinator restart: %v", err)
+	}
+}

@@ -48,6 +48,17 @@ func routeClass(r *http.Request) string {
 			return r.Method + " other"
 		}
 		return r.Method + " /v1/jobs/{id}"
+	case p == "/v1/workers":
+		return r.Method + " /v1/workers"
+	case strings.HasPrefix(p, "/v1/workers/"):
+		rest := strings.TrimPrefix(p, "/v1/workers/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch rest[i:] {
+			case "/poll", "/heartbeat", "/result":
+				return r.Method + " /v1/workers/{id}" + rest[i:]
+			}
+		}
+		return r.Method + " other"
 	case p == "/v1/server", p == "/metrics", p == "/progress",
 		p == "/healthz", p == "/readyz", p == "/":
 		return r.Method + " " + p
@@ -108,6 +119,22 @@ func (s *Server) writeProm(w io.Writer) {
 	if s.opt.MemHighWater > 0 {
 		p.Gauge("atpgd_heap_bytes", "Live heap as last sampled by the memory monitor.",
 			nil, float64(s.heapBytes.Load()))
+	}
+	if s.coord != nil {
+		snap := s.coord.snapshot()
+		p.Gauge("atpgd_workers", "Registered shard workers.", nil, float64(len(snap.Workers)))
+		p.Gauge("atpgd_shards_pending", "Shards queued for assignment.", nil, float64(snap.Pending))
+		p.Counter("atpgd_shards_assigned_total", "Shard assignments handed to workers (retries included).",
+			nil, float64(snap.Assigned))
+		p.Counter("atpgd_shards_requeued_total", "Shards re-queued after lease expiry or worker loss.",
+			nil, float64(snap.Requeued))
+		p.Counter("atpgd_shards_completed_total", "Shard results accepted and merged.",
+			nil, float64(snap.Completed))
+		sort.Slice(snap.Workers, func(a, b int) bool { return snap.Workers[a].Name < snap.Workers[b].Name })
+		for _, w := range snap.Workers {
+			p.Counter("atpgd_worker_shards_completed_total", "Shards delivered per registered worker.",
+				export.PromLabels{{"worker", w.Name}}, float64(w.Completed))
+		}
 	}
 	if qs := s.queueWait.Snapshot(); qs.Count > 0 {
 		p.Histogram("atpgd_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.",

@@ -38,33 +38,11 @@ func TestKillRestartResumeBitIdentical(t *testing.T) {
 		t.Skip("real ATPG runs; skipped under -short")
 	}
 
-	// Reference: the same request run uninterrupted.
-	refDir := t.TempDir()
-	s1, err := New(Options{DataDir: refDir, RatePerSec: -1, CheckpointEvery: time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	hs1 := httptest.NewServer(s1.Handler())
-	defer hs1.Close()
-	st := submit(t, hs1.URL, resumeRequest())
+	// Reference: the same request run uninterrupted (shared with the
+	// distributed acceptance tests, which compare against the identical
+	// request — one reference run serves the whole package).
+	want := distReference(t)
 	deadline := time.Now().Add(4 * time.Minute)
-	for getStatus(t, hs1.URL, st.ID).State != api.StateSucceeded {
-		if time.Now().After(deadline) {
-			t.Fatalf("reference job stuck in %s", getStatus(t, hs1.URL, st.ID).State)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	refPaths, err := s1.Store().Job(st.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := os.ReadFile(refPaths.Result)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	_ = s1.Shutdown(sctx)
-	cancel()
 
 	// Interrupted run: drain the daemon once the first checkpoint lands.
 	dir := t.TempDir()

@@ -89,6 +89,25 @@ type Options struct {
 	// 80% of MemHighWater.
 	MemHighWater uint64
 	MemLowWater  uint64
+	// Distributed turns the daemon into a shard coordinator: jobs are
+	// partitioned across registered workers (atpgd -worker) and merged
+	// back into results byte-identical to single-node runs. The worker
+	// routes (/v1/workers...) exist only in this mode.
+	Distributed bool
+	// ShardSize is the number of faults per shard in distributed mode
+	// (default 8).
+	ShardSize int
+	// WorkerLease bounds how long a worker may hold a shard without
+	// checking in before the shard is re-queued and the worker presumed
+	// dead (default 10s).
+	WorkerLease time.Duration
+	// PollWait is the long-poll window of the worker shard poll
+	// (default 20s).
+	PollWait time.Duration
+	// FallbackGrace is how long a distributed job tolerates an empty
+	// worker fleet before the coordinator starts running pending shards
+	// itself (default 2s).
+	FallbackGrace time.Duration
 }
 
 // Server is the job daemon. Create with New, mount Handler on an
@@ -143,6 +162,10 @@ type Server struct {
 	// execFn runs one job attempt; tests substitute stubs so queue and
 	// lifecycle behavior can be exercised without multi-second ATPG runs.
 	execFn func(ctx context.Context, j *Job, resume bool) error
+
+	// coord is the distributed-mode shard coordinator (nil on a
+	// single-node daemon).
+	coord *coordinator
 }
 
 // New builds the daemon over its data directory, recovers every
@@ -172,6 +195,18 @@ func newServer(o Options) (*Server, error) {
 	if o.RateBurst <= 0 {
 		o.RateBurst = 10
 	}
+	if o.ShardSize <= 0 {
+		o.ShardSize = 8
+	}
+	if o.WorkerLease <= 0 {
+		o.WorkerLease = 10 * time.Second
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 20 * time.Second
+	}
+	if o.FallbackGrace <= 0 {
+		o.FallbackGrace = 2 * time.Second
+	}
 	store, err := ckpt.NewStore(o.DataDir)
 	if err != nil {
 		return nil, err
@@ -189,7 +224,10 @@ func newServer(o Options) (*Server, error) {
 		jobDur:    hist.New(),
 		httpLat:   hist.NewRegistry(),
 	}
-	s.execFn = s.execute
+	if o.Distributed {
+		s.coord = newCoordinator(o.WorkerLease, o.PollWait)
+	}
+	s.execFn = s.executeAuto
 	s.memFn = liveHeapBytes
 	if s.opt.MemHighWater > 0 && s.opt.MemLowWater == 0 {
 		s.opt.MemLowWater = s.opt.MemHighWater / 5 * 4
@@ -222,6 +260,9 @@ func (s *Server) startWorkers() {
 	}
 	if s.opt.MemHighWater > 0 {
 		go s.memLoop(250 * time.Millisecond)
+	}
+	if s.coord != nil {
+		go s.reapLoop()
 	}
 }
 
@@ -343,6 +384,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/server", func(w http.ResponseWriter, r *http.Request) {
 		export.WriteJSON(w, s.status())
 	})
+	if s.coord != nil {
+		s.workerRoutes()
+	}
 	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "atpgd — ATPG job daemon\n\n"+
@@ -407,6 +451,12 @@ func (s *Server) status() api.ServerStatus {
 	}
 	st.MemShedding = s.shedding.Load()
 	st.MemShedTotal = s.shedTotal.Load()
+	if s.coord != nil {
+		snap := s.coord.snapshot()
+		st.Distributed = true
+		st.Workers = len(snap.Workers)
+		st.ShardsPending = snap.Pending
+	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		st.Jobs[j.State()]++

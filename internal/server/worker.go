@@ -1,0 +1,313 @@
+package server
+
+// The worker side of distributed mode. RunWorker is the whole life of
+// an atpgd -worker process: register with the coordinator, long-poll
+// for shards, compute each one on a session rebuilt from the shard's
+// embedded job request, heartbeat while computing, and post the result.
+// Workers are deliberately stateless — no data directory, no checkpoint
+// — because durability of a distributed run lives entirely in the
+// coordinator's merge checkpoint. A worker that dies mid-shard simply
+// stops heartbeating; the coordinator re-queues the shard and the
+// worker (or its replacement) re-registers and carries on.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/failpoint"
+	"repro/internal/obs"
+)
+
+// Failpoint sites on the worker's RPC seams: fpWorkerPoll fails the
+// shard poll (the worker backs off and re-registers), fpWorkerPost
+// fails result delivery (the shard is dropped and the coordinator's
+// lease reaper re-queues it) — the two injection points cmd/chaos uses
+// to exercise shard retry without killing processes.
+var (
+	fpWorkerPoll = failpoint.At("worker.shard.poll")
+	fpWorkerPost = failpoint.At("worker.shard.post")
+)
+
+// WorkerOptions wires RunWorker.
+type WorkerOptions struct {
+	// Coordinator is the base URL of the coordinating atpgd
+	// (e.g. http://127.0.0.1:8080).
+	Coordinator string
+	// Name is the operator-chosen worker label (Prometheus series,
+	// journal attribution); the coordinator assigns one when empty.
+	Name string
+	// Client is the HTTP client to use (default: a fresh http.Client —
+	// long-poll friendly, no global timeout).
+	Client *http.Client
+	// Logf receives worker lifecycle lines (default: stderr).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker runs the worker loop until ctx is canceled: register,
+// poll, compute, deliver, repeat. Transient coordinator failures
+// (restart, network) degrade to backoff-and-re-register, never to
+// worker exit — the only way out is ctx.
+func RunWorker(ctx context.Context, o WorkerOptions) error {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Logf == nil {
+		o.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "atpgd-worker: "+format+"\n", args...)
+		}
+	}
+	base := strings.TrimRight(o.Coordinator, "/")
+
+	backoff := 250 * time.Millisecond
+	for ctx.Err() == nil {
+		welcome, err := workerRegister(ctx, o, base)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			o.Logf("register with %s: %v (retrying in %s)", base, err, backoff)
+			if !sleepCtx(ctx, backoff) {
+				break
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 250 * time.Millisecond
+		o.Logf("registered as %s (lease %dms)", welcome.WorkerID, welcome.LeaseMS)
+		workerServe(ctx, o, base, welcome)
+	}
+	return ctx.Err()
+}
+
+// sleepCtx sleeps d or until ctx cancels; reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// postJSON posts body (encoded with api.Encode) and decodes a JSON
+// reply into out when non-nil. Returns the HTTP status.
+func postJSON(ctx context.Context, c *http.Client, url string, body, out any) (int, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		b, err := api.Encode(body)
+		if err != nil {
+			return 0, err
+		}
+		buf.Write(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		dec := json.NewDecoder(resp.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func workerRegister(ctx context.Context, o WorkerOptions, base string) (api.WorkerWelcome, error) {
+	hello := api.WorkerHello{V: api.Version, Name: o.Name, PID: os.Getpid()}
+	var welcome api.WorkerWelcome
+	code, err := postJSON(ctx, o.Client, base+"/v1/workers", hello, &welcome)
+	if err != nil {
+		return welcome, err
+	}
+	if code != http.StatusOK {
+		return welcome, fmt.Errorf("coordinator answered %d", code)
+	}
+	return welcome, welcome.Validate()
+}
+
+// workerServe polls for shards under one registration; it returns when
+// the registration dies (coordinator restart, lease loss) or ctx
+// cancels, and the caller re-registers.
+func workerServe(ctx context.Context, o WorkerOptions, base string, w api.WorkerWelcome) {
+	for ctx.Err() == nil {
+		if err := fpWorkerPoll.Hit(); err != nil {
+			o.Logf("poll failpoint: %v", err)
+			sleepCtx(ctx, 100*time.Millisecond)
+			return
+		}
+		var sr api.ShardRequest
+		code, err := postJSON(ctx, o.Client, base+"/v1/workers/"+w.WorkerID+"/poll", nil, &sr)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil:
+			o.Logf("poll: %v", err)
+			sleepCtx(ctx, 250*time.Millisecond)
+			return
+		case code == http.StatusNoContent:
+			continue
+		case code == http.StatusNotFound:
+			o.Logf("registration expired, re-registering")
+			return
+		case code != http.StatusOK:
+			o.Logf("poll answered %d", code)
+			sleepCtx(ctx, 250*time.Millisecond)
+			return
+		}
+		if err := sr.Validate(); err != nil {
+			o.Logf("shard request invalid: %v", err)
+			continue
+		}
+
+		res, err := workerRunShard(ctx, o, base, w, sr)
+		if err != nil {
+			// Drop the shard: the lease expires and the coordinator
+			// re-queues it (possibly right back to this worker).
+			o.Logf("shard %s: %v", sr.ShardID, err)
+			continue
+		}
+		if !workerDeliver(ctx, o, base, w, res) {
+			return
+		}
+	}
+}
+
+// workerRunShard computes one shard: a fresh system from the embedded
+// request, generation restricted to the shard's faults, a sealed
+// journal for the coordinator to stitch, and a heartbeat goroutine
+// keeping the lease alive while the engine works.
+func workerRunShard(ctx context.Context, o WorkerOptions, base string, w api.WorkerWelcome, sr api.ShardRequest) (*api.ShardResult, error) {
+	start := time.Now()
+	name := o.Name
+	if name == "" {
+		name = w.WorkerID
+	}
+
+	var jbuf bytes.Buffer
+	journal := obs.NewJournal(&jbuf)
+	tracer := obs.New(journal,
+		obs.String("cmd", "atpgd-worker"),
+		obs.String("job", sr.JobID),
+		obs.String("shard", sr.ShardID),
+		obs.String("worker", name))
+	prog := obs.NewProgress()
+
+	sys, err := repro.SystemFromRequest(ctx, sr.Request,
+		repro.WithTracer(tracer), repro.WithProgress(prog))
+	if err != nil {
+		tracer.Finish(err)
+		_ = journal.Close()
+		return nil, err
+	}
+
+	// Heartbeats extend the shard lease and report fault-granular
+	// progress (mapped from the engine's finer-grained phase percent).
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	go func() {
+		every := time.Duration(w.LeaseMS) * time.Millisecond / 3
+		if every <= 0 {
+			every = time.Second
+		}
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				snap := prog.Snapshot()
+				done := int64(0)
+				if snap.Phase == repro.PhaseGenerate && snap.Total > 0 {
+					done = int64(float64(len(sr.FaultIDs)) * snap.Percent() / 100)
+				}
+				hb := api.WorkerHeartbeat{V: api.Version, WorkerID: w.WorkerID, ShardID: sr.ShardID, Done: done}
+				_, _ = postJSON(hbCtx, o.Client, base+"/v1/workers/"+w.WorkerID+"/heartbeat", hb, nil)
+			}
+		}
+	}()
+
+	faults, err := repro.FaultsByID(sys.RequestFaults(), sr.FaultIDs)
+	if err == nil {
+		var sols []*repro.Solution
+		sols, err = sys.GenerateShardContext(ctx, sr.ShardID, faults)
+		if err == nil {
+			hbStop()
+			final := repro.WireMetrics(sys.Metrics())
+			tracer.Finish(nil, obs.Any("metrics", final))
+			if cerr := journal.Close(); cerr != nil {
+				return nil, cerr
+			}
+			return &api.ShardResult{
+				V:           api.Version,
+				JobID:       sr.JobID,
+				ShardID:     sr.ShardID,
+				WorkerID:    w.WorkerID,
+				Solutions:   repro.WireShardSolutions(sols),
+				Quarantined: repro.WireQuarantines(sys.Quarantined()),
+				Journal:     jbuf.String(),
+				ElapsedMS:   time.Since(start).Milliseconds(),
+			}, nil
+		}
+	}
+	tracer.Finish(err)
+	_ = journal.Close()
+	return nil, err
+}
+
+// workerDeliver posts a shard result with a short retry. Reports false
+// when the worker must re-register (registration lost).
+func workerDeliver(ctx context.Context, o WorkerOptions, base string, w api.WorkerWelcome, res *api.ShardResult) bool {
+	if err := fpWorkerPost.Hit(); err != nil {
+		// Injected delivery failure: drop the result; the lease reaper
+		// re-queues the shard.
+		o.Logf("post failpoint: %v", err)
+		return true
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		code, err := postJSON(ctx, o.Client, base+"/v1/workers/"+w.WorkerID+"/result", res, nil)
+		switch {
+		case ctx.Err() != nil:
+			return false
+		case err != nil:
+			o.Logf("deliver shard %s: %v", res.ShardID, err)
+			sleepCtx(ctx, 250*time.Millisecond)
+			continue
+		case code == http.StatusNotFound:
+			o.Logf("registration expired delivering shard %s", res.ShardID)
+			return false
+		case code == http.StatusGone:
+			// Someone else delivered it first (or the job is gone) —
+			// redundant work, not an error.
+			return true
+		case code >= 400:
+			o.Logf("deliver shard %s: coordinator answered %d", res.ShardID, code)
+			sleepCtx(ctx, 250*time.Millisecond)
+			continue
+		default:
+			return true
+		}
+	}
+	return true
+}
